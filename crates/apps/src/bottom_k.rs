@@ -1,0 +1,273 @@
+//! Bottom-k sketches (Cohen & Kaplan, PODC 2007).
+
+use qmax_core::{Minimal, OrderedF64, QMax};
+use qmax_traces::hash;
+
+/// An entry of a bottom-k sample: a key, its weight, and its rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedKey {
+    /// The stream key.
+    pub key: u64,
+    /// The key's weight.
+    pub weight: f64,
+    /// The key's rank `−ln(u) / w` (smaller ranks are sampled).
+    pub rank: f64,
+}
+
+/// A bottom-k sketch over a stream of **distinct** weighted keys.
+///
+/// Each key `x` with weight `w_x` is assigned an exponential rank
+/// `r(x) = −ln(u_x) / w_x` (with hash-derived `u_x`), distributed
+/// `Exp(w_x)`; the sketch keeps the `k` keys of *smallest* rank — the
+/// classic "bottom-k with exponentially distributed ranks" (a.k.a.
+/// sequential Poisson / PPSWR sampling). The reservoir of k minimal
+/// ranks is again the q-MAX pattern via [`Minimal`].
+///
+/// Two sketches built with the same seed can be [`BottomK::merge`]d,
+/// giving network-wide visibility (the paper's Section 2.2), and
+/// support unbiased subset-sum estimation.
+#[derive(Debug, Clone)]
+pub struct BottomK<Q> {
+    reservoir: Q,
+    seed: u64,
+}
+
+impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
+    /// Creates a sketch over the given q-MIN backend. Sketches must
+    /// share `seed` to be mergeable.
+    pub fn new(reservoir: Q, seed: u64) -> Self {
+        BottomK { reservoir, seed }
+    }
+
+    /// Processes one (distinct) weighted key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn observe(&mut self, key: u64, weight: f64) -> bool {
+        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive and finite");
+        let u = hash::to_unit_open(key, self.seed);
+        let rank = -u.ln() / weight;
+        self.reservoir
+            .insert(RankedKey { key, weight, rank }, Minimal(OrderedF64(rank)))
+    }
+
+    /// The current sample, smallest rank first.
+    pub fn sample(&mut self) -> Vec<RankedKey> {
+        let mut s: Vec<RankedKey> =
+            self.reservoir.query().into_iter().map(|(rk, _)| rk).collect();
+        s.sort_by(|a, b| a.rank.total_cmp(&b.rank));
+        s
+    }
+
+    /// Merges another sketch's sample into this one (both must use the
+    /// same seed so shared keys carry identical ranks).
+    pub fn merge(&mut self, other: &mut Self) {
+        debug_assert_eq!(self.seed, other.seed, "merging sketches with different seeds");
+        for rk in other.sample() {
+            self.reservoir.insert(rk, Minimal(OrderedF64(rk.rank)));
+        }
+    }
+
+    /// Estimates the total weight of keys selected by `subset` using
+    /// the rank-conditioned estimator: with `τ` the k-th smallest rank,
+    /// each of the other sampled keys contributes
+    /// `w / (1 − exp(−w·τ))` (its inverse inclusion probability
+    /// conditioned on τ).
+    pub fn estimate_subset<F: Fn(u64) -> bool>(&mut self, subset: F) -> f64 {
+        let sample = self.sample();
+        if sample.len() < self.reservoir.q() {
+            return sample.iter().filter(|rk| subset(rk.key)).map(|rk| rk.weight).sum();
+        }
+        let tau = sample.last().expect("non-empty").rank;
+        sample
+            .iter()
+            .take(sample.len() - 1)
+            .filter(|rk| subset(rk.key))
+            .map(|rk| {
+                let p = 1.0 - (-rk.weight * tau).exp();
+                rk.weight / p.max(f64::MIN_POSITIVE)
+            })
+            .sum()
+    }
+
+    /// Estimates the `phi`-quantile (`0 < phi < 1`) of the **weight
+    /// distribution over keys** — e.g. `phi = 0.5` estimates the median
+    /// key weight. Uses the sample directly (bottom-k with exponential
+    /// ranks samples keys with probability increasing in weight, so the
+    /// estimate reweights each sampled key by its inverse inclusion
+    /// probability).
+    ///
+    /// Returns `None` if the sketch is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is outside `(0, 1)`.
+    pub fn estimate_quantile(&mut self, phi: f64) -> Option<f64> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+        let sample = self.sample();
+        if sample.is_empty() {
+            return None;
+        }
+        let full = sample.len() >= self.reservoir.q();
+        let tau = if full { sample.last().expect("non-empty").rank } else { f64::INFINITY };
+        // Per-key estimated multiplicity: 1 / P(sampled | tau).
+        let mut weighted: Vec<(f64, f64)> = sample
+            .iter()
+            .take(if full { sample.len() - 1 } else { sample.len() })
+            .map(|rk| {
+                let p = if full { 1.0 - (-rk.weight * tau).exp() } else { 1.0 };
+                (rk.weight, 1.0 / p.max(f64::MIN_POSITIVE))
+            })
+            .collect();
+        if weighted.is_empty() {
+            return None;
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: f64 = weighted.iter().map(|&(_, m)| m).sum();
+        let target = phi * total;
+        let mut acc = 0.0;
+        for &(w, m) in &weighted {
+            acc += m;
+            if acc >= target {
+                return Some(w);
+            }
+        }
+        weighted.last().map(|&(w, _)| w)
+    }
+
+    /// Clears the sketch.
+    pub fn reset(&mut self) {
+        self.reservoir.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_core::{AmortizedQMax, HeapQMax};
+    use qmax_traces::rng::SplitMix64;
+
+    #[test]
+    fn sample_holds_smallest_ranks() {
+        let mut bk = BottomK::new(HeapQMax::new(8), 1);
+        let mut ranks: Vec<(u64, f64)> = Vec::new();
+        for key in 0..500u64 {
+            let w = 1.0 + (key % 13) as f64;
+            bk.observe(key, w);
+            let u = hash::to_unit_open(key, 1);
+            ranks.push((key, -u.ln() / w));
+        }
+        ranks.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let expect: Vec<u64> = ranks[..8].iter().map(|&(k, _)| k).collect();
+        let got: Vec<u64> = bk.sample().into_iter().map(|rk| rk.key).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn heavier_keys_are_sampled_more() {
+        // Key 0 has 1000x weight; it should essentially always be in
+        // the bottom-k sample.
+        let mut bk = BottomK::new(AmortizedQMax::new(16, 0.5), 2);
+        bk.observe(0, 100_000.0);
+        for key in 1..5000u64 {
+            bk.observe(key, 1.0);
+        }
+        assert!(bk.sample().iter().any(|rk| rk.key == 0), "heavy key not sampled");
+    }
+
+    #[test]
+    fn subset_estimate_is_close() {
+        let mut rng = SplitMix64::new(3);
+        let n = 30_000u64;
+        let k = 3000;
+        let mut bk = BottomK::new(AmortizedQMax::new(k, 0.5), 5);
+        let mut truth = 0.0;
+        for key in 0..n {
+            let w = 0.5 + rng.next_f64() * 4.5;
+            if key % 3 == 0 {
+                truth += w;
+            }
+            bk.observe(key, w);
+        }
+        let est = bk.estimate_subset(|key| key % 3 == 0);
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.1, "est {est} truth {truth} rel {rel}");
+    }
+
+    #[test]
+    fn merged_sketch_equals_single_sketch() {
+        let k = 32;
+        let all: Vec<(u64, f64)> = (0..2000u64).map(|key| (key, 1.0 + (key % 7) as f64)).collect();
+        let mut whole = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
+        let mut left = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
+        let mut right = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
+        for &(key, w) in &all {
+            whole.observe(key, w);
+            if key % 2 == 0 {
+                left.observe(key, w);
+            } else {
+                right.observe(key, w);
+            }
+        }
+        left.merge(&mut right);
+        let a: Vec<u64> = whole.sample().into_iter().map(|rk| rk.key).collect();
+        let b: Vec<u64> = left.sample().into_iter().map(|rk| rk.key).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_estimate_tracks_truth() {
+        // Keys with weights uniform in [1, 100]; the true median key
+        // weight is ~50.
+        let mut rng = SplitMix64::new(9);
+        let mut bk = BottomK::new(AmortizedQMax::new(2000, 0.5), 7);
+        let mut weights = Vec::new();
+        for key in 0..40_000u64 {
+            let w = 1.0 + rng.next_f64() * 99.0;
+            weights.push(w);
+            bk.observe(key, w);
+        }
+        weights.sort_by(f64::total_cmp);
+        for phi in [0.25, 0.5, 0.9] {
+            let truth = weights[(phi * weights.len() as f64) as usize];
+            let est = bk.estimate_quantile(phi).expect("non-empty sketch");
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.2, "phi={phi}: est {est} vs truth {truth} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn quantile_on_small_sketch_is_exact_order_statistic() {
+        let mut bk = BottomK::new(HeapQMax::new(100), 1);
+        for (key, w) in [(1u64, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)] {
+            bk.observe(key, w);
+        }
+        assert_eq!(bk.estimate_quantile(0.5), Some(20.0));
+        assert_eq!(bk.estimate_quantile(0.95), Some(40.0));
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let mut bk = BottomK::new(HeapQMax::new(4), 1);
+        assert_eq!(bk.estimate_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn quantile_bad_phi_panics() {
+        let mut bk = BottomK::new(HeapQMax::new(4), 1);
+        bk.observe(1, 1.0);
+        bk.estimate_quantile(1.0);
+    }
+
+    #[test]
+    fn short_stream_estimate_is_exact() {
+        let mut bk = BottomK::new(HeapQMax::new(50), 4);
+        for key in 0..20u64 {
+            bk.observe(key, 3.0);
+        }
+        let est = bk.estimate_subset(|_| true);
+        assert!((est - 60.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Count Sketch (Charikar, Chen, Farach-Colton — ICALP 2002).
+
+use qmax_traces::hash;
+
+/// A Count Sketch: `depth` rows of `width` signed counters giving an
+/// unbiased frequency estimate with variance `O(F2 / width)` per row;
+/// the median over rows bounds the error with high probability.
+///
+/// Used here as the per-level frequency oracle inside [`crate::UnivMon`],
+/// matching the paper's description of UnivMon (Count Sketch instances,
+/// each with a top-q tracker for its substream's heavy hitters).
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<Vec<i64>>,
+    seed: u64,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or `width < 2`.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(width >= 2, "width must be at least 2");
+        CountSketch {
+            depth,
+            width,
+            rows: vec![vec![0i64; width]; depth],
+            seed,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, key: u64) -> (usize, i64) {
+        let h = hash::hash64(key, self.seed.wrapping_add(row as u64 * 0x9E37));
+        let idx = (h as usize) % self.width;
+        let sign = if h & (1 << 63) != 0 { 1 } else { -1 };
+        (idx, sign)
+    }
+
+    /// Adds `delta` occurrences of `key`.
+    pub fn update(&mut self, key: u64, delta: i64) {
+        for row in 0..self.depth {
+            let (idx, sign) = self.cell(row, key);
+            self.rows[row][idx] += sign * delta;
+        }
+    }
+
+    /// Estimates the frequency of `key` (median of per-row estimates).
+    pub fn estimate(&self, key: u64) -> i64 {
+        let mut est: Vec<i64> = (0..self.depth)
+            .map(|row| {
+                let (idx, sign) = self.cell(row, key);
+                sign * self.rows[row][idx]
+            })
+            .collect();
+        est.sort_unstable();
+        let mid = est.len() / 2;
+        if est.len() % 2 == 1 {
+            est[mid]
+        } else {
+            (est[mid - 1] + est[mid]) / 2
+        }
+    }
+
+    /// Estimates the second frequency moment `F2 = Σ f(x)²` as the
+    /// median over rows of the row's sum of squared counters.
+    pub fn f2_estimate(&self) -> f64 {
+        let mut per_row: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&c| (c as f64) * (c as f64)).sum())
+            .collect();
+        per_row.sort_by(f64::total_cmp);
+        let mid = per_row.len() / 2;
+        if per_row.len() % 2 == 1 {
+            per_row[mid]
+        } else {
+            (per_row[mid - 1] + per_row[mid]) / 2.0
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        for row in &mut self.rows {
+            row.fill(0);
+        }
+    }
+
+    /// Memory footprint in counters.
+    pub fn counters(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_is_exact() {
+        let mut cs = CountSketch::new(5, 256, 1);
+        cs.update(42, 100);
+        assert_eq!(cs.estimate(42), 100);
+        cs.update(42, -40);
+        assert_eq!(cs.estimate(42), 60);
+    }
+
+    #[test]
+    fn unseen_key_estimates_near_zero() {
+        let mut cs = CountSketch::new(5, 1024, 2);
+        for key in 0..1000u64 {
+            cs.update(key, 1);
+        }
+        // Collisions add noise bounded by ~sqrt(F2/width).
+        let noise = cs.estimate(999_999);
+        assert!(noise.abs() <= 10, "noise {noise}");
+    }
+
+    #[test]
+    fn heavy_key_estimate_is_accurate() {
+        let mut cs = CountSketch::new(5, 512, 3);
+        for key in 0..5000u64 {
+            cs.update(key, 1);
+        }
+        cs.update(7, 2000);
+        let est = cs.estimate(7);
+        assert!((est - 2001).abs() <= 100, "estimate {est}");
+    }
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        let mut cs = CountSketch::new(7, 2048, 4);
+        // 100 keys with frequency 50 each: F2 = 100 * 2500 = 250_000.
+        for key in 0..100u64 {
+            cs.update(key, 50);
+        }
+        let est = cs.f2_estimate();
+        let rel = (est - 250_000.0).abs() / 250_000.0;
+        assert!(rel < 0.25, "F2 estimate {est} rel {rel}");
+    }
+
+    #[test]
+    fn negative_updates_cancel() {
+        let mut cs = CountSketch::new(5, 256, 7);
+        for key in 0..200u64 {
+            cs.update(key, 10);
+        }
+        for key in 0..200u64 {
+            cs.update(key, -10);
+        }
+        assert_eq!(cs.f2_estimate(), 0.0, "all rows must cancel to zero");
+        assert_eq!(cs.estimate(5), 0);
+    }
+
+    #[test]
+    fn counters_accessor_reports_size() {
+        let cs = CountSketch::new(3, 128, 1);
+        assert_eq!(cs.counters(), 3 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = CountSketch::new(0, 16, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 2")]
+    fn tiny_width_panics() {
+        let _ = CountSketch::new(3, 1, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut cs = CountSketch::new(3, 64, 5);
+        cs.update(1, 10);
+        cs.reset();
+        assert_eq!(cs.estimate(1), 0);
+        assert_eq!(cs.f2_estimate(), 0.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Dynamic Bucket Merge (Uyeda et al., NSDI 2011): bandwidth
+//! measurement at query-time-chosen granularities.
+
+use qmax_core::heap::MinHeap;
+
+/// A time bucket aggregating traffic volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Start of the bucket's time range (inclusive), nanoseconds.
+    pub start_ns: u64,
+    /// End of the bucket's time range (inclusive), nanoseconds.
+    pub end_ns: u64,
+    /// Total bytes in the range.
+    pub bytes: u64,
+}
+
+/// A candidate merge of a bucket with its right neighbour, kept in a
+/// min-structure ordered by merge cost. Entries are invalidated lazily
+/// via versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MergeCandidate {
+    cost: u64,
+    left: u32,
+    version: u32,
+}
+
+impl PartialOrd for MergeCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeCandidate {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.cost.cmp(&other.cost).then(self.left.cmp(&other.left))
+    }
+}
+
+/// The DBM structure: at most `m` time-contiguous buckets; when a new
+/// arrival would exceed `m`, the adjacent pair whose merge introduces
+/// the least error (here: smallest combined byte volume, the paper's
+/// V-opt-style greedy) is merged.
+///
+/// The inner loop — "find the minimum-cost adjacent pair" — is served by
+/// a min-structure over pair costs with lazy invalidation; the q-MAX
+/// paper lists this lookup as another instance of its pattern
+/// (Section 2.5). Queries report the byte volume of any time range,
+/// interpolating partially covered buckets.
+#[derive(Debug)]
+pub struct Dbm {
+    m: usize,
+    /// Bucket arena; `None` marks merged-away slots.
+    slots: Vec<Option<Bucket>>,
+    /// `next[i]`/`prev[i]` link live slots in time order.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    versions: Vec<u32>,
+    head: u32,
+    tail: u32,
+    live: usize,
+    candidates: MinHeap<MergeCandidate>,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl Dbm {
+    /// Creates a DBM with a budget of `m` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "need at least two buckets");
+        Dbm {
+            m,
+            slots: Vec::new(),
+            next: Vec::new(),
+            prev: Vec::new(),
+            versions: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            live: 0,
+            candidates: MinHeap::new(),
+        }
+    }
+
+    /// Number of live buckets.
+    pub fn buckets(&self) -> usize {
+        self.live
+    }
+
+    /// Records `bytes` of traffic at time `ts_ns`. Timestamps must be
+    /// non-decreasing.
+    pub fn observe(&mut self, ts_ns: u64, bytes: u64) {
+        if self.tail != NIL {
+            let t = self.tail as usize;
+            let last = self.slots[t].as_ref().expect("tail is live");
+            debug_assert!(ts_ns >= last.end_ns, "timestamps must be non-decreasing");
+        }
+        let idx = self.slots.len() as u32;
+        self.slots.push(Some(Bucket { start_ns: ts_ns, end_ns: ts_ns, bytes }));
+        self.next.push(NIL);
+        self.prev.push(self.tail);
+        self.versions.push(0);
+        if self.tail != NIL {
+            self.next[self.tail as usize] = idx;
+            self.push_candidate(self.tail);
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.live += 1;
+        while self.live > self.m {
+            self.merge_cheapest();
+        }
+    }
+
+    fn pair_cost(&self, left: u32) -> Option<u64> {
+        let l = self.slots[left as usize].as_ref()?;
+        let right = self.next[left as usize];
+        if right == NIL {
+            return None;
+        }
+        let r = self.slots[right as usize].as_ref()?;
+        Some(l.bytes + r.bytes)
+    }
+
+    fn push_candidate(&mut self, left: u32) {
+        if let Some(cost) = self.pair_cost(left) {
+            self.candidates.push(MergeCandidate {
+                cost,
+                left,
+                version: self.versions[left as usize],
+            });
+        }
+    }
+
+    fn merge_cheapest(&mut self) {
+        // Pop until a candidate matches the current version of its left
+        // bucket (lazy invalidation).
+        let cand = loop {
+            let c = self.candidates.pop().expect("a mergeable pair must exist");
+            let li = c.left as usize;
+            if self.slots[li].is_some()
+                && self.versions[li] == c.version
+                && self.next[li] != NIL
+            {
+                break c;
+            }
+        };
+        let li = c_left(cand);
+        let ri = self.next[li as usize];
+        debug_assert_ne!(ri, NIL);
+        let r = self.slots[ri as usize].take().expect("right bucket live");
+        let l = self.slots[li as usize].as_mut().expect("left bucket live");
+        l.end_ns = r.end_ns;
+        l.bytes += r.bytes;
+        // Unlink the right bucket.
+        let rn = self.next[ri as usize];
+        self.next[li as usize] = rn;
+        if rn != NIL {
+            self.prev[rn as usize] = li;
+        } else {
+            self.tail = li;
+        }
+        self.live -= 1;
+        // Invalidate and refresh affected pairs: (prev(l), l) and (l, rn).
+        self.versions[li as usize] += 1;
+        let pl = self.prev[li as usize];
+        if pl != NIL {
+            self.versions[pl as usize] += 1;
+            self.push_candidate(pl);
+        }
+        self.push_candidate(li);
+    }
+
+    /// The current buckets in time order.
+    pub fn snapshot(&self) -> Vec<Bucket> {
+        let mut out = Vec::with_capacity(self.live);
+        let mut cur = self.head;
+        while cur != NIL {
+            if let Some(b) = self.slots[cur as usize] {
+                out.push(b);
+            }
+            cur = self.next[cur as usize];
+        }
+        out
+    }
+
+    /// Estimates the byte volume in `[from_ns, to_ns]`, linearly
+    /// interpolating buckets that straddle the range boundaries.
+    pub fn bytes_in_range(&self, from_ns: u64, to_ns: u64) -> f64 {
+        if from_ns > to_ns {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for b in self.snapshot() {
+            if b.end_ns < from_ns || b.start_ns > to_ns {
+                continue;
+            }
+            let span = (b.end_ns - b.start_ns) as f64 + 1.0;
+            let lo = from_ns.max(b.start_ns);
+            let hi = to_ns.min(b.end_ns);
+            let overlap = (hi - lo) as f64 + 1.0;
+            total += b.bytes as f64 * overlap / span;
+        }
+        total
+    }
+}
+
+#[inline]
+fn c_left(c: MergeCandidate) -> u32 {
+    c.left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_within_bucket_budget() {
+        let mut dbm = Dbm::new(16);
+        for i in 0..10_000u64 {
+            dbm.observe(i * 100, 1500);
+        }
+        assert!(dbm.buckets() <= 16);
+        let snap = dbm.snapshot();
+        assert_eq!(snap.len(), dbm.buckets());
+        // Buckets are contiguous and ordered.
+        for w in snap.windows(2) {
+            assert!(w[0].end_ns < w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn total_volume_is_preserved() {
+        let mut dbm = Dbm::new(8);
+        let mut total = 0u64;
+        for i in 0..5000u64 {
+            let bytes = 100 + (i % 1400);
+            total += bytes;
+            dbm.observe(i * 10, bytes);
+        }
+        let got: u64 = dbm.snapshot().iter().map(|b| b.bytes).sum();
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn full_range_query_returns_total() {
+        let mut dbm = Dbm::new(32);
+        let mut total = 0u64;
+        for i in 0..2000u64 {
+            total += 500;
+            dbm.observe(i * 1000, 500);
+        }
+        let est = dbm.bytes_in_range(0, 2000 * 1000);
+        assert!((est - total as f64).abs() < 1.0, "est {est} total {total}");
+    }
+
+    #[test]
+    fn range_query_approximates_burst() {
+        // Quiet traffic with a burst in the middle; the burst range
+        // should dominate the estimate.
+        let mut dbm = Dbm::new(64);
+        for i in 0..3000u64 {
+            let bytes = if (1000..1100).contains(&i) { 100_000 } else { 100 };
+            dbm.observe(i * 1_000, bytes);
+        }
+        let burst = dbm.bytes_in_range(1_000_000, 1_100_000);
+        let quiet = dbm.bytes_in_range(2_000_000, 2_100_000);
+        assert!(
+            burst > 50.0 * quiet,
+            "burst {burst} not dominant over quiet {quiet}"
+        );
+    }
+
+    #[test]
+    fn merges_prefer_small_buckets() {
+        // Two huge buckets at the ends, tiny ones between: tiny ones
+        // merge first, so the huge ones survive as-is.
+        let mut dbm = Dbm::new(3);
+        dbm.observe(0, 1_000_000);
+        for i in 1..100u64 {
+            dbm.observe(i * 10, 1);
+        }
+        dbm.observe(10_000, 1_000_000);
+        let snap = dbm.snapshot();
+        assert!(snap.iter().any(|b| b.bytes == 1_000_000 && b.start_ns == 0));
+        assert!(snap.iter().any(|b| b.bytes >= 1_000_000 && b.end_ns == 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two buckets")]
+    fn tiny_budget_panics() {
+        let _ = Dbm::new(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Network-measurement applications built on the q-MAX interface.
+//!
+//! Section 2 of the q-MAX paper surveys measurement algorithms whose
+//! inner loop maintains the `q` largest (or smallest) values of a
+//! stream; this crate implements them, each generic over the reservoir
+//! backend so the paper's Heap / SkipList / q-MAX comparisons
+//! (Figures 8 and 14) swap only the data structure:
+//!
+//! * [`PrioritySampling`] — optimal weighted sampling (Duffield et al.).
+//! * [`Pba`] — Priority-Based Aggregation: weighted sampling with
+//!   per-key aggregation (Duffield et al., CIKM 2017).
+//! * [`network_wide`] — routing-oblivious network-wide heavy hitters
+//!   (Ben Basat et al., ANCS 2018): per-NMP k-min packet samples merged
+//!   at a controller, plus the sliding-window variant of Theorem 8.
+//! * [`CountDistinct`] — KMV distinct counting (Bar-Yossef et al.).
+//! * [`BottomK`] — bottom-k sketches with subset-sum estimation
+//!   (Cohen & Kaplan).
+//! * [`CountSketch`] / [`UnivMon`] — universal monitoring (Liu et al.,
+//!   SIGCOMM 2016) with q-MAX heavy-hitter tracking per level.
+//! * [`Dbm`] — Dynamic Bucket Merge bandwidth monitoring (Uyeda et al.,
+//!   NSDI 2011).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bottom_k;
+mod count_distinct;
+mod count_sketch;
+mod dbm;
+pub mod network_wide;
+mod pba;
+mod priority_sampling;
+mod univmon;
+
+pub use bottom_k::BottomK;
+pub use count_distinct::CountDistinct;
+pub use count_sketch::CountSketch;
+pub use dbm::Dbm;
+pub use pba::{Pba, PbaSample};
+pub use priority_sampling::{PrioritySampling, WeightedKey};
+pub use univmon::UnivMon;

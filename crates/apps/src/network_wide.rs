@@ -1,0 +1,428 @@
+//! Routing-oblivious network-wide heavy hitters (Ben Basat, Einziger,
+//! Moraney, Raz — ANCS 2018), the application of the paper's
+//! Figures 8c–d and 14c–d.
+//!
+//! Each Network Measurement Point (NMP) hashes every packet it sees to
+//! a pseudo-random value and keeps the `q` packets with the *smallest*
+//! hashes; because the hash depends only on the packet (not on where it
+//! was observed), the union of all NMP reports contains the `q`
+//! globally smallest hashes — a uniform packet sample of the whole
+//! network with no double counting, regardless of routing or topology.
+//! The controller merges reports, estimates per-flow packet counts from
+//! the sample, and lists the heavy hitters.
+//!
+//! The sliding-window variant (Theorem 8) replaces the interval q-MIN
+//! with a slack-window q-MIN.
+
+use qmax_core::{BasicSlackQMax, Minimal, QMax, TimeSlackQMax};
+use qmax_traces::{FlowKey, Packet};
+use std::collections::{HashMap, HashSet};
+
+/// A packet observation carried in NMP reports: the flow it belongs to
+/// plus the packet's network-wide unique hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledPacket {
+    /// Flow of the sampled packet.
+    pub flow: FlowKey,
+    /// The packet's 64-bit network-wide hash (sampling key).
+    pub hash: u64,
+}
+
+/// A Network Measurement Point: keeps the `q` packets with minimal
+/// hash among those it observed.
+///
+/// Generic over the q-MAX backend (values are [`Minimal`]-wrapped so
+/// "largest" means "smallest hash").
+#[derive(Debug, Clone)]
+pub struct Nmp<Q> {
+    reservoir: Q,
+    observed: u64,
+}
+
+impl<Q: QMax<SampledPacket, Minimal<u64>>> Nmp<Q> {
+    /// Creates an NMP over the given backend.
+    pub fn new(reservoir: Q) -> Self {
+        Nmp { reservoir, observed: 0 }
+    }
+
+    /// Processes one observed packet.
+    pub fn observe(&mut self, pkt: &Packet) -> bool {
+        self.observe_raw(pkt.flow(), pkt.packet_id())
+    }
+
+    /// Processes one observation given a pre-computed packet hash
+    /// (what datapath integrations that already carry the packet id
+    /// call, avoiding a re-hash).
+    pub fn observe_raw(&mut self, flow: FlowKey, packet_hash: u64) -> bool {
+        self.observed += 1;
+        self.reservoir.insert(SampledPacket { flow, hash: packet_hash }, Minimal(packet_hash))
+    }
+
+    /// The NMP's current report: its `q` minimal-hash packets.
+    pub fn report(&mut self) -> Vec<SampledPacket> {
+        self.reservoir.query().into_iter().map(|(sp, _)| sp).collect()
+    }
+
+    /// Number of packets this NMP has observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Clears the NMP.
+    pub fn reset(&mut self) {
+        self.reservoir.reset();
+        self.observed = 0;
+    }
+}
+
+/// Convenience alias: an NMP over a slack-window backend, giving the
+/// sliding-window network-wide heavy hitters of Theorem 8.
+pub type WindowedNmp = Nmp<BasicSlackQMax<SampledPacket, Minimal<u64>>>;
+
+/// An NMP over a **time-based** slack window (the paper defines
+/// distributed windows in time units, e.g. "the last 24 hours with
+/// τ = 1/24"): each point keeps the `q` minimal-hash packets of the
+/// last `W(1−τ)..W` nanoseconds, and reports remain mergeable because
+/// packet hashes and timestamps are routing-independent.
+#[derive(Debug, Clone)]
+pub struct TimedNmp {
+    reservoir: TimeSlackQMax<SampledPacket, Minimal<u64>>,
+    observed: u64,
+}
+
+impl TimedNmp {
+    /// Creates a time-windowed NMP keeping `q` minimal-hash packets
+    /// over windows of `window_ns` with slack `tau` and space-slack
+    /// `gamma`.
+    pub fn new(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
+        TimedNmp { reservoir: TimeSlackQMax::new(q, gamma, window_ns, tau), observed: 0 }
+    }
+
+    /// Processes one observed packet (timestamps must be
+    /// non-decreasing per NMP).
+    pub fn observe(&mut self, pkt: &Packet) -> bool {
+        self.observed += 1;
+        let hash = pkt.packet_id();
+        self.reservoir.insert(
+            SampledPacket { flow: pkt.flow(), hash },
+            Minimal(hash),
+            pkt.ts_ns,
+        )
+    }
+
+    /// The NMP's report for the window ending at `now_ns`.
+    pub fn report_at(&mut self, now_ns: u64) -> Vec<SampledPacket> {
+        self.reservoir.query_at(now_ns).into_iter().map(|(sp, _)| sp).collect()
+    }
+
+    /// Number of packets observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Clears the NMP.
+    pub fn reset(&mut self) {
+        self.reservoir.reset();
+        self.observed = 0;
+    }
+}
+
+/// The central controller: merges NMP reports into the global `q`-min
+/// packet sample and answers heavy-hitter queries.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    q: usize,
+}
+
+/// The merged network-wide sample with its derived estimators.
+#[derive(Debug, Clone)]
+pub struct GlobalSample {
+    /// The `q` globally minimal-hash packets (deduplicated).
+    pub packets: Vec<SampledPacket>,
+    /// Estimated number of distinct packets network-wide.
+    pub total_estimate: f64,
+}
+
+impl Controller {
+    /// Creates a controller that maintains a global sample of `q`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        Controller { q }
+    }
+
+    /// Merges NMP reports into the global `q`-min sample. Packets
+    /// observed by several NMPs carry identical hashes and are counted
+    /// once.
+    pub fn merge(&self, reports: &[Vec<SampledPacket>]) -> GlobalSample {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut all: Vec<SampledPacket> = Vec::new();
+        for report in reports {
+            for &sp in report {
+                if seen.insert(sp.hash) {
+                    all.push(sp);
+                }
+            }
+        }
+        all.sort_by_key(|sp| sp.hash);
+        all.truncate(self.q);
+        let total_estimate = if all.len() < self.q {
+            all.len() as f64
+        } else {
+            // k-min estimator: with the q-th smallest normalized hash
+            // v_q, the number of distinct packets is ≈ (q − 1) / v_q.
+            let vq = (all[all.len() - 1].hash as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+            (self.q as f64 - 1.0) / vq
+        };
+        GlobalSample { packets: all, total_estimate }
+    }
+
+    /// Estimated per-flow packet counts derived from a merged sample:
+    /// each sampled packet represents `total_estimate / q` packets.
+    pub fn flow_estimates(&self, sample: &GlobalSample) -> HashMap<FlowKey, f64> {
+        let mut counts: HashMap<FlowKey, u64> = HashMap::new();
+        for sp in &sample.packets {
+            *counts.entry(sp.flow).or_default() += 1;
+        }
+        let scale = if sample.packets.is_empty() {
+            0.0
+        } else {
+            sample.total_estimate / sample.packets.len() as f64
+        };
+        counts.into_iter().map(|(f, c)| (f, c as f64 * scale)).collect()
+    }
+
+    /// Lists the flows whose estimated frequency is at least
+    /// `theta · total_estimate` (the heavy hitters), sorted by
+    /// estimated frequency, largest first.
+    pub fn heavy_hitters(&self, sample: &GlobalSample, theta: f64) -> Vec<(FlowKey, f64)> {
+        let cut = theta * sample.total_estimate;
+        let mut hh: Vec<(FlowKey, f64)> = self
+            .flow_estimates(sample)
+            .into_iter()
+            .filter(|&(_, est)| est >= cut)
+            .collect();
+        hh.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_core::{AmortizedQMax, HeapQMax};
+    use qmax_traces::gen::caida_like;
+    use qmax_traces::rng::SplitMix64;
+
+    fn route_packets(
+        packets: &[Packet],
+        nmps: usize,
+        seed: u64,
+    ) -> Vec<Vec<Packet>> {
+        // Each packet traverses 1-3 randomly chosen NMPs (duplicated
+        // observations, like a real multi-hop path).
+        let mut rng = SplitMix64::new(seed);
+        let mut per_nmp: Vec<Vec<Packet>> = vec![Vec::new(); nmps];
+        for &p in packets {
+            let hops = 1 + rng.next_below(3) as usize;
+            let mut used = Vec::new();
+            for _ in 0..hops {
+                let n = rng.next_below(nmps as u64) as usize;
+                if !used.contains(&n) {
+                    per_nmp[n].push(p);
+                    used.push(n);
+                }
+            }
+        }
+        per_nmp
+    }
+
+    #[test]
+    fn merge_deduplicates_multi_observed_packets() {
+        let packets: Vec<Packet> = caida_like(5000, 1).collect();
+        let per_nmp = route_packets(&packets, 4, 2);
+        let mut nmps: Vec<Nmp<HeapQMax<SampledPacket, Minimal<u64>>>> =
+            (0..4).map(|_| Nmp::new(HeapQMax::new(200))).collect();
+        for (nmp, pkts) in nmps.iter_mut().zip(&per_nmp) {
+            for p in pkts {
+                nmp.observe(p);
+            }
+        }
+        let reports: Vec<_> = nmps.iter_mut().map(|n| n.report()).collect();
+        let ctl = Controller::new(200);
+        let sample = ctl.merge(&reports);
+        assert_eq!(sample.packets.len(), 200);
+        let hashes: HashSet<u64> = sample.packets.iter().map(|p| p.hash).collect();
+        assert_eq!(hashes.len(), 200, "duplicates in the global sample");
+    }
+
+    #[test]
+    fn merged_sample_equals_ground_truth_q_min() {
+        // Routing-obliviousness: the merged q-min over distributed
+        // observations (with packets observed at multiple NMPs) equals
+        // the q smallest distinct packet hashes of the union.
+        let packets: Vec<Packet> = caida_like(3000, 5).collect();
+        let per_nmp = route_packets(&packets, 3, 7);
+        let q = 64;
+        let mut nmps: Vec<Nmp<AmortizedQMax<SampledPacket, Minimal<u64>>>> =
+            (0..3).map(|_| Nmp::new(AmortizedQMax::new(q, 0.5))).collect();
+        for (nmp, pkts) in nmps.iter_mut().zip(&per_nmp) {
+            for p in pkts {
+                nmp.observe(p);
+            }
+        }
+        let reports: Vec<_> = nmps.iter_mut().map(|n| n.report()).collect();
+        let merged = Controller::new(q).merge(&reports);
+        // Ground truth: q smallest distinct hashes over everything any
+        // NMP observed.
+        let mut truth: Vec<u64> = per_nmp
+            .iter()
+            .flatten()
+            .map(|p| p.packet_id())
+            .collect::<HashSet<u64>>()
+            .into_iter()
+            .collect();
+        truth.sort_unstable();
+        truth.truncate(q);
+        let merged_hashes: Vec<u64> = merged.packets.iter().map(|p| p.hash).collect();
+        assert_eq!(merged_hashes, truth);
+    }
+
+    #[test]
+    fn total_estimate_tracks_distinct_packets() {
+        let packets: Vec<Packet> = caida_like(50_000, 9).collect();
+        let q = 1000;
+        let mut nmp = Nmp::new(AmortizedQMax::new(q, 0.5));
+        for p in &packets {
+            nmp.observe(p);
+        }
+        let ctl = Controller::new(q);
+        let sample = ctl.merge(&[nmp.report()]);
+        let rel = (sample.total_estimate - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.15, "estimate {} rel err {rel}", sample.total_estimate);
+    }
+
+    #[test]
+    fn heavy_hitters_are_detected() {
+        // Build a stream where one flow carries 30% of packets.
+        let mut packets: Vec<Packet> = caida_like(20_000, 11).collect();
+        let hh_flow = packets[0];
+        for (i, p) in packets.iter_mut().enumerate() {
+            if i % 10 < 3 {
+                p.src_ip = hh_flow.src_ip;
+                p.dst_ip = hh_flow.dst_ip;
+                p.src_port = hh_flow.src_port;
+                p.dst_port = hh_flow.dst_port;
+                p.proto = hh_flow.proto;
+            }
+        }
+        let q = 2000;
+        let mut nmp = Nmp::new(AmortizedQMax::new(q, 0.5));
+        for p in &packets {
+            nmp.observe(p);
+        }
+        let ctl = Controller::new(q);
+        let sample = ctl.merge(&[nmp.report()]);
+        let hh = ctl.heavy_hitters(&sample, 0.2);
+        assert!(!hh.is_empty(), "no heavy hitter found");
+        assert_eq!(hh[0].0, hh_flow.flow());
+        let rel = (hh[0].1 - 6000.0).abs() / 6000.0;
+        assert!(rel < 0.2, "HH estimate {} (rel {rel})", hh[0].1);
+    }
+
+    #[test]
+    fn timed_nmp_windows_by_time_and_stays_mergeable() {
+        // Two timed NMPs see overlapping packets; merging their reports
+        // for the current window yields the q-min of the *recent*
+        // union only.
+        let packets: Vec<Packet> = caida_like(40_000, 21).collect();
+        let horizon = packets.last().unwrap().ts_ns;
+        let window_ns = horizon / 4;
+        let q = 200;
+        let mut a = TimedNmp::new(q, 0.5, window_ns, 0.25);
+        let mut b = TimedNmp::new(q, 0.5, window_ns, 0.25);
+        for (i, p) in packets.iter().enumerate() {
+            if i % 3 != 0 {
+                a.observe(p);
+            }
+            if i % 3 != 1 {
+                b.observe(p); // i % 3 == 2 observed by both
+            }
+        }
+        let ctl = Controller::new(q);
+        let sample = ctl.merge(&[a.report_at(horizon), b.report_at(horizon)]);
+        assert_eq!(sample.packets.len(), q);
+        // No sampled packet may be older than the window (plus one
+        // block of slack).
+        let slack = window_ns / 4 + window_ns;
+        let old: HashSet<u64> = packets
+            .iter()
+            .filter(|p| p.ts_ns + slack < horizon)
+            .map(|p| p.packet_id())
+            .collect();
+        let stale = sample.packets.iter().filter(|sp| old.contains(&sp.hash)).count();
+        assert_eq!(stale, 0, "{stale} expired packets in the timed sample");
+        // And no duplicates despite double observation.
+        let distinct: HashSet<u64> = sample.packets.iter().map(|sp| sp.hash).collect();
+        assert_eq!(distinct.len(), q);
+    }
+
+    #[test]
+    fn nmp_reset_and_observed_counter() {
+        let packets: Vec<Packet> = caida_like(500, 31).collect();
+        let mut nmp = Nmp::new(HeapQMax::new(64));
+        for p in &packets {
+            nmp.observe(p);
+        }
+        assert_eq!(nmp.observed(), 500);
+        assert_eq!(nmp.report().len(), 64);
+        nmp.reset();
+        assert_eq!(nmp.observed(), 0);
+        assert!(nmp.report().is_empty());
+    }
+
+    #[test]
+    fn controller_merge_of_empty_reports() {
+        let ctl = Controller::new(10);
+        let sample = ctl.merge(&[]);
+        assert!(sample.packets.is_empty());
+        assert_eq!(sample.total_estimate, 0.0);
+        assert!(ctl.heavy_hitters(&sample, 0.1).is_empty());
+        assert!(ctl.flow_estimates(&sample).is_empty());
+    }
+
+    #[test]
+    fn short_stream_estimate_is_exact_count() {
+        // Fewer packets than q: the sample is the whole stream and the
+        // estimate is exact.
+        let packets: Vec<Packet> = caida_like(50, 37).collect();
+        let mut nmp = Nmp::new(HeapQMax::new(1000));
+        for p in &packets {
+            nmp.observe(p);
+        }
+        let ctl = Controller::new(1000);
+        let sample = ctl.merge(&[nmp.report()]);
+        assert_eq!(sample.total_estimate, 50.0);
+    }
+
+    #[test]
+    fn windowed_nmp_forgets_old_packets() {
+        let packets: Vec<Packet> = caida_like(30_000, 13).collect();
+        let q = 100;
+        let mut nmp: WindowedNmp = Nmp::new(BasicSlackQMax::new(q, 0.5, 5_000, 0.25));
+        for p in &packets {
+            nmp.observe(p);
+        }
+        // All sampled packets must come from (roughly) the last 5000.
+        let report = nmp.report();
+        assert!(!report.is_empty());
+        let old_window: HashSet<u64> =
+            packets[..24_000].iter().map(|p| p.packet_id()).collect();
+        let stale = report.iter().filter(|sp| old_window.contains(&sp.hash)).count();
+        assert_eq!(stale, 0, "{stale} stale packets in the windowed sample");
+    }
+}

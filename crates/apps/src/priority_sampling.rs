@@ -1,0 +1,229 @@
+//! Priority Sampling (Duffield, Lund, Thorup — J. ACM 2007).
+
+use qmax_core::{OrderedF64, QMax};
+use qmax_traces::hash;
+
+/// A sampled key together with its original weight (carried through the
+/// reservoir as the item id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedKey {
+    /// The stream key.
+    pub key: u64,
+    /// The key's weight (e.g. packet byte count).
+    pub weight: f64,
+}
+
+/// Priority Sampling over a stream of **distinct** weighted keys.
+///
+/// Each key `x` with weight `w` gets priority `w / u_x` where
+/// `u_x ∈ (0,1)` is uniform (derived here by hashing the key, so all
+/// replicas of the sampler agree); the sample is the `q` keys of
+/// highest priority. Duffield et al. prove the resulting subset-sum
+/// estimator has minimal variance among all sampling schemes.
+///
+/// The per-packet work is one hash, one division, and one reservoir
+/// update — the reservoir is the bottleneck the q-MAX paper attacks
+/// (its Figure 8a–b swaps Heap / SkipList / q-MAX here).
+///
+/// ```
+/// use qmax_apps::PrioritySampling;
+/// use qmax_core::AmortizedQMax;
+/// let mut ps = PrioritySampling::new(AmortizedQMax::new(100, 0.25), 1);
+/// for key in 0..10_000u64 {
+///     ps.observe(key, 1.0 + (key % 17) as f64);
+/// }
+/// assert_eq!(ps.sample().len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrioritySampling<Q> {
+    reservoir: Q,
+    seed: u64,
+}
+
+impl<Q: QMax<WeightedKey, OrderedF64>> PrioritySampling<Q> {
+    /// Creates a sampler over the given reservoir backend. `seed`
+    /// parameterises the hash used to derive per-key randomness.
+    pub fn new(reservoir: Q, seed: u64) -> Self {
+        PrioritySampling { reservoir, seed }
+    }
+
+    /// Processes one stream key. Keys must be distinct (use [`crate::Pba`]
+    /// for repeating keys). Returns whether the reservoir admitted it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn observe(&mut self, key: u64, weight: f64) -> bool {
+        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive and finite");
+        let u = hash::to_unit_open(key, self.seed);
+        let priority = weight / u;
+        self.reservoir.insert(WeightedKey { key, weight }, OrderedF64(priority))
+    }
+
+    /// The current priority sample: up to `q` keys with weights and
+    /// priorities, highest priority first.
+    pub fn sample(&mut self) -> Vec<(WeightedKey, f64)> {
+        let mut s: Vec<(WeightedKey, f64)> = self
+            .reservoir
+            .query()
+            .into_iter()
+            .map(|(wk, p)| (wk, p.get()))
+            .collect();
+        s.sort_by(|a, b| b.1.total_cmp(&a.1));
+        s
+    }
+
+    /// Estimates the total weight of the keys selected by `subset`,
+    /// using the priority-sampling estimator: with `τ` the smallest
+    /// priority in the sample, every other sampled key in the subset
+    /// contributes `max(weight, τ)`.
+    ///
+    /// Unbiased once the stream is larger than the reservoir.
+    pub fn estimate_subset<F: Fn(u64) -> bool>(&mut self, subset: F) -> f64 {
+        let sample = self.sample();
+        if sample.len() < self.reservoir.q() {
+            // Reservoir not full: the sample is the whole stream.
+            return sample
+                .iter()
+                .filter(|(wk, _)| subset(wk.key))
+                .map(|(wk, _)| wk.weight)
+                .sum();
+        }
+        let tau = sample.last().expect("sample non-empty").1;
+        sample
+            .iter()
+            .take(sample.len() - 1)
+            .filter(|(wk, _)| subset(wk.key))
+            .map(|(wk, _)| wk.weight.max(tau))
+            .sum()
+    }
+
+    /// Read access to the reservoir backend.
+    pub fn reservoir(&self) -> &Q {
+        &self.reservoir
+    }
+
+    /// Clears the sampler.
+    pub fn reset(&mut self) {
+        self.reservoir.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_core::{AmortizedQMax, DeamortizedQMax, HeapQMax, SkipListQMax};
+    use qmax_traces::rng::SplitMix64;
+
+    #[test]
+    fn sample_has_q_highest_priorities() {
+        let mut ps = PrioritySampling::new(HeapQMax::new(10), 3);
+        let mut all: Vec<(u64, f64)> = Vec::new();
+        for key in 0..1000u64 {
+            let w = 1.0 + (key % 29) as f64;
+            ps.observe(key, w);
+            all.push((key, w / hash::to_unit_open(key, 3)));
+        }
+        all.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let expect: Vec<u64> = all[..10].iter().map(|&(k, _)| k).collect();
+        let got: Vec<u64> = ps.sample().into_iter().map(|(wk, _)| wk.key).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn backends_agree_on_the_sample() {
+        let streams: Vec<(u64, f64)> =
+            (0..5000u64).map(|k| (k, 1.0 + (k % 97) as f64)).collect();
+        let mut heap = PrioritySampling::new(HeapQMax::new(50), 9);
+        let mut skip = PrioritySampling::new(SkipListQMax::new(50), 9);
+        let mut amort = PrioritySampling::new(AmortizedQMax::new(50, 0.25), 9);
+        let mut deamort = PrioritySampling::new(DeamortizedQMax::new(50, 0.25), 9);
+        for &(k, w) in &streams {
+            heap.observe(k, w);
+            skip.observe(k, w);
+            amort.observe(k, w);
+            deamort.observe(k, w);
+        }
+        let keyset = |s: Vec<(WeightedKey, f64)>| {
+            let mut v: Vec<u64> = s.into_iter().map(|(wk, _)| wk.key).collect();
+            v.sort_unstable();
+            v
+        };
+        let h = keyset(heap.sample());
+        assert_eq!(h, keyset(skip.sample()));
+        assert_eq!(h, keyset(amort.sample()));
+        assert_eq!(h, keyset(deamort.sample()));
+    }
+
+    #[test]
+    fn subset_estimate_is_close_on_large_samples() {
+        // Estimate the total weight of even keys.
+        let mut rng = SplitMix64::new(17);
+        let n = 20_000u64;
+        let q = 2000;
+        let mut ps = PrioritySampling::new(AmortizedQMax::new(q, 0.5), 11);
+        let mut true_even = 0.0;
+        for key in 0..n {
+            let w = 1.0 + rng.next_f64() * 9.0;
+            if key % 2 == 0 {
+                true_even += w;
+            }
+            ps.observe(key, w);
+        }
+        let est = ps.estimate_subset(|k| k % 2 == 0);
+        let rel = (est - true_even).abs() / true_even;
+        assert!(rel < 0.1, "estimate {est} vs true {true_even} (rel {rel})");
+    }
+
+    #[test]
+    fn short_stream_estimate_is_exact() {
+        let mut ps = PrioritySampling::new(HeapQMax::new(100), 5);
+        for key in 0..10u64 {
+            ps.observe(key, 2.0);
+        }
+        let est = ps.estimate_subset(|_| true);
+        assert!((est - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_panics() {
+        let mut ps = PrioritySampling::new(HeapQMax::new(2), 0);
+        ps.observe(1, 0.0);
+    }
+
+    #[test]
+    fn windowed_priority_sampling_forgets_old_keys() {
+        // Section 2.1: q-MAX "extends these methods to slack windows" —
+        // plugging a slack-window backend gives priority sampling over
+        // the recent stream with no further changes.
+        use qmax_core::BasicSlackQMax;
+        let w = 4_000;
+        let mut ps =
+            PrioritySampling::new(BasicSlackQMax::new(64, 0.5, w, 0.25), 3);
+        for key in 0..50_000u64 {
+            ps.observe(key, 1.0 + (key % 11) as f64);
+        }
+        let sample = ps.sample();
+        assert!(!sample.is_empty());
+        // Every sampled key must come from (roughly) the last w keys.
+        let oldest_allowed = 50_000 - w as u64 - 1_000;
+        for (wk, _) in &sample {
+            assert!(wk.key >= oldest_allowed, "expired key {} sampled", wk.key);
+        }
+        // And the windowed estimator sums only the window. The slack
+        // window spans between W(1−τ) and W items, and the q = 64
+        // priority-sampling estimator has ~1/sqrt(q) ≈ 12.5% standard
+        // error; allow 4 sigma around the slack range.
+        let est = ps.estimate_subset(|_| true);
+        let weight_of = |len: u64| -> f64 {
+            (50_000 - len..50_000).map(|k| 1.0 + (k % 11) as f64).sum()
+        };
+        let lo = weight_of((w as f64 * 0.75) as u64) * 0.5;
+        let hi = weight_of(w as u64) * 1.5;
+        assert!(
+            est >= lo && est <= hi,
+            "windowed estimate {est} outside [{lo}, {hi}]"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Universal Monitoring (Liu et al., SIGCOMM 2016).
+
+use crate::count_sketch::CountSketch;
+use qmax_core::{OrderedF64, QMax};
+use qmax_traces::hash;
+use std::collections::HashMap;
+
+/// UnivMon: one sketch answering many measurement queries.
+///
+/// The stream is recursively sub-sampled into `levels` substreams
+/// (level `j` keeps keys whose hash has `j` trailing zero bits); each
+/// level maintains a [`CountSketch`] plus a top-`k` tracker of its
+/// heavy hitters. Any *G-sum* `Σ g(f(x))` over per-key frequencies is
+/// then estimated bottom-up with the recursive estimator of Liu et al.
+///
+/// The heavy-hitter tracker is the q-MAX pattern: the paper (and
+/// NitroSketch after it) found the per-level heap update to be a main
+/// bottleneck of UnivMon, which q-MAX removes. The tracker backend is
+/// generic for exactly that swap.
+pub struct UnivMon<Q> {
+    levels: Vec<Level<Q>>,
+    seed: u64,
+    total: u64,
+}
+
+struct Level<Q> {
+    sketch: CountSketch,
+    tracker: Q,
+}
+
+impl<Q: QMax<u64, OrderedF64>> UnivMon<Q> {
+    /// Creates a UnivMon with `levels` substream levels, each holding a
+    /// `depth × width` Count Sketch and a heavy-hitter tracker produced
+    /// by `make_tracker` (one call per level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new<F: FnMut() -> Q>(
+        levels: usize,
+        depth: usize,
+        width: usize,
+        seed: u64,
+        mut make_tracker: F,
+    ) -> Self {
+        assert!(levels > 0, "levels must be positive");
+        UnivMon {
+            levels: (0..levels)
+                .map(|j| Level {
+                    sketch: CountSketch::new(depth, width, seed.wrapping_add(j as u64)),
+                    tracker: make_tracker(),
+                })
+                .collect(),
+            seed,
+            total: 0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level a key belongs to: one more than the number of levels
+    /// whose sampling bit accepts it (level 0 takes everything).
+    fn key_depth(&self, key: u64) -> usize {
+        let h = hash::hash64(key, self.seed ^ 0x00EE);
+        ((h.trailing_ones() as usize) + 1).min(self.levels.len())
+    }
+
+    /// Processes one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.total += 1;
+        let depth = self.key_depth(key);
+        for level in &mut self.levels[..depth] {
+            level.sketch.update(key, 1);
+            let est = level.sketch.estimate(key).max(0);
+            level.tracker.insert(key, OrderedF64(est as f64));
+        }
+    }
+
+    /// The heavy hitters of level `j` with their (re-)estimated
+    /// frequencies, deduplicated, largest first.
+    pub fn level_heavy_hitters(&mut self, j: usize) -> Vec<(u64, f64)> {
+        let level = &mut self.levels[j];
+        let mut best: HashMap<u64, f64> = HashMap::new();
+        for (key, _) in level.tracker.query() {
+            let est = level.sketch.estimate(key).max(0) as f64;
+            best.insert(key, est);
+        }
+        let mut out: Vec<(u64, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Estimates the G-sum `Σ_x g(f(x))` using the recursive UnivMon
+    /// estimator: `Y_L = Σ_{HH_L} g(f̂)`, and
+    /// `Y_j = 2·Y_{j+1} + Σ_{HH_j} g(f̂)·(1 − 2·[x sampled into j+1])`.
+    ///
+    /// `g` must satisfy `g(0) = 0`.
+    pub fn estimate_gsum<G: Fn(f64) -> f64>(&mut self, g: G) -> f64 {
+        let top = self.levels.len() - 1;
+        let mut y = 0.0;
+        for j in (0..=top).rev() {
+            let hh = self.level_heavy_hitters(j);
+            if j == top {
+                y = hh.iter().map(|&(_, f)| g(f)).sum();
+            } else {
+                let correction: f64 = hh
+                    .iter()
+                    .map(|&(key, f)| {
+                        let sampled_deeper = self.key_depth(key) > j + 1;
+                        let ind = if sampled_deeper { 1.0 } else { 0.0 };
+                        g(f) * (1.0 - 2.0 * ind)
+                    })
+                    .sum();
+                y = 2.0 * y + correction;
+            }
+        }
+        y
+    }
+
+    /// Estimates the number of distinct keys (`g(f) = 1` for `f > 0`).
+    pub fn estimate_distinct(&mut self) -> f64 {
+        self.estimate_gsum(|f| if f > 0.5 { 1.0 } else { 0.0 })
+    }
+
+    /// Estimates the second frequency moment `F2 = Σ f(x)²`.
+    pub fn estimate_f2(&mut self) -> f64 {
+        self.estimate_gsum(|f| f * f)
+    }
+
+    /// Estimates the empirical entropy `−Σ (f/N)·log2(f/N)` via the
+    /// G-sum `Σ f·log2(f)`.
+    pub fn estimate_entropy(&mut self) -> f64 {
+        let n = self.total as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let fsum = self.estimate_gsum(|f| if f > 0.5 { f * f.log2() } else { 0.0 });
+        (n.log2() - fsum / n).max(0.0)
+    }
+
+    /// Total stream length observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Clears the sketch.
+    pub fn reset(&mut self) {
+        for level in &mut self.levels {
+            level.sketch.reset();
+            level.tracker.reset();
+        }
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_core::{DedupQMax, IndexedHeapQMax, KeyedSkipListQMax};
+    use qmax_traces::zipf::ZipfSampler;
+
+    fn zipf_stream(n: usize, support: usize, seed: u64) -> Vec<u64> {
+        let mut z = ZipfSampler::new(support, 1.05, seed);
+        (0..n).map(|_| z.sample() as u64).collect()
+    }
+
+    fn truth_counts(stream: &[u64]) -> HashMap<u64, u64> {
+        let mut m = HashMap::new();
+        for &k in stream {
+            *m.entry(k).or_default() += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn top_heavy_hitter_is_found() {
+        let stream = zipf_stream(60_000, 5000, 1);
+        let truth = truth_counts(&stream);
+        let (&top_key, &top_count) =
+            truth.iter().max_by_key(|&(_, &c)| c).expect("non-empty");
+        let mut um = UnivMon::new(8, 5, 2048, 7, || DedupQMax::new(64, 0.5));
+        for &k in &stream {
+            um.observe(k);
+        }
+        let hh = um.level_heavy_hitters(0);
+        assert_eq!(hh[0].0, top_key, "wrong top heavy hitter");
+        let rel = (hh[0].1 - top_count as f64).abs() / top_count as f64;
+        assert!(rel < 0.1, "estimate {} truth {top_count}", hh[0].1);
+    }
+
+    #[test]
+    fn entropy_estimate_is_reasonable() {
+        let stream = zipf_stream(80_000, 2000, 3);
+        let truth = truth_counts(&stream);
+        let n = stream.len() as f64;
+        let true_entropy: f64 = truth
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        let mut um = UnivMon::new(10, 5, 4096, 11, || DedupQMax::new(128, 0.5));
+        for &k in &stream {
+            um.observe(k);
+        }
+        let est = um.estimate_entropy();
+        let rel = (est - true_entropy).abs() / true_entropy;
+        assert!(rel < 0.3, "entropy est {est} vs {true_entropy} (rel {rel})");
+    }
+
+    #[test]
+    fn distinct_estimate_is_reasonable() {
+        let stream = zipf_stream(50_000, 3000, 5);
+        let truth = truth_counts(&stream).len() as f64;
+        let mut um = UnivMon::new(10, 5, 4096, 13, || DedupQMax::new(128, 0.5));
+        for &k in &stream {
+            um.observe(k);
+        }
+        let est = um.estimate_distinct();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.4, "distinct est {est} vs {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn f2_estimate_is_reasonable() {
+        let stream = zipf_stream(60_000, 2000, 7);
+        let truth: f64 = truth_counts(&stream)
+            .values()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum();
+        let mut um = UnivMon::new(10, 5, 4096, 19, || DedupQMax::new(128, 0.5));
+        for &k in &stream {
+            um.observe(k);
+        }
+        let est = um.estimate_f2();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.2, "F2 est {est} vs {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn tracker_backends_agree_on_top_hitters() {
+        let stream = zipf_stream(30_000, 1000, 9);
+        let mut a = UnivMon::new(6, 5, 2048, 17, || IndexedHeapQMax::new(32));
+        let mut b = UnivMon::new(6, 5, 2048, 17, || KeyedSkipListQMax::new(32));
+        for &k in &stream {
+            a.observe(k);
+            b.observe(k);
+        }
+        let ha: Vec<u64> = a.level_heavy_hitters(0).into_iter().take(5).map(|(k, _)| k).collect();
+        let hb: Vec<u64> = b.level_heavy_hitters(0).into_iter().take(5).map(|(k, _)| k).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut um = UnivMon::new(4, 3, 256, 1, || IndexedHeapQMax::new(8));
+        for k in 0..100u64 {
+            um.observe(k);
+        }
+        um.reset();
+        assert_eq!(um.total(), 0);
+        assert!(um.level_heavy_hitters(0).is_empty());
+    }
+}

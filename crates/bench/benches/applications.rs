@@ -1,0 +1,87 @@
+//! Criterion microbenchmark: per-packet cost of the measurement
+//! applications with different reservoirs (behind Figure 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmax_apps::network_wide::Nmp;
+use qmax_apps::{Pba, PrioritySampling};
+use qmax_core::{AmortizedQMax, DedupQMax, HeapQMax, IndexedHeapQMax};
+use qmax_traces::gen::caida_like;
+use qmax_traces::Packet;
+
+fn bench_priority_sampling(c: &mut Criterion) {
+    let packets: Vec<Packet> = caida_like(500_000, 6).collect();
+    let q = 10_000;
+    let mut group = c.benchmark_group("priority_sampling");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("qmax", q), |b| {
+        b.iter(|| {
+            let mut ps = PrioritySampling::new(AmortizedQMax::new(q, 0.25), 1);
+            for p in &packets {
+                ps.observe(p.packet_id(), p.len as f64);
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("heap", q), |b| {
+        b.iter(|| {
+            let mut ps = PrioritySampling::new(HeapQMax::new(q), 1);
+            for p in &packets {
+                ps.observe(p.packet_id(), p.len as f64);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_nwhh(c: &mut Criterion) {
+    let packets: Vec<Packet> = caida_like(500_000, 7).collect();
+    let q = 10_000;
+    let mut group = c.benchmark_group("network_wide_hh");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(10);
+    group.bench_function("qmax", |b| {
+        b.iter(|| {
+            let mut nmp = Nmp::new(AmortizedQMax::new(q, 0.25));
+            for p in &packets {
+                nmp.observe(p);
+            }
+        })
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut nmp = Nmp::new(HeapQMax::new(q));
+            for p in &packets {
+                nmp.observe(p);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_pba(c: &mut Criterion) {
+    let packets: Vec<Packet> = caida_like(500_000, 8).collect();
+    let q = 10_000;
+    let mut group = c.benchmark_group("pba");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(10);
+    group.bench_function("qmax_dedup", |b| {
+        b.iter(|| {
+            let mut pba = Pba::new(DedupQMax::new(q, 0.25), 1);
+            for p in &packets {
+                pba.observe(p.flow().as_u64(), p.len as f64);
+            }
+        })
+    });
+    group.bench_function("indexed_heap", |b| {
+        b.iter(|| {
+            let mut pba = Pba::new(IndexedHeapQMax::new(q), 1);
+            for p in &packets {
+                pba.observe(p.flow().as_u64(), p.len as f64);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_priority_sampling, bench_nwhh, bench_pba);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmark: update cost of the reservoir structures
+//! on a random stream (the core comparison behind Figures 4-5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmax_core::{AmortizedQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax};
+use qmax_traces::gen::random_u64_stream;
+
+fn bench_updates(c: &mut Criterion) {
+    let stream: Vec<u64> = random_u64_stream(1_000_000, 1).collect();
+    let mut group = c.benchmark_group("reservoir_update");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for q in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("qmax_g0.25", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut qm = AmortizedQMax::new(q, 0.25);
+                for (i, &v) in stream.iter().enumerate() {
+                    qm.insert(i as u32, v);
+                }
+                qm.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("qmax_wc_g0.25", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut qm = DeamortizedQMax::new(q, 0.25);
+                for (i, &v) in stream.iter().enumerate() {
+                    qm.insert(i as u32, v);
+                }
+                qm.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("heap", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut qm = HeapQMax::new(q);
+                for (i, &v) in stream.iter().enumerate() {
+                    qm.insert(i as u32, v);
+                }
+                qm.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("skiplist", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut qm = SkipListQMax::new(q);
+                for (i, &v) in stream.iter().enumerate() {
+                    qm.insert(i as u32, v);
+                }
+                qm.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let stream: Vec<u64> = random_u64_stream(500_000, 2).collect();
+    let mut group = c.benchmark_group("reservoir_query");
+    group.sample_size(20);
+    let q = 50_000;
+    let mut qm = AmortizedQMax::new(q, 0.25);
+    let mut heap = HeapQMax::new(q);
+    for (i, &v) in stream.iter().enumerate() {
+        qm.insert(i as u32, v);
+        heap.insert(i as u32, v);
+    }
+    group.bench_function("qmax", |b| b.iter(|| qm.query().len()));
+    group.bench_function("heap", |b| b.iter(|| heap.query().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmark: the simulated datapath's per-packet cost
+//! (the base cost against which measurement hooks are budgeted in
+//! Figures 12-17).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qmax_core::AmortizedQMax;
+use qmax_core::Minimal;
+use qmax_core::QMax;
+use qmax_ovs_sim::{LeafSpine, MeasurementHook, NullHook, Switch};
+use qmax_traces::gen::caida_like;
+use qmax_traces::{FlowKey, Packet};
+
+fn bench_datapath(c: &mut Criterion) {
+    let packets: Vec<Packet> = caida_like(200_000, 1).collect();
+    let mut group = c.benchmark_group("datapath");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.sample_size(10);
+    group.bench_function("switch_only", |b| {
+        b.iter(|| {
+            let mut sw = Switch::new(8);
+            for p in &packets {
+                sw.process(p);
+            }
+            sw.stats().packets
+        })
+    });
+    group.bench_function("switch_plus_qmax_hook", |b| {
+        struct Hook {
+            qm: AmortizedQMax<u64, Minimal<u64>>,
+        }
+        impl MeasurementHook for Hook {
+            fn on_packet(&mut self, _f: FlowKey, id: u64, _l: u16) {
+                self.qm.insert(id, Minimal(id));
+            }
+        }
+        b.iter(|| {
+            let mut sw = Switch::new(8);
+            let mut hook = Hook { qm: AmortizedQMax::new(10_000, 0.25) };
+            for p in &packets {
+                sw.process(p);
+                hook.on_packet(p.flow(), p.packet_id(), p.len);
+            }
+            hook.qm.len()
+        })
+    });
+    group.bench_function("leaf_spine_fabric", |b| {
+        b.iter(|| {
+            let mut fab = LeafSpine::new(4, 2);
+            let mut hooks: Vec<NullHook> = vec![NullHook; 6];
+            for p in &packets {
+                fab.route(p, &mut hooks);
+            }
+            fab.total_hops()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Application throughput: Figure 8 (Priority Sampling, network-wide
+//! heavy hitters, Priority-Based Aggregation on three traces) and the
+//! Section-3 profiling motivation.
+
+use crate::scale::Scale;
+use crate::{fmt, mpps, Report};
+use qmax_apps::network_wide::{Nmp, SampledPacket};
+use qmax_apps::{Pba, PrioritySampling, WeightedKey};
+use qmax_core::{
+    AmortizedQMax, DeamortizedQMax, DedupQMax, HeapQMax, IndexedHeapQMax, KeyedSkipListQMax,
+    Minimal, OrderedF64, QMax, SkipListQMax,
+};
+use qmax_traces::gen::{caida18_like, caida_like, univ1_like};
+use qmax_traces::{hash, Packet};
+use std::time::Instant;
+
+/// The three evaluation traces of Figure 8.
+fn traces(scale: &Scale) -> Vec<(&'static str, Vec<Packet>)> {
+    let n = scale.stream(4_000_000);
+    vec![
+        ("caida16", caida_like(n, 16).collect()),
+        ("caida18", caida18_like(n, 18).collect()),
+        ("univ1", univ1_like(n, 21).collect()),
+    ]
+}
+
+fn ps_run(backend: Box<dyn QMax<WeightedKey, OrderedF64>>, trace: &[Packet]) -> f64 {
+    let mut ps = PrioritySampling::new(backend, 1);
+    let start = Instant::now();
+    for p in trace {
+        ps.observe(p.packet_id(), p.len as f64);
+    }
+    mpps(trace.len(), start.elapsed())
+}
+
+fn nwhh_run(backend: Box<dyn QMax<SampledPacket, Minimal<u64>>>, trace: &[Packet]) -> f64 {
+    let mut nmp = Nmp::new(backend);
+    let start = Instant::now();
+    for p in trace {
+        nmp.observe(p);
+    }
+    mpps(trace.len(), start.elapsed())
+}
+
+fn pba_run(backend: Box<dyn QMax<u64, OrderedF64>>, trace: &[Packet]) -> f64 {
+    let mut pba = Pba::new(backend, 1);
+    let start = Instant::now();
+    for p in trace {
+        pba.observe(p.flow().as_u64(), p.len as f64);
+    }
+    mpps(trace.len(), start.elapsed())
+}
+
+/// Figure 8 (a–f): throughput of Priority Sampling, network-wide heavy
+/// hitters, and Priority-Based Aggregation on the three traces, with
+/// q ∈ {10⁴, 10⁶} and Heap / SkipList / q-MAX (γ = 0.05 and 0.25)
+/// reservoirs.
+pub fn fig8(scale: &Scale) {
+    println!("# Figure 8: application throughput (PS, NWHH, PBA) on three traces");
+    let traces = traces(scale);
+    let mut rep = Report::new("fig8", &["app", "trace", "q", "structure", "mpps"]);
+    for &q in &[10_000usize, 1_000_000] {
+        for (tname, trace) in &traces {
+            // (a, b) Priority Sampling.
+            for (label, backend) in [
+                ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+                ("skiplist", Box::new(SkipListQMax::new(q))),
+                ("qmax(g=0.05)", Box::new(AmortizedQMax::new(q, 0.05))),
+                ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
+                ("qmax-wc(g=0.25)", Box::new(DeamortizedQMax::new(q, 0.25))),
+            ] {
+                let m = ps_run(backend, trace);
+                rep.row(&[
+                    "priority-sampling".into(),
+                    tname.to_string(),
+                    q.to_string(),
+                    label.into(),
+                    fmt(m),
+                ]);
+            }
+            // (c, d) Network-wide heavy hitters (one NMP's update path).
+            for (label, backend) in [
+                (
+                    "heap",
+                    Box::new(HeapQMax::new(q)) as Box<dyn QMax<SampledPacket, Minimal<u64>>>,
+                ),
+                ("skiplist", Box::new(SkipListQMax::new(q))),
+                ("qmax(g=0.05)", Box::new(AmortizedQMax::new(q, 0.05))),
+                ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
+            ] {
+                let m = nwhh_run(backend, trace);
+                rep.row(&[
+                    "network-wide-hh".into(),
+                    tname.to_string(),
+                    q.to_string(),
+                    label.into(),
+                    fmt(m),
+                ]);
+            }
+            // (e, f) Priority-Based Aggregation (duplicate-aware backends).
+            for (label, backend) in [
+                (
+                    "indexed-heap",
+                    Box::new(IndexedHeapQMax::new(q)) as Box<dyn QMax<u64, OrderedF64>>,
+                ),
+                ("keyed-skiplist", Box::new(KeyedSkipListQMax::new(q))),
+                ("qmax-dedup(g=0.05)", Box::new(DedupQMax::new(q, 0.05))),
+                ("qmax-dedup(g=0.25)", Box::new(DedupQMax::new(q, 0.25))),
+            ] {
+                let m = pba_run(backend, trace);
+                rep.row(&[
+                    "pba".into(),
+                    tname.to_string(),
+                    q.to_string(),
+                    label.into(),
+                    fmt(m),
+                ]);
+            }
+        }
+    }
+}
+
+/// Section 3: how much of an application's time goes into the
+/// reservoir structure — measured by running Priority Sampling once
+/// normally and once with the reservoir update compiled out (hash +
+/// priority computation only).
+pub fn sec3(scale: &Scale) {
+    println!("# Section 3: fraction of time spent updating the reservoir");
+    let n = scale.stream(6_000_000);
+    let trace: Vec<Packet> = caida_like(n, 33).collect();
+    let mut rep = Report::new("sec3", &["q", "structure", "pct_in_structure"]);
+    // Baseline: everything except the reservoir update.
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for p in &trace {
+        let key = p.packet_id();
+        let u = hash::to_unit_open(key, 1);
+        acc ^= ((p.len as f64 / u).to_bits()) ^ key;
+    }
+    std::hint::black_box(acc);
+    let base = start.elapsed().as_secs_f64();
+    for &q in &scale.qs() {
+        for (label, backend) in [
+            ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+            ("skiplist", Box::new(SkipListQMax::new(q))),
+            ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
+        ] {
+            let mut ps = PrioritySampling::new(backend, 1);
+            let start = Instant::now();
+            for p in &trace {
+                ps.observe(p.packet_id(), p.len as f64);
+            }
+            let total = start.elapsed().as_secs_f64();
+            let share = ((total - base) / total * 100.0).max(0.0);
+            rep.row(&[q.to_string(), label.into(), format!("{share:.1}%")]);
+        }
+    }
+}

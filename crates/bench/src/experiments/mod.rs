@@ -1,0 +1,12 @@
+//! One module per family of paper experiments.
+//!
+//! Every public function regenerates one table or figure (see
+//! DESIGN.md's experiment index) and prints the same series the paper
+//! plots, mirrored as CSV under `results/`.
+
+pub mod ablate;
+pub mod apps;
+pub mod lrfu;
+pub mod micro;
+pub mod ovs;
+pub mod windows;

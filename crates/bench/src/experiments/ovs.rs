@@ -1,0 +1,256 @@
+//! Open-vSwitch-integration experiments on the simulated datapath:
+//! Figures 12–17.
+
+use crate::scale::Scale;
+use crate::{fmt, Report};
+use qmax_apps::network_wide::{Nmp, SampledPacket};
+use qmax_apps::{PrioritySampling, WeightedKey};
+use qmax_core::{AmortizedQMax, HeapQMax, Minimal, OrderedF64, QMax, SkipListQMax};
+use qmax_ovs_sim::{evaluate_throughput, LineRate, MeasurementHook, NullHook, Switch};
+use qmax_traces::gen::{caida_like, univ1_like};
+use qmax_traces::{FlowKey, Packet};
+
+/// A hook maintaining a raw top-q reservoir of packets keyed by hash —
+/// the structure whose cost Figures 12–13 isolate.
+struct ReservoirHook {
+    qm: Box<dyn QMax<u64, Minimal<u64>>>,
+}
+
+impl MeasurementHook for ReservoirHook {
+    #[inline]
+    fn on_packet(&mut self, _flow: FlowKey, packet_id: u64, _len: u16) {
+        self.qm.insert(packet_id, Minimal(packet_id));
+    }
+}
+
+/// Priority sampling as a switch hook (Figures 14a–b, 17a–b).
+struct PsHook {
+    ps: PrioritySampling<Box<dyn QMax<WeightedKey, OrderedF64>>>,
+}
+
+impl MeasurementHook for PsHook {
+    #[inline]
+    fn on_packet(&mut self, _flow: FlowKey, packet_id: u64, len: u16) {
+        self.ps.observe(packet_id, len as f64);
+    }
+}
+
+/// Network-wide heavy hitters (one NMP) as a switch hook
+/// (Figures 14c–d, 17c–d).
+struct NwhhHook {
+    nmp: Nmp<Box<dyn QMax<SampledPacket, Minimal<u64>>>>,
+}
+
+impl MeasurementHook for NwhhHook {
+    #[inline]
+    fn on_packet(&mut self, flow: FlowKey, packet_id: u64, _len: u16) {
+        self.nmp
+            .observe_raw(flow, packet_id);
+    }
+}
+
+fn qs_big(scale: &Scale) -> Vec<usize> {
+    if scale.full {
+        vec![10_000, 100_000, 1_000_000, 10_000_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+fn run_reservoir(
+    rep: &mut Report,
+    rate: LineRate,
+    packets: &[Packet],
+    q: usize,
+    label: &str,
+    qm: Box<dyn QMax<u64, Minimal<u64>>>,
+) {
+    let mut sw = Switch::new(8);
+    let mut hook = ReservoirHook { qm };
+    let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
+    rep.row(&[q.to_string(), label.into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+}
+
+/// Figure 12: simulated-OVS throughput at 10G with minimal packets,
+/// as `q` grows: vanilla vs Heap vs SkipList vs q-MAX.
+pub fn fig12(scale: &Scale) {
+    println!("# Figure 12: simulated OVS throughput at 10G/64B vs q");
+    let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 51).collect();
+    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let mut rep = Report::new("fig12", &["q", "structure", "gbps", "ns_per_pkt"]);
+    let mut sw = Switch::new(8);
+    let r = evaluate_throughput(&mut sw, &mut NullHook, &packets, rate);
+    rep.row(&["-".into(), "vanilla".into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    for &q in &qs_big(scale) {
+        run_reservoir(&mut rep, rate, &packets, q, "heap", Box::new(HeapQMax::new(q)));
+        run_reservoir(&mut rep, rate, &packets, q, "skiplist", Box::new(SkipListQMax::new(q)));
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "qmax(g=0.25)",
+            Box::new(AmortizedQMax::new(q, 0.25)),
+        );
+    }
+}
+
+/// Figure 13: simulated-OVS throughput at 10G for q-MAX only, across γ.
+pub fn fig13(scale: &Scale) {
+    println!("# Figure 13: simulated OVS throughput at 10G/64B, q-MAX vs gamma");
+    let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 52).collect();
+    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let mut rep = Report::new("fig13", &["q", "gamma", "gbps", "ns_per_pkt"]);
+    for &q in &qs_big(scale) {
+        for gamma in [0.05, 0.1, 0.25, 0.5, 1.0] {
+            let mut sw = Switch::new(8);
+            let mut hook = ReservoirHook { qm: Box::new(AmortizedQMax::new(q, gamma)) };
+            let r = evaluate_throughput(&mut sw, &mut hook, &packets, rate);
+            rep.row(&[
+                q.to_string(),
+                format!("{gamma}"),
+                fmt(r.achieved_gbps),
+                fmt(r.cost_ns_per_packet),
+            ]);
+        }
+    }
+}
+
+fn fig14_17(scale: &Scale, id: &str, rate: LineRate, packets: &[Packet]) {
+    let mut rep = Report::new(id, &["app", "q", "structure", "gbps", "ns_per_pkt"]);
+    let qs: Vec<usize> =
+        if scale.full { vec![1_000_000, 10_000_000] } else { vec![100_000, 1_000_000] };
+    let mut sw = Switch::new(8);
+    let r = evaluate_throughput(&mut sw, &mut NullHook, packets, rate);
+    rep.row(&[
+        "-".into(),
+        "-".into(),
+        "vanilla".into(),
+        fmt(r.achieved_gbps),
+        fmt(r.cost_ns_per_packet),
+    ]);
+    for &q in &qs {
+        for (label, backend) in [
+            ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+            ("skiplist", Box::new(SkipListQMax::new(q))),
+            ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
+        ] {
+            let mut sw = Switch::new(8);
+            let mut hook = PsHook { ps: PrioritySampling::new(backend, 1) };
+            let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
+            rep.row(&[
+                "priority-sampling".into(),
+                q.to_string(),
+                label.into(),
+                fmt(r.achieved_gbps),
+                fmt(r.cost_ns_per_packet),
+            ]);
+        }
+        for (label, backend) in [
+            (
+                "heap",
+                Box::new(HeapQMax::new(q)) as Box<dyn QMax<SampledPacket, Minimal<u64>>>,
+            ),
+            ("skiplist", Box::new(SkipListQMax::new(q))),
+            ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
+        ] {
+            let mut sw = Switch::new(8);
+            let mut hook = NwhhHook { nmp: Nmp::new(backend) };
+            let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
+            rep.row(&[
+                "network-wide-hh".into(),
+                q.to_string(),
+                label.into(),
+                fmt(r.achieved_gbps),
+                fmt(r.cost_ns_per_packet),
+            ]);
+        }
+    }
+}
+
+/// Figure 14: applications inside the simulated OVS at 10G with
+/// minimal packets: Priority Sampling and network-wide heavy hitters.
+pub fn fig14(scale: &Scale) {
+    println!("# Figure 14: OVS application throughput at 10G/64B");
+    let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 53).collect();
+    fig14_17(scale, "fig14", LineRate { gbps: 10.0, frame_bytes: 64 }, &packets);
+}
+
+/// Figure 15: 40G with real (UNIV1-like) packet sizes, q-MAX vs γ.
+pub fn fig15(scale: &Scale) {
+    println!("# Figure 15: simulated OVS at 40G with real packet sizes, q-MAX vs gamma");
+    let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 54).collect();
+    let mean = mean_frame(&packets);
+    let rate = LineRate { gbps: 40.0, frame_bytes: mean };
+    println!("(mean frame size {mean}B -> {:.2} Mpps offered)", rate.offered_pps() / 1e6);
+    let mut rep = Report::new("fig15", &["q", "gamma", "gbps", "ns_per_pkt"]);
+    for &q in &qs_big(scale) {
+        for gamma in [0.05, 0.25, 1.0] {
+            let mut sw = Switch::new(8);
+            let mut hook = ReservoirHook { qm: Box::new(AmortizedQMax::new(q, gamma)) };
+            let r = evaluate_throughput(&mut sw, &mut hook, &packets, rate);
+            rep.row(&[
+                q.to_string(),
+                format!("{gamma}"),
+                fmt(r.achieved_gbps),
+                fmt(r.cost_ns_per_packet),
+            ]);
+        }
+    }
+}
+
+/// Figure 16: 40G with real packet sizes across all structures.
+pub fn fig16(scale: &Scale) {
+    println!("# Figure 16: simulated OVS at 40G with real packet sizes vs q");
+    let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 55).collect();
+    let rate = LineRate { gbps: 40.0, frame_bytes: mean_frame(&packets) };
+    let mut rep = Report::new("fig16", &["q", "structure", "gbps", "ns_per_pkt"]);
+    let mut sw = Switch::new(8);
+    let r = evaluate_throughput(&mut sw, &mut NullHook, &packets, rate);
+    rep.row(&["-".into(), "vanilla".into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    for &q in &qs_big(scale) {
+        run_reservoir(&mut rep, rate, &packets, q, "heap", Box::new(HeapQMax::new(q)));
+        run_reservoir(&mut rep, rate, &packets, q, "skiplist", Box::new(SkipListQMax::new(q)));
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "qmax(g=1)",
+            Box::new(AmortizedQMax::new(q, 1.0)),
+        );
+    }
+}
+
+/// Figure 17: 40G application throughput (Priority Sampling and
+/// network-wide heavy hitters).
+pub fn fig17(scale: &Scale) {
+    println!("# Figure 17: OVS application throughput at 40G, real packet sizes");
+    let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 56).collect();
+    let rate = LineRate { gbps: 40.0, frame_bytes: mean_frame(&packets) };
+    fig14_17(scale, "fig17", rate, &packets);
+}
+
+fn mean_frame(packets: &[Packet]) -> u32 {
+    (packets.iter().map(|p| p.len as u64).sum::<u64>() / packets.len() as u64) as u32
+}
+
+/// PMD scaling: the paper attaches one measurement block per OVS PMD
+/// thread; this sweep shows the simulated pool's achievable throughput
+/// as PMD count grows, with a q-MAX reservoir hook per PMD (RSS keeps
+/// flows PMD-local, so per-PMD reservoirs merge like NMP reports).
+pub fn pmd_scaling(scale: &Scale) {
+    use qmax_ovs_sim::PmdPool;
+    println!("# PMD scaling: pool throughput vs PMD count (q-MAX hook per PMD)");
+    let packets: Vec<Packet> = caida_like(scale.stream(2_000_000), 57).collect();
+    let rate = LineRate { gbps: 40.0, frame_bytes: 64 };
+    let q = 1_000_000;
+    let mut rep = Report::new("pmd_scaling", &["pmds", "gbps", "worst_ns_per_pkt"]);
+    for n in [1usize, 2, 4, 8] {
+        let mut pool = PmdPool::new(n, || ReservoirHook {
+            qm: Box::new(AmortizedQMax::new(q / n, 0.25)),
+        });
+        let r = pool.evaluate_throughput(&packets, rate);
+        rep.row(&[n.to_string(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Sliding-window experiments: Figures 10–11 and the window ablation.
+
+use crate::scale::Scale;
+use crate::{fmt, mpps, Report};
+use qmax_core::{AmortizedQMax, BasicSlackQMax, HierSlackQMax, LazySlackQMax, QMax};
+use qmax_traces::gen::random_u64_stream;
+use std::time::Instant;
+
+/// Figure 10: interval q-MAX vs sliding-window q-MAX throughput over
+/// the course of the trace (γ = 0.1, τ = 1): the interval structure
+/// accelerates as its threshold rises; the window structure is flat.
+pub fn fig10(scale: &Scale) {
+    println!("# Figure 10: interval vs sliding q-MAX over the trace (gamma=0.1, tau=1)");
+    let n = scale.stream(15_000_000);
+    let stream: Vec<u64> = random_u64_stream(n, 5).collect();
+    let segments = 10;
+    let seg = n / segments;
+    let mut rep = Report::new("fig10", &["q", "structure", "segment", "mpps"]);
+    for &q in &scale.qs() {
+        let w = (4 * q).max(1_000_000);
+        let mut interval: Box<dyn QMax<u32, u64>> = Box::new(AmortizedQMax::new(q, 0.1));
+        let mut sliding: Box<dyn QMax<u32, u64>> =
+            Box::new(BasicSlackQMax::new(q, 0.1, w, 1.0));
+        for (name, qm) in [("interval", &mut interval), ("sliding", &mut sliding)] {
+            for s in 0..segments {
+                let chunk = &stream[s * seg..(s + 1) * seg];
+                let start = Instant::now();
+                for (i, &v) in chunk.iter().enumerate() {
+                    qm.insert((s * seg + i) as u32, v);
+                }
+                rep.row(&[
+                    q.to_string(),
+                    name.to_string(),
+                    s.to_string(),
+                    fmt(mpps(chunk.len(), start.elapsed())),
+                ]);
+            }
+        }
+    }
+}
+
+/// Figure 11: sliding q-MAX throughput as a function of the slack τ,
+/// for several window sizes `W` and γ values (q fixed).
+pub fn fig11(scale: &Scale) {
+    println!("# Figure 11: sliding q-MAX throughput vs tau");
+    let n = scale.stream(15_000_000);
+    let stream: Vec<u64> = random_u64_stream(n, 6).collect();
+    let q = if scale.full { 1_000_000 } else { 100_000 };
+    let mut rep = Report::new("fig11", &["W", "gamma", "tau", "mpps"]);
+    let ws = if scale.full {
+        vec![4_000_000usize, 16_000_000]
+    } else {
+        vec![1_000_000usize, 4_000_000]
+    };
+    for &w in &ws {
+        for gamma in [0.1, 0.5] {
+            for tau in [0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+                let mut sw = BasicSlackQMax::new(q, gamma, w, tau);
+                let start = Instant::now();
+                for (i, &v) in stream.iter().enumerate() {
+                    sw.insert(i as u32, v);
+                }
+                rep.row(&[
+                    w.to_string(),
+                    format!("{gamma}"),
+                    format!("{tau}"),
+                    fmt(mpps(n, start.elapsed())),
+                ]);
+            }
+        }
+    }
+}
+
+/// Window ablation (DESIGN.md §4): basic (Alg. 3) vs hierarchical
+/// (Alg. 4, varying `c`) vs lazy (Thm. 7) — update throughput and
+/// query latency as τ shrinks.
+pub fn ablate_window(scale: &Scale) {
+    println!("# Ablation: slack-window variants (update vs query trade-off)");
+    let n = scale.stream(8_000_000);
+    let stream: Vec<u64> = random_u64_stream(n, 7).collect();
+    let q = 10_000;
+    let w = 2_000_000;
+    let mut rep = Report::new(
+        "ablate_window",
+        &["variant", "tau", "update_mpps", "query_ms", "stored"],
+    );
+    for tau in [0.001, 0.01, 0.1] {
+        let variants: Vec<(String, Box<dyn QMax<u32, u64>>)> = vec![
+            ("basic".into(), Box::new(BasicSlackQMax::new(q, 0.25, w, tau))),
+            ("hier-c2".into(), Box::new(HierSlackQMax::new(q, 0.25, w, tau, 2))),
+            ("hier-c3".into(), Box::new(HierSlackQMax::new(q, 0.25, w, tau, 3))),
+            ("lazy-c2".into(), Box::new(LazySlackQMax::new(q, 0.25, w, tau, 2))),
+        ];
+        for (name, mut sw) in variants {
+            let start = Instant::now();
+            for (i, &v) in stream.iter().enumerate() {
+                sw.insert(i as u32, v);
+            }
+            let update = mpps(n, start.elapsed());
+            let qstart = Instant::now();
+            let mut res_len = 0;
+            let reps = 10;
+            for _ in 0..reps {
+                res_len = sw.query().len();
+            }
+            let query_ms = qstart.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            assert_eq!(res_len, q);
+            rep.row(&[
+                name,
+                format!("{tau}"),
+                fmt(update),
+                fmt(query_ms),
+                sw.len().to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Amortized-constant-time q-MAX (Algorithm 1 with lazy compaction).
+
+use crate::entry::Entry;
+use crate::traits::QMax;
+use qmax_select::nth_smallest;
+
+/// q-MAX with **amortized** `O(1)` update time and `⌈q(1+γ)⌉` space.
+///
+/// Arrivals whose value is at most the admission threshold Ψ are dropped
+/// outright; the rest are appended to a buffer of `⌈q(1+γ)⌉` slots. When
+/// the buffer fills, a linear-time selection finds the q-th largest
+/// value, which becomes the new Ψ, and everything below it is discarded.
+/// Each `O(q)` compaction pays for the `⌈qγ⌉` appends since the last
+/// one, so updates cost `O(1 + 1/γ)` amortized.
+///
+/// This is the variant the paper benchmarks (its evaluation section);
+/// see [`crate::DeamortizedQMax`] for the worst-case-constant variant.
+///
+/// ```
+/// use qmax_core::{AmortizedQMax, QMax};
+/// let mut qm = AmortizedQMax::new(2, 0.5);
+/// for v in 0u64..100 {
+///     qm.insert(v as u32, v);
+/// }
+/// let mut top: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+/// top.sort();
+/// assert_eq!(top, vec![98, 99]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmortizedQMax<I, V> {
+    q: usize,
+    cap: usize,
+    buf: Vec<Entry<I, V>>,
+    threshold: Option<V>,
+    compactions: u64,
+    filtered: u64,
+}
+
+impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
+    /// Creates a q-MAX for the `q` largest items with space-slack
+    /// parameter `gamma` (the paper's γ): the structure allocates
+    /// `⌈q(1+γ)⌉` slots (at least `q + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `gamma` is not a positive finite number.
+    pub fn new(q: usize, gamma: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        let cap = ((q as f64) * (1.0 + gamma)).ceil() as usize;
+        let cap = cap.max(q + 1);
+        AmortizedQMax {
+            q,
+            cap,
+            buf: Vec::with_capacity(cap),
+            threshold: None,
+            compactions: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Total buffer capacity `⌈q(1+γ)⌉`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of compactions (threshold recomputations) performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of arrivals dropped by the admission filter.
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Iterates over the current candidate set (a superset of the top
+    /// `q`, in unspecified order).
+    pub fn candidates(&self) -> impl Iterator<Item = (&I, &V)> {
+        self.buf.iter().map(|e| (&e.id, &e.val))
+    }
+
+    /// Merges another instance's candidates into this one — the MERGE
+    /// procedure of the paper's Algorithm 3: after merging, this
+    /// instance's top `q` equal the top `q` of the union of both input
+    /// streams (assuming the inputs are disjoint streams).
+    pub fn merge_from(&mut self, other: &Self) {
+        for (id, val) in other.candidates() {
+            self.insert(id.clone(), val.clone());
+        }
+    }
+
+    /// Compacts the buffer: finds the q-th largest value, makes it the
+    /// new threshold, and discards all candidates below it.
+    fn compact(&mut self) {
+        debug_assert!(self.buf.len() > self.q);
+        let cut = self.buf.len() - self.q;
+        nth_smallest(&mut self.buf, cut);
+        // buf[cut..] now holds the q largest; buf[cut] is the q-th
+        // largest overall and becomes the new admission threshold.
+        let psi = self.buf[cut].val.clone();
+        self.buf.drain(..cut);
+        self.threshold = Some(match self.threshold.take() {
+            Some(old) if old > psi => old,
+            _ => psi,
+        });
+        self.compactions += 1;
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for AmortizedQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        if let Some(t) = &self.threshold {
+            if val <= *t {
+                self.filtered += 1;
+                return false;
+            }
+        }
+        self.buf.push(Entry::new(id, val));
+        if self.buf.len() == self.cap {
+            self.compact();
+        }
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        if self.buf.len() > self.q {
+            self.compact();
+        }
+        self.buf.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.threshold = None;
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        self.threshold.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "qmax-amortized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn top_q_reference(vals: &[u64], q: usize) -> Vec<u64> {
+        let mut s = vals.to_vec();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s.truncate(q);
+        s.sort_unstable();
+        s
+    }
+
+    #[test]
+    fn matches_reference_on_random_stream() {
+        let mut state = 1u64;
+        for q in [1usize, 2, 10, 100] {
+            for gamma in [0.05, 0.25, 1.0, 2.0] {
+                let vals: Vec<u64> = (0..5000).map(|_| splitmix(&mut state) % 10_000).collect();
+                let mut qm = AmortizedQMax::new(q, gamma);
+                for (i, &v) in vals.iter().enumerate() {
+                    qm.insert(i as u32, v);
+                }
+                let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+                got.sort_unstable();
+                assert_eq!(got, top_q_reference(&vals, q), "q={q} gamma={gamma}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_stream_returns_everything() {
+        let mut qm = AmortizedQMax::new(10, 0.5);
+        qm.insert(1u32, 5u64);
+        qm.insert(2, 3);
+        let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 5]);
+        assert_eq!(qm.len(), 2);
+    }
+
+    #[test]
+    fn threshold_filters_small_items() {
+        let mut qm = AmortizedQMax::new(4, 0.5);
+        for v in 0u64..1000 {
+            qm.insert(v as u32, v);
+        }
+        assert!(qm.threshold().is_some());
+        let t = qm.threshold().unwrap();
+        assert!(t >= 4, "threshold should have risen well above the start");
+        assert!(!qm.insert(9999, 0), "tiny value must be filtered");
+        assert!(qm.insert(10000, 1_000_000), "huge value must be admitted");
+        assert!(qm.filtered() > 0);
+    }
+
+    #[test]
+    fn threshold_is_monotone() {
+        let mut state = 7u64;
+        let mut qm = AmortizedQMax::new(8, 0.25);
+        let mut last: Option<u64> = None;
+        for i in 0..20_000u64 {
+            qm.insert(i as u32, splitmix(&mut state) % 1_000_000);
+            if let Some(t) = qm.threshold() {
+                if let Some(l) = last {
+                    assert!(t >= l, "threshold decreased: {l} -> {t}");
+                }
+                last = Some(t);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut qm = AmortizedQMax::new(2, 1.0);
+        for v in 0u64..100 {
+            qm.insert(v as u32, v);
+        }
+        qm.reset();
+        assert!(qm.is_empty());
+        assert_eq!(qm.threshold(), None);
+        qm.insert(0u32, 1u64);
+        assert_eq!(qm.query().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_values_are_kept_up_to_q() {
+        let mut qm = AmortizedQMax::new(3, 0.5);
+        for i in 0..50u32 {
+            qm.insert(i, 7u64);
+        }
+        let got = qm.query();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(_, v)| *v == 7));
+    }
+
+    #[test]
+    fn descending_stream_filters_aggressively() {
+        let mut qm = AmortizedQMax::new(5, 0.2);
+        let mut admitted = 0u64;
+        for v in (0u64..100_000).rev() {
+            if qm.insert(v as u32, v) {
+                admitted += 1;
+            }
+        }
+        // After the first compaction, nothing else can be admitted.
+        assert!(admitted <= qm.capacity() as u64 + 1);
+        let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![99_995, 99_996, 99_997, 99_998, 99_999]);
+    }
+
+    #[test]
+    fn merge_equals_union_top_q() {
+        let mut state = 19u64;
+        let mut next = move || {
+            splitmix(&mut state) % 1_000_000
+        };
+        let q = 32;
+        let left: Vec<u64> = (0..4000).map(|_| next()).collect();
+        let right: Vec<u64> = (0..4000).map(|_| next()).collect();
+        let mut a = AmortizedQMax::new(q, 0.5);
+        let mut b = AmortizedQMax::new(q, 0.5);
+        for (i, &v) in left.iter().enumerate() {
+            a.insert(i as u32, v);
+        }
+        for (i, &v) in right.iter().enumerate() {
+            b.insert((4000 + i) as u32, v);
+        }
+        a.merge_from(&b);
+        let mut got: Vec<u64> = a.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        let mut union: Vec<u64> = left.iter().chain(&right).copied().collect();
+        union.sort_unstable_by(|x, y| y.cmp(x));
+        union.truncate(q);
+        union.sort_unstable();
+        assert_eq!(got, union);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn zero_q_panics() {
+        let _ = AmortizedQMax::<u32, u64>::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn bad_gamma_panics() {
+        let _ = AmortizedQMax::<u32, u64>::new(5, 0.0);
+    }
+}

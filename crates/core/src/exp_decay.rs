@@ -1,0 +1,231 @@
+//! Exponential-decay q-MAX (Section 5 of the paper).
+
+use crate::entry::OrderedF64;
+use crate::traits::QMax;
+
+/// q-MAX under the exponential-decay aging model.
+///
+/// With aging parameter `c ∈ (0, 1]`, an item of value `v` that arrived
+/// at time `i` has weight `v · c^(t−i)` at the current time `t`, so
+/// newer items outweigh older ones of the same value. Instead of
+/// re-aging stored items, the structure feeds the *un-decayed* value
+/// `v · c^(−i)` — numerically, its logarithm `ln v − i·ln c`, which
+/// stays representable for streams of any practical length — into an
+/// ordinary q-MAX backend: the relative order of un-decayed values at
+/// any time `t` equals the order of decayed weights.
+///
+/// The type is generic over its backend so the paper's comparisons
+/// (Figure 7: heap / skip list / q-MAX) reuse the same transform.
+///
+/// ```
+/// use qmax_core::{AmortizedQMax, ExpDecayQMax, QMax};
+/// // Strong decay: each step halves old weights.
+/// let mut ed = ExpDecayQMax::new(AmortizedQMax::new(2, 0.5), 0.5);
+/// ed.insert(1u32, 100.0); // weight decays quickly
+/// for i in 2..100u32 {
+///     ed.insert(i, 1.0);
+/// }
+/// let ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
+/// // The early large item has decayed below the recent small ones.
+/// assert!(!ids.contains(&1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpDecayQMax<Q> {
+    backend: Q,
+    /// `−ln c ≥ 0`; added per time step to incoming log-values.
+    lambda: f64,
+    /// Arrival counter (the logical time `i`).
+    time: u64,
+}
+
+impl<Q> ExpDecayQMax<Q> {
+    /// Wraps `backend` with exponential decay of parameter `c` (the
+    /// paper's aging parameter; `c = 1` disables decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in `(0, 1]`.
+    pub fn new(backend: Q, c: f64) -> Self {
+        assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
+        ExpDecayQMax { backend, lambda: -c.ln(), time: 0 }
+    }
+
+    /// The current logical time (number of arrivals so far).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Access to the wrapped backend.
+    pub fn backend(&self) -> &Q {
+        &self.backend
+    }
+
+    /// The decayed weight of a stored transformed value at the current
+    /// time: `exp(stored − t·λ)` where `stored = ln v + i·λ`.
+    pub fn decayed_weight(&self, stored: OrderedF64) -> f64 {
+        (stored.get() - self.time as f64 * self.lambda).exp()
+    }
+}
+
+impl<Q> ExpDecayQMax<Q> {
+    /// Offers an item with (positive) value `val`; its effective weight
+    /// from now on decays by a factor `c` per subsequent arrival.
+    ///
+    /// Returns `true` if the backend admitted the item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val` is not a positive finite number.
+    pub fn insert<I>(&mut self, id: I, val: f64) -> bool
+    where
+        Q: QMax<I, OrderedF64>,
+    {
+        assert!(val > 0.0 && val.is_finite(), "decayed values must be positive and finite");
+        let transformed = val.ln() + self.time as f64 * self.lambda;
+        self.time += 1;
+        self.backend.insert(id, OrderedF64(transformed))
+    }
+
+    /// Lists the `q` items with the largest decayed weights. The values
+    /// returned are the internal transformed scores; convert with
+    /// [`ExpDecayQMax::decayed_weight`] if absolute weights are needed.
+    pub fn query<I>(&mut self) -> Vec<(I, OrderedF64)>
+    where
+        Q: QMax<I, OrderedF64>,
+    {
+        self.backend.query()
+    }
+
+    /// Clears the structure and restarts time at zero.
+    pub fn reset<I>(&mut self)
+    where
+        Q: QMax<I, OrderedF64>,
+    {
+        self.backend.reset();
+        self.time = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amortized::AmortizedQMax;
+    use crate::deamortized::DeamortizedQMax;
+    use crate::heap::HeapQMax;
+
+    /// Brute-force reference: decayed weight of item i at time t.
+    fn reference_top(vals: &[f64], c: f64, q: usize) -> Vec<usize> {
+        let t = vals.len() as f64;
+        let mut scored: Vec<(f64, usize)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v * c.powf(t - i as f64), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut ids: Vec<usize> = scored[..q].iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn matches_brute_force_decay() {
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000 + 1) as f64
+        };
+        for c in [0.75, 0.9, 0.99] {
+            let vals: Vec<f64> = (0..500).map(|_| next()).collect();
+            let q = 8;
+            let mut ed = ExpDecayQMax::new(AmortizedQMax::new(q, 0.5), c);
+            for (i, &v) in vals.iter().enumerate() {
+                ed.insert(i, v);
+            }
+            let mut got: Vec<usize> = ed.query().into_iter().map(|(id, _)| id).collect();
+            got.sort_unstable();
+            assert_eq!(got, reference_top(&vals, c, q), "c={c}");
+        }
+    }
+
+    #[test]
+    fn no_decay_reduces_to_plain_qmax() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(3), 1.0);
+        for (i, v) in [5.0, 1.0, 9.0, 3.0, 7.0].into_iter().enumerate() {
+            ed.insert(i as u32, v);
+        }
+        let mut ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn recency_beats_magnitude_under_strong_decay() {
+        let mut ed = ExpDecayQMax::new(DeamortizedQMax::new(4, 0.5), 0.5);
+        ed.insert(0u32, 1_000_000.0);
+        for i in 1..200u32 {
+            ed.insert(i, 2.0);
+        }
+        let ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 4);
+        assert!(ids.iter().all(|&id| id >= 196), "stale item survived: {ids:?}");
+    }
+
+    #[test]
+    fn decayed_weight_roundtrip() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(1), 0.9);
+        ed.insert(0u32, 8.0);
+        ed.insert(1u32, 1.0);
+        let (_, stored) = ed.query().pop().unwrap();
+        // Item 0 has weight 8 * 0.9^2 at time 2.
+        let w = ed.decayed_weight(stored);
+        assert!((w - 8.0 * 0.81).abs() < 1e-9, "got {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_value_panics() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(1), 0.9);
+        ed.insert(0u32, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay parameter")]
+    fn bad_decay_panics() {
+        let _ = ExpDecayQMax::new(HeapQMax::<u32, OrderedF64>::new(1), 1.5);
+    }
+
+    #[test]
+    fn backend_accessor_and_time_counter() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(4), 0.9);
+        assert_eq!(ed.time(), 0);
+        for i in 0..10u32 {
+            ed.insert(i, 2.0);
+        }
+        assert_eq!(ed.time(), 10);
+        assert_eq!(ed.backend().len(), 4);
+    }
+
+    #[test]
+    fn ties_resolve_to_most_recent_under_decay() {
+        // Equal raw values: decay must prefer the newest items.
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(3), 0.5);
+        for i in 0..100u32 {
+            ed.insert(i, 7.0);
+        }
+        let mut ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn reset_restarts_time() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(2), 0.8);
+        for i in 0..50u32 {
+            ed.insert(i, 1.0);
+        }
+        ed.reset();
+        assert_eq!(ed.time(), 0);
+        ed.insert(0u32, 3.0);
+        assert_eq!(ed.query().len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! A from-scratch binary min-heap and the heap-based q-MAX baseline.
+
+use crate::entry::Entry;
+use crate::traits::QMax;
+
+/// A binary min-heap (smallest element at the root).
+///
+/// This is the classical structure the paper's baseline uses to track
+/// the `q` largest items: keep a min-heap of size `q`; a new item larger
+/// than the root replaces it. Every replacement costs `O(log q)`.
+#[derive(Debug, Clone, Default)]
+pub struct MinHeap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Ord> MinHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        MinHeap { data: Vec::new() }
+    }
+
+    /// Creates an empty heap with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        MinHeap { data: Vec::with_capacity(cap) }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The smallest element, if any.
+    pub fn peek(&self) -> Option<&T> {
+        self.data.first()
+    }
+
+    /// Inserts an element in `O(log n)`.
+    pub fn push(&mut self, item: T) {
+        self.data.push(item);
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// Removes and returns the smallest element in `O(log n)`.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        let out = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    /// Replaces the smallest element with `item` in one `O(log n)`
+    /// sift (cheaper than `pop` followed by `push`). Returns the
+    /// replaced element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is empty.
+    pub fn replace_min(&mut self, item: T) -> T {
+        assert!(!self.data.is_empty(), "replace_min on empty heap");
+        let out = core::mem::replace(&mut self.data[0], item);
+        self.sift_down(0);
+        out
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Iterates over the elements in arbitrary (heap) order.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Consumes the heap, returning its backing storage in heap order.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i] < self.data[parent] {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < n && self.data[l] < self.data[smallest] {
+                smallest = l;
+            }
+            if r < n && self.data[r] < self.data[smallest] {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// The heap-based q-MAX baseline: a size-`q` min-heap whose root is the
+/// smallest retained value. `O(log q)` per update in the worst case.
+///
+/// ```
+/// use qmax_core::{HeapQMax, QMax};
+/// let mut qm = HeapQMax::new(2);
+/// for v in [5u64, 1, 9, 3, 7] {
+///     qm.insert(v as u32, v);
+/// }
+/// let mut top: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+/// top.sort();
+/// assert_eq!(top, vec![7, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapQMax<I, V> {
+    q: usize,
+    heap: MinHeap<Entry<I, V>>,
+}
+
+impl<I: Clone, V: Ord + Clone> HeapQMax<I, V> {
+    /// Creates a heap-based q-MAX for the `q` largest items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        HeapQMax { q, heap: MinHeap::with_capacity(q) }
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for HeapQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        if self.heap.len() < self.q {
+            self.heap.push(Entry::new(id, val));
+            return true;
+        }
+        let min = self.heap.peek().expect("heap is full");
+        if val <= min.val {
+            return false;
+        }
+        self.heap.replace_min(Entry::new(id, val));
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        self.heap.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        if self.heap.len() == self.q {
+            self.heap.peek().map(|e| e.val.clone())
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "heap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_sorts_via_pop() {
+        let mut h = MinHeap::new();
+        for v in [5, 1, 4, 1, 5, 9, 2, 6, 5, 3] {
+            h.push(v);
+        }
+        let mut out = Vec::new();
+        while let Some(v) = h.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 1, 2, 3, 4, 5, 5, 5, 6, 9]);
+    }
+
+    #[test]
+    fn heap_replace_min() {
+        let mut h = MinHeap::new();
+        for v in [3, 7, 5] {
+            h.push(v);
+        }
+        assert_eq!(h.replace_min(10), 3);
+        assert_eq!(h.peek(), Some(&5));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn heap_pop_empty() {
+        let mut h: MinHeap<i32> = MinHeap::new();
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "replace_min on empty heap")]
+    fn heap_replace_min_empty_panics() {
+        let mut h: MinHeap<i32> = MinHeap::new();
+        h.replace_min(1);
+    }
+
+    #[test]
+    fn heap_qmax_matches_reference() {
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % 1000
+        };
+        for q in [1usize, 5, 50] {
+            let vals: Vec<u64> = (0..3000).map(|_| next()).collect();
+            let mut qm = HeapQMax::new(q);
+            for (i, &v) in vals.iter().enumerate() {
+                qm.insert(i as u32, v);
+            }
+            let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            let mut expect = vals.clone();
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+            expect.truncate(q);
+            expect.sort_unstable();
+            assert_eq!(got, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn heap_interleaved_push_pop_replace() {
+        let mut h = MinHeap::new();
+        let mut state = 11u64;
+        let mut reference: Vec<u64> = Vec::new();
+        for step in 0..5000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (state >> 33) % 1000;
+            match step % 4 {
+                0 | 1 => {
+                    h.push(v);
+                    reference.push(v);
+                }
+                2 => {
+                    let got = h.pop();
+                    reference.sort_unstable();
+                    let expect = if reference.is_empty() {
+                        None
+                    } else {
+                        Some(reference.remove(0))
+                    };
+                    assert_eq!(got, expect);
+                }
+                _ => {
+                    if !h.is_empty() {
+                        let got = h.replace_min(v);
+                        reference.sort_unstable();
+                        assert_eq!(got, reference[0]);
+                        reference[0] = v;
+                    }
+                }
+            }
+            assert_eq!(h.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn heap_into_vec_preserves_elements() {
+        let mut h = MinHeap::new();
+        for v in [9, 2, 7, 4] {
+            h.push(v);
+        }
+        let mut out = h.into_vec();
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn heap_qmax_threshold_is_current_min() {
+        let mut qm = HeapQMax::new(3);
+        assert_eq!(qm.threshold(), None);
+        for v in [10u64, 20, 30, 40] {
+            qm.insert(v as u32, v);
+        }
+        assert_eq!(qm.threshold(), Some(20));
+        assert!(!qm.insert(0, 20), "equal to min is rejected");
+        assert!(qm.insert(1, 21));
+    }
+}

@@ -1,0 +1,599 @@
+//! A from-scratch skip list and the skip-list-based q-MAX baseline.
+
+use crate::entry::Entry;
+use crate::traits::QMax;
+
+/// Maximum tower height. 32 levels comfortably cover any list that fits
+/// in memory (expected height of `n` elements is `log2 n`).
+const MAX_LEVEL: usize = 32;
+
+/// Sentinel index meaning "no node".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    /// `next[l]` is the successor at level `l`; the vector's length is
+    /// the node's height.
+    next: Vec<u32>,
+}
+
+/// An ascending-ordered skip list with duplicate support.
+///
+/// Nodes live in an index-addressed arena (`Vec`) with a free list, so
+/// the structure performs no per-node allocation after warm-up. Tower
+/// heights are drawn from a geometric(1/2) distribution using an
+/// internal xorshift generator, giving the classical `O(log n)` expected
+/// search/insert and `O(log n)` delete-min.
+#[derive(Debug, Clone)]
+pub struct SkipList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: [u32; MAX_LEVEL],
+    level: usize,
+    len: usize,
+    rng: u64,
+}
+
+impl<T: Ord> SkipList<T> {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        Self::with_seed(0x0051_AB1E_5EED)
+    }
+
+    /// Creates an empty skip list whose tower heights are derived from
+    /// `seed` (deterministic for reproducible benchmarks).
+    pub fn with_seed(seed: u64) -> Self {
+        SkipList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The smallest element, if any.
+    pub fn peek_min(&self) -> Option<&T> {
+        if self.head[0] == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.head[0] as usize].value)
+        }
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let bits = x.wrapping_mul(0x2545F4914F6CDD1D);
+        // Height = 1 + number of leading consecutive 1 bits (p = 1/2).
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    /// Inserts `value` in expected `O(log n)`.
+    pub fn insert(&mut self, value: T) {
+        let height = self.random_height();
+        // Find the predecessor at every level; NIL predecessor means the
+        // head pointer itself.
+        let mut update = [NIL; MAX_LEVEL];
+        let mut cur = NIL;
+        for l in (0..self.level).rev() {
+            let mut next = if cur == NIL { self.head[l] } else { self.nodes[cur as usize].next[l] };
+            while next != NIL && self.nodes[next as usize].value < value {
+                cur = next;
+                next = self.nodes[cur as usize].next[l];
+            }
+            update[l] = cur;
+        }
+        if height > self.level {
+            for slot in update.iter_mut().take(height).skip(self.level) {
+                *slot = NIL;
+            }
+            self.level = height;
+        }
+        // Allocate the node.
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let node = &mut self.nodes[i as usize];
+                node.value = value;
+                node.next.clear();
+                node.next.resize(height, NIL);
+                i
+            }
+            None => {
+                self.nodes.push(Node { value, next: vec![NIL; height] });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        // Splice.
+        #[allow(clippy::needless_range_loop)] // l indexes two arrays in lockstep
+        for l in 0..height {
+            let pred = update[l];
+            if pred == NIL {
+                self.nodes[idx as usize].next[l] = self.head[l];
+                self.head[l] = idx;
+            } else {
+                let succ = self.nodes[pred as usize].next[l];
+                self.nodes[idx as usize].next[l] = succ;
+                self.nodes[pred as usize].next[l] = idx;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the smallest element in `O(height)`.
+    pub fn pop_min(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let idx = self.head[0];
+        if idx == NIL {
+            return None;
+        }
+        let height = self.nodes[idx as usize].next.len();
+        for l in 0..height {
+            debug_assert_eq!(self.head[l], idx, "minimum must lead every level it occupies");
+            self.head[l] = self.nodes[idx as usize].next[l];
+        }
+        while self.level > 1 && self.head[self.level - 1] == NIL {
+            self.level -= 1;
+        }
+        self.len -= 1;
+        let value = self.nodes[idx as usize].value.clone();
+        self.free.push(idx);
+        Some(value)
+    }
+
+    /// Removes the first element that compares equal to `probe` *and*
+    /// satisfies `matches`, returning whether one was removed.
+    ///
+    /// The extra predicate lets callers distinguish elements the `Ord`
+    /// implementation treats as equal (e.g. [`Entry`] compares by value
+    /// only, so `matches` can pin down the id). Expected `O(log n)` plus
+    /// the length of the equal run.
+    pub fn remove_one<F: FnMut(&T) -> bool>(&mut self, probe: &T, mut matches: F) -> bool {
+        // Strict-predecessor descent: update[l] is the last node at
+        // level l with value < probe (NIL = head).
+        let mut update = [NIL; MAX_LEVEL];
+        let mut cur = NIL;
+        for l in (0..self.level).rev() {
+            let mut next = if cur == NIL { self.head[l] } else { self.nodes[cur as usize].next[l] };
+            while next != NIL && self.nodes[next as usize].value < *probe {
+                cur = next;
+                next = self.nodes[cur as usize].next[l];
+            }
+            update[l] = cur;
+        }
+        // Scan the equal run at level 0 for the first matching element.
+        let mut target = if cur == NIL { self.head[0] } else { self.nodes[cur as usize].next[0] };
+        while target != NIL {
+            let v = &self.nodes[target as usize].value;
+            if *v > *probe {
+                return false;
+            }
+            debug_assert!(*v == *probe);
+            if matches(v) {
+                break;
+            }
+            target = self.nodes[target as usize].next[0];
+        }
+        if target == NIL {
+            return false;
+        }
+        // Unlink the target at every level it occupies. Starting from
+        // the strict predecessor, each level's walk only crosses the
+        // (short, in expectation) run of equal values linked at that
+        // level.
+        let height = self.nodes[target as usize].next.len();
+        debug_assert!(height <= self.level);
+        #[allow(clippy::needless_range_loop)] // l indexes two arrays in lockstep
+        for l in 0..height {
+            let mut pred = update[l];
+            let mut next = if pred == NIL { self.head[l] } else { self.nodes[pred as usize].next[l] };
+            while next != NIL && next != target {
+                debug_assert!(self.nodes[next as usize].value <= *probe);
+                pred = next;
+                next = self.nodes[pred as usize].next[l];
+            }
+            debug_assert_eq!(next, target, "target must be linked at level {l}");
+            let after = self.nodes[target as usize].next[l];
+            if pred == NIL {
+                self.head[l] = after;
+            } else {
+                self.nodes[pred as usize].next[l] = after;
+            }
+        }
+        while self.level > 1 && self.head[self.level - 1] == NIL {
+            self.level -= 1;
+        }
+        self.len -= 1;
+        self.free.push(target);
+        true
+    }
+
+    /// Removes all elements (retains the arena for reuse).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = [NIL; MAX_LEVEL];
+        self.level = 1;
+        self.len = 0;
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> SkipListIter<'_, T> {
+        SkipListIter { list: self, cur: self.head[0] }
+    }
+}
+
+impl<T: Ord> Default for SkipList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Ascending iterator over a [`SkipList`].
+#[derive(Debug)]
+pub struct SkipListIter<'a, T> {
+    list: &'a SkipList<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for SkipListIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur as usize];
+        self.cur = node.next[0];
+        Some(&node.value)
+    }
+}
+
+/// The skip-list-based q-MAX baseline: an ascending skip list capped at
+/// `q` elements; a new item larger than the minimum evicts it.
+/// `O(log q)` expected time per update.
+///
+/// ```
+/// use qmax_core::{QMax, SkipListQMax};
+/// let mut qm = SkipListQMax::new(2);
+/// for v in [5u64, 1, 9, 3, 7] {
+///     qm.insert(v as u32, v);
+/// }
+/// let mut top: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+/// top.sort();
+/// assert_eq!(top, vec![7, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipListQMax<I, V> {
+    q: usize,
+    list: SkipList<Entry<I, V>>,
+}
+
+impl<I: Clone, V: Ord + Clone> SkipListQMax<I, V> {
+    /// Creates a skip-list-based q-MAX for the `q` largest items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        SkipListQMax { q, list: SkipList::new() }
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for SkipListQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        if self.list.len() < self.q {
+            self.list.insert(Entry::new(id, val));
+            return true;
+        }
+        let min = self.list.peek_min().expect("list is full");
+        if val <= min.val {
+            return false;
+        }
+        self.list.insert(Entry::new(id, val));
+        self.list.pop_min();
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        self.list.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+    }
+
+    fn reset(&mut self) {
+        self.list.clear();
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        if self.list.len() == self.q {
+            self.list.peek_min().map(|e| e.val.clone())
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "skiplist"
+    }
+}
+
+/// Keyed q-MAX baseline on a [`SkipList`] plus a key→value map: keeps
+/// the `q` keys of largest value, replacing a present key's entry on
+/// growth (`O(log q)` expected per update).
+///
+/// Like [`crate::IndexedHeapQMax`], this is the update-in-place variant
+/// the aggregation applications (PBA, UnivMon heavy-hitter tracking)
+/// need from their baselines.
+#[derive(Debug, Clone)]
+pub struct KeyedSkipListQMax<I, V> {
+    q: usize,
+    list: SkipList<Entry<I, V>>,
+    live: std::collections::HashMap<I, V>,
+}
+
+impl<I: Clone + std::hash::Hash + Eq, V: Ord + Clone> KeyedSkipListQMax<I, V> {
+    /// Creates a keyed skip-list baseline for the `q` largest distinct
+    /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        KeyedSkipListQMax { q, list: SkipList::new(), live: std::collections::HashMap::new() }
+    }
+}
+
+impl<I: Clone + std::hash::Hash + Eq, V: Ord + Clone> QMax<I, V> for KeyedSkipListQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        if let Some(old) = self.live.get(&id) {
+            if *old >= val {
+                return false;
+            }
+            let probe = Entry::new(id.clone(), old.clone());
+            let removed = self.list.remove_one(&probe, |e| e.id == id);
+            debug_assert!(removed, "map and list out of sync");
+            self.list.insert(Entry::new(id.clone(), val.clone()));
+            self.live.insert(id, val);
+            return true;
+        }
+        if self.live.len() == self.q {
+            let min = self.list.peek_min().expect("list is full");
+            if val <= min.val {
+                return false;
+            }
+            let evicted = self.list.pop_min().expect("list is full");
+            self.live.remove(&evicted.id);
+        }
+        self.list.insert(Entry::new(id.clone(), val.clone()));
+        self.live.insert(id, val);
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        self.list.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+    }
+
+    fn reset(&mut self) {
+        self.list.clear();
+        self.live.clear();
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        if self.live.len() == self.q {
+            self.list.peek_min().map(|e| e.val.clone())
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "keyed-skiplist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pop_sorts() {
+        let mut sl = SkipList::new();
+        for v in [5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] {
+            sl.insert(v);
+        }
+        assert_eq!(sl.len(), 11);
+        let mut out = Vec::new();
+        while let Some(v) = sl.pop_min() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 1, 2, 3, 4, 5, 5, 5, 5, 6, 9]);
+        assert!(sl.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let mut sl = SkipList::new();
+        for v in [30, 10, 20, 50, 40] {
+            sl.insert(v);
+        }
+        let got: Vec<i32> = sl.iter().copied().collect();
+        assert_eq!(got, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn arena_reuse_after_pop() {
+        let mut sl = SkipList::new();
+        for round in 0..10 {
+            for v in 0..100 {
+                sl.insert(v * 10 + round);
+            }
+            for _ in 0..100 {
+                sl.pop_min();
+            }
+        }
+        assert!(sl.is_empty());
+        // The arena should not have grown past a small multiple of the
+        // live set.
+        assert!(sl.nodes.len() <= 200, "arena grew to {}", sl.nodes.len());
+    }
+
+    #[test]
+    fn large_random_workload() {
+        let mut state = 17u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % 100_000
+        };
+        let mut sl = SkipList::new();
+        let mut reference = Vec::new();
+        for _ in 0..5000 {
+            let v = next();
+            sl.insert(v);
+            reference.push(v);
+        }
+        reference.sort_unstable();
+        let got: Vec<u64> = sl.iter().copied().collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn skiplist_qmax_matches_reference() {
+        let mut state = 23u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % 1000
+        };
+        for q in [1usize, 7, 64] {
+            let vals: Vec<u64> = (0..3000).map(|_| next()).collect();
+            let mut qm = SkipListQMax::new(q);
+            for (i, &v) in vals.iter().enumerate() {
+                qm.insert(i as u32, v);
+            }
+            let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            let mut expect = vals.clone();
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+            expect.truncate(q);
+            expect.sort_unstable();
+            assert_eq!(got, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn remove_one_removes_exact_element() {
+        let mut sl = SkipList::new();
+        for v in [5, 3, 5, 7, 5, 1] {
+            sl.insert(v);
+        }
+        assert!(sl.remove_one(&5, |_| true));
+        assert_eq!(sl.len(), 5);
+        let got: Vec<i32> = sl.iter().copied().collect();
+        assert_eq!(got, vec![1, 3, 5, 5, 7]);
+        assert!(!sl.remove_one(&42, |_| true));
+        assert!(sl.remove_one(&1, |_| true));
+        assert_eq!(sl.iter().copied().collect::<Vec<_>>(), vec![3, 5, 5, 7]);
+    }
+
+    #[test]
+    fn remove_one_respects_predicate() {
+        let mut sl = SkipList::new();
+        for id in 0..10u32 {
+            sl.insert(Entry::new(id, 5u64));
+        }
+        // All entries compare equal (value 5); remove id 7 exactly.
+        assert!(sl.remove_one(&Entry::new(0u32, 5u64), |e| e.id == 7));
+        assert_eq!(sl.len(), 9);
+        assert!(sl.iter().all(|e| e.id != 7));
+        // Predicate matching nothing removes nothing.
+        assert!(!sl.remove_one(&Entry::new(0u32, 5u64), |e| e.id == 7));
+        assert_eq!(sl.len(), 9);
+    }
+
+    #[test]
+    fn remove_one_under_churn_stays_consistent() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % 100
+        };
+        let mut sl = SkipList::new();
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..5000 {
+            let v = next();
+            if v % 3 == 0 && !reference.is_empty() {
+                let probe = reference[(v as usize) % reference.len()];
+                let removed = sl.remove_one(&probe, |_| true);
+                assert!(removed);
+                let pos = reference.iter().position(|&x| x == probe).unwrap();
+                reference.remove(pos);
+            } else {
+                sl.insert(v);
+                reference.push(v);
+            }
+        }
+        reference.sort_unstable();
+        assert_eq!(sl.iter().copied().collect::<Vec<_>>(), reference);
+    }
+
+    #[test]
+    fn keyed_skiplist_updates_in_place() {
+        let mut qm = KeyedSkipListQMax::new(3);
+        for round in 1..=50u64 {
+            qm.insert("hot", round * 10);
+            qm.insert("warm", round);
+            qm.insert("cold", 1u64);
+            qm.insert("mild", 2u64);
+        }
+        assert_eq!(qm.len(), 3);
+        let mut keys: Vec<&str> = qm.query().into_iter().map(|(id, _)| id).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["hot", "mild", "warm"]);
+        // Stale smaller value ignored.
+        assert!(!qm.insert("hot", 1));
+    }
+
+    #[test]
+    fn skiplist_qmax_query_is_sorted_ascending() {
+        let mut qm = SkipListQMax::new(4);
+        for v in [9u64, 2, 7, 5, 1, 8] {
+            qm.insert(v as u32, v);
+        }
+        let got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(got, vec![5, 7, 8, 9]);
+    }
+}

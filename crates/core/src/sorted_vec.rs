@@ -1,0 +1,143 @@
+//! Sorted-array q-MAX baseline.
+
+use crate::entry::Entry;
+use crate::traits::QMax;
+
+/// A sorted-array q-MAX baseline: a vector kept in ascending value
+/// order, capped at `q` elements.
+///
+/// Lookups are `O(log q)` but every insertion shifts on average `q/2`
+/// elements, so updates are `O(q)`. This models the degenerate baseline
+/// the paper observed for structures without an efficient
+/// replace/sift operation (its Priority-Based Aggregation heap baseline
+/// ran in `O(q)` per update for that reason).
+///
+/// ```
+/// use qmax_core::{QMax, SortedVecQMax};
+/// let mut qm = SortedVecQMax::new(2);
+/// for v in [5u64, 1, 9, 3, 7] {
+///     qm.insert(v as u32, v);
+/// }
+/// let top: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+/// assert_eq!(top, vec![7, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedVecQMax<I, V> {
+    q: usize,
+    /// Ascending by value.
+    data: Vec<Entry<I, V>>,
+}
+
+impl<I: Clone, V: Ord + Clone> SortedVecQMax<I, V> {
+    /// Creates a sorted-array q-MAX for the `q` largest items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        SortedVecQMax { q, data: Vec::with_capacity(q) }
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for SortedVecQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        let full = self.data.len() == self.q;
+        if full && val <= self.data[0].val {
+            return false;
+        }
+        let entry = Entry::new(id, val);
+        let pos = self.data.partition_point(|e| *e < entry);
+        self.data.insert(pos, entry);
+        if self.data.len() > self.q {
+            self.data.remove(0);
+        }
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        self.data.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+    }
+
+    fn reset(&mut self) {
+        self.data.clear();
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        if self.data.len() == self.q {
+            self.data.first().map(|e| e.val.clone())
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sorted-vec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference() {
+        let mut state = 29u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % 500
+        };
+        for q in [1usize, 3, 40] {
+            let vals: Vec<u64> = (0..2000).map(|_| next()).collect();
+            let mut qm = SortedVecQMax::new(q);
+            for (i, &v) in vals.iter().enumerate() {
+                qm.insert(i as u32, v);
+            }
+            let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            let mut expect = vals.clone();
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+            expect.truncate(q);
+            expect.sort_unstable();
+            assert_eq!(got, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn query_is_ascending() {
+        let mut qm = SortedVecQMax::new(3);
+        for v in [4u64, 8, 2, 6] {
+            qm.insert(v as u32, v);
+        }
+        let got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(got, vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn rejects_below_minimum_once_full() {
+        let mut qm = SortedVecQMax::new(2);
+        qm.insert(1u32, 10u64);
+        qm.insert(2u32, 20u64);
+        assert!(!qm.insert(3u32, 5), "below-min value must be rejected");
+        assert!(!qm.insert(4u32, 10), "equal-to-min value must be rejected");
+        assert!(qm.insert(5u32, 15));
+        assert_eq!(qm.threshold(), Some(15));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut qm = SortedVecQMax::new(2);
+        qm.insert(1u32, 1u64);
+        qm.reset();
+        assert!(qm.is_empty());
+        assert_eq!(qm.threshold(), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! The q-MAX problem interface.
+
+/// The q-MAX interface: process a stream of `(id, value)` items and, upon
+/// query, list the `q` items with the largest values.
+///
+/// This interface is deliberately *weaker* than a priority queue's — it
+/// has no `pop`, `peek`, or ordered iteration — which is exactly what
+/// allows constant-time implementations ([`crate::DeamortizedQMax`])
+/// while heaps and skip lists are stuck at `Ω(log q)`.
+///
+/// Implementations may keep more than `q` candidates internally (up to
+/// `q(1+γ)`), may reorder their internals during `query`, and may drop
+/// arriving items that provably cannot be among the `q` largest.
+pub trait QMax<I, V> {
+    /// Offers a stream item to the structure.
+    ///
+    /// Returns `true` if the item was admitted into the candidate set and
+    /// `false` if it was filtered out (its value was at most the current
+    /// admission threshold, so it cannot be among the `q` largest).
+    fn insert(&mut self, id: I, val: V) -> bool;
+
+    /// Lists the `q` items with the largest values seen so far (fewer if
+    /// the stream was shorter than `q`). Order within the result is
+    /// unspecified.
+    fn query(&mut self) -> Vec<(I, V)>;
+
+    /// Clears the structure back to its initial empty state.
+    fn reset(&mut self);
+
+    /// The configured reservoir size `q`.
+    fn q(&self) -> usize;
+
+    /// Number of candidate items currently stored (between `min(q, seen)`
+    /// and the structure's capacity).
+    fn len(&self) -> usize;
+
+    /// Whether no items are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current admission threshold Ψ: a value such that items with
+    /// `val <= Ψ` are provably not among the `q` largest and are dropped
+    /// on arrival. `None` while no threshold has been established.
+    fn threshold(&self) -> Option<V>;
+
+    /// A short human-readable implementation name (used by the benchmark
+    /// harness to label series).
+    fn name(&self) -> &'static str;
+}
+
+impl<I, V, Q: QMax<I, V> + ?Sized> QMax<I, V> for Box<Q> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        (**self).insert(id, val)
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        (**self).query()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn q(&self) -> usize {
+        (**self).q()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        (**self).threshold()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,880 @@
+//! q-MAX over `(W, τ)`-slack sliding windows.
+//!
+//! Computing the exact maximum over a `W`-item sliding window requires
+//! `Ω(W)` space (Datar et al.), so the paper relaxes the window to a
+//! *slack window*: the answer may refer to any suffix of length between
+//! `W(1−τ)` and `W`. This module implements the paper's three slack
+//! algorithms:
+//!
+//! * [`BasicSlackQMax`] (Algorithm 3): `⌈1/τ⌉` blocks, each an interval
+//!   q-MAX. `O(1)` update, `O(q/τ)` query.
+//! * [`HierSlackQMax`] (Algorithm 4): `c` block layers at geometrically
+//!   growing granularities. `O(c)` update, `O(q·c·τ^{-1/c})` query.
+//! * [`LazySlackQMax`] (Theorem 7): a single front-buffer q-MAX absorbs
+//!   every arrival, pushing only per-block top-`q` summaries into the
+//!   layers. `O(1)` amortized update with the hierarchical query time.
+
+use crate::amortized::AmortizedQMax;
+use crate::entry::Entry;
+use crate::traits::QMax;
+use qmax_select::nth_smallest;
+
+/// A ring of `blocks` interval q-MAX instances, advanced explicitly.
+///
+/// The ring retains the current (partial) block plus the `blocks - 1`
+/// most recent completed blocks; advancing recycles the oldest block.
+#[derive(Debug, Clone)]
+struct BlockRing<I, V> {
+    blocks: Vec<AmortizedQMax<I, V>>,
+    /// Epoch of the current block; the block for epoch `e` lives at slot
+    /// `e % blocks.len()`.
+    epoch: u64,
+}
+
+impl<I: Clone, V: Ord + Clone> BlockRing<I, V> {
+    fn new(blocks: usize, q: usize, gamma: f64) -> Self {
+        assert!(blocks >= 1);
+        BlockRing {
+            blocks: (0..blocks).map(|_| AmortizedQMax::new(q, gamma)).collect(),
+            epoch: 0,
+        }
+    }
+
+    fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn cur_slot(&self) -> usize {
+        (self.epoch % self.blocks.len() as u64) as usize
+    }
+
+    fn add(&mut self, id: I, val: V) {
+        let slot = self.cur_slot();
+        self.blocks[slot].insert(id, val);
+    }
+
+    /// Ends the current block and recycles the oldest one.
+    fn advance(&mut self) {
+        self.epoch += 1;
+        let slot = self.cur_slot();
+        self.blocks[slot].reset();
+    }
+
+    /// Collects the candidates of the `m` oldest retained blocks
+    /// (`m <= blocks - 1`; excludes the current block) into `out`.
+    fn collect_oldest(&self, m: usize, out: &mut Vec<Entry<I, V>>) {
+        debug_assert!(m < self.blocks.len());
+        let n = self.blocks.len() as u64;
+        let retained = (n - 1).min(self.epoch);
+        let oldest = self.epoch - retained;
+        for i in 0..m as u64 {
+            let e = oldest + i;
+            debug_assert!(e <= self.epoch);
+            let slot = (e % n) as usize;
+            collect_top_q(&self.blocks[slot], out);
+        }
+    }
+
+    /// Collects the candidates of every retained block, including the
+    /// current partial one, into `out`.
+    fn collect_all(&self, out: &mut Vec<Entry<I, V>>) {
+        for b in &self.blocks {
+            collect_top_q(b, out);
+        }
+    }
+
+    fn reset(&mut self) {
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        self.epoch = 0;
+    }
+}
+
+/// Pushes a block's top-`q` candidates into `out`.
+///
+/// Interval q-MAX instances may hold up to `q(1+γ)` candidates of which
+/// only the top `q` are guaranteed to matter; taking all candidates is
+/// also correct (a superset) but would inflate merge cost, so blocks are
+/// compacted through their own `query`-equivalent path here.
+fn collect_top_q<I: Clone, V: Ord + Clone>(
+    block: &AmortizedQMax<I, V>,
+    out: &mut Vec<Entry<I, V>>,
+) {
+    // `candidates()` iterates the internal buffer without compaction;
+    // for ring blocks the buffer is at most q(1+γ) entries, and the
+    // final top-q cut happens once at the very end of the query, so a
+    // superset costs only a constant factor in merge size.
+    out.extend(block.candidates().map(|(id, val)| Entry::new(id.clone(), val.clone())));
+}
+
+/// q-MAX over a `(W, τ)`-slack window — Algorithm 3 of the paper.
+///
+/// The stream is cut into `⌈1/τ⌉` consecutive blocks of `⌈Wτ⌉` items;
+/// each block gets its own interval q-MAX, and a query merges all
+/// retained blocks. Updates touch a single block (`O(1)` amortized);
+/// queries cost `O(q/τ)`.
+///
+/// The answered window always spans between `W' − s + 1` and `W'` items
+/// where `s = ⌈Wτ⌉` and `W' = s·⌈1/τ⌉ ≥ W` is the effective window.
+///
+/// ```
+/// use qmax_core::{BasicSlackQMax, QMax};
+/// let mut w = BasicSlackQMax::new(2, 0.5, 100, 0.25);
+/// for v in 0u64..1000 {
+///     w.insert(v as u32, v);
+/// }
+/// let mut top: Vec<u64> = w.query().into_iter().map(|(_, v)| v).collect();
+/// top.sort();
+/// assert_eq!(top, vec![998, 999]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicSlackQMax<I, V> {
+    q: usize,
+    /// Items per block, `⌈Wτ⌉`.
+    block_size: usize,
+    ring: BlockRing<I, V>,
+    /// Items inserted into the current block.
+    fill: usize,
+}
+
+impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
+    /// Creates a slack-window q-MAX over windows of `w` items with slack
+    /// fraction `tau` and per-block space-slack `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `w == 0`, or `tau` is outside `(0, 1]`.
+    pub fn new(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(w > 0, "window must be positive");
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        let n_blocks = (1.0 / tau).ceil() as usize;
+        let block_size = w.div_ceil(n_blocks).max(1);
+        BasicSlackQMax {
+            q,
+            block_size,
+            ring: BlockRing::new(n_blocks, q, gamma),
+            fill: 0,
+        }
+    }
+
+    /// Items per block (`⌈Wτ⌉`).
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks (`⌈1/τ⌉`).
+    pub fn n_blocks(&self) -> usize {
+        self.ring.n_blocks()
+    }
+
+    /// The effective window length `block_size · n_blocks`.
+    pub fn effective_window(&self) -> usize {
+        self.block_size * self.ring.n_blocks()
+    }
+
+    /// The PARTIAL query of the paper's Algorithm 3: the `q` largest
+    /// items among the blocks `newest..=oldest` *blocks ago*
+    /// (`0` = the current partial block, `n_blocks()-1` = the oldest
+    /// retained block). Lets callers inspect sub-intervals of the
+    /// window at block granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `newest > oldest` or `oldest >= n_blocks()`.
+    pub fn query_partial(&mut self, newest: usize, oldest: usize) -> Vec<(I, V)> {
+        assert!(newest <= oldest, "newest must not exceed oldest");
+        assert!(oldest < self.ring.n_blocks(), "oldest exceeds retained blocks");
+        let n = self.ring.n_blocks() as u64;
+        let mut scratch = Vec::new();
+        for ago in newest..=oldest {
+            let ago = ago as u64;
+            if ago > self.ring.epoch {
+                break; // block not yet produced this early in the stream
+            }
+            let e = self.ring.epoch - ago;
+            let slot = (e % n) as usize;
+            scratch.extend(
+                self.ring.blocks[slot]
+                    .candidates()
+                    .map(|(id, val)| Entry::new(id.clone(), val.clone())),
+            );
+        }
+        top_q_entries(scratch, self.q)
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for BasicSlackQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        self.ring.add(id, val);
+        self.fill += 1;
+        if self.fill == self.block_size {
+            self.fill = 0;
+            self.ring.advance();
+        }
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        let mut scratch = Vec::new();
+        self.ring.collect_all(&mut scratch);
+        top_q_entries(scratch, self.q)
+    }
+
+    fn reset(&mut self) {
+        self.ring.reset();
+        self.fill = 0;
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.ring.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "slack-basic"
+    }
+}
+
+/// Cuts a candidate vector down to its `q` largest entries.
+fn top_q_entries<I: Clone, V: Ord + Clone>(
+    mut scratch: Vec<Entry<I, V>>,
+    q: usize,
+) -> Vec<(I, V)> {
+    if scratch.len() > q {
+        let cut = scratch.len() - q;
+        nth_smallest(&mut scratch, cut);
+        scratch.drain(..cut);
+    }
+    scratch.into_iter().map(|e| (e.id, e.val)).collect()
+}
+
+/// q-MAX over a `(W, τ)`-slack window with hierarchical blocks —
+/// Algorithm 4 of the paper.
+///
+/// Maintains `c` block layers; layer `ℓ ∈ {1..c}` cuts the stream into
+/// blocks of `s·bᶜ⁻ℓ` items where `s ≈ Wτ` is the base block and
+/// `b ≈ τ^{-1/c}` the branching factor. Every arrival updates all `c`
+/// layers (`O(c)` update); a query merges the coarsest layer whole and
+/// patches the uncovered old-end of the window with `≤ b` blocks from
+/// each finer layer, for `O(q·c·b)` query time.
+#[derive(Debug, Clone)]
+pub struct HierSlackQMax<I, V> {
+    q: usize,
+    /// Base (finest) block size `s ≈ ⌈Wτ⌉`.
+    base: usize,
+    /// Branching factor `b ≈ ⌈τ^{-1/c}⌉`.
+    branch: usize,
+    /// `rings[ℓ-1]` is layer ℓ; layer 1 (index 0) is the coarsest.
+    rings: Vec<BlockRing<I, V>>,
+    /// Block sizes per layer, `sizes[ℓ-1] = s · b^{c-ℓ}`.
+    sizes: Vec<usize>,
+    /// Total items inserted.
+    count: u64,
+}
+
+impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
+    /// Creates a hierarchical slack-window q-MAX with `c` layers over
+    /// windows of `w` items with slack `tau` and per-block space-slack
+    /// `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `w == 0`, `c == 0`, or `tau` outside `(0, 1]`.
+    pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(w > 0, "window must be positive");
+        assert!(c > 0, "c must be positive");
+        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        let branch = ((1.0 / tau).powf(1.0 / c as f64)).ceil() as usize;
+        let branch = branch.max(2);
+        // Effective total blocks at the finest layer: b^c; base block
+        // sized so the finest layer spans at least w.
+        let total_fine = branch.pow(c as u32);
+        let base = w.div_ceil(total_fine).max(1);
+        let mut rings = Vec::with_capacity(c);
+        let mut sizes = Vec::with_capacity(c);
+        for level in 1..=c {
+            let size = base * branch.pow((c - level) as u32);
+            // Layer ℓ has b^ℓ blocks: the current partial one plus
+            // b^ℓ − 1 full ones, spanning between w − size and w items.
+            let blocks = branch.pow(level as u32);
+            sizes.push(size);
+            rings.push(BlockRing::new(blocks, q, gamma));
+        }
+        HierSlackQMax { q, base, branch, rings, sizes, count: 0 }
+    }
+
+    /// The branching factor `b`.
+    pub fn branch(&self) -> usize {
+        self.branch
+    }
+
+    /// The finest block size.
+    pub fn base_block(&self) -> usize {
+        self.base
+    }
+
+    /// The effective window length `base · bᶜ`.
+    pub fn effective_window(&self) -> usize {
+        self.base * self.branch.pow(self.rings.len() as u32)
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        let last = self.rings.len() - 1;
+        for ring in &mut self.rings[..last] {
+            ring.add(id.clone(), val.clone());
+        }
+        self.rings[last].add(id, val);
+        self.count += 1;
+        for (ring, &size) in self.rings.iter_mut().zip(&self.sizes) {
+            if self.count.is_multiple_of(size as u64) {
+                ring.advance();
+            }
+        }
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        let mut scratch = Vec::new();
+        let w_eff = self.effective_window() as u64;
+        // Coarsest layer: merge everything it retains. It covers
+        // [start_1, count) with start_1 aligned down to its block size.
+        self.rings[0].collect_all(&mut scratch);
+        let covered_start = |ring: &BlockRing<I, V>, size: u64, count: u64| -> u64 {
+            let retained = (ring.n_blocks() as u64 - 1).min(ring.epoch);
+            (count / size) * size - retained * size
+        };
+        let mut frontier = covered_start(&self.rings[0], self.sizes[0] as u64, self.count);
+        let target = self.count.saturating_sub(w_eff);
+        // Finer layers: patch [layer_start, frontier) with their oldest
+        // retained blocks.
+        for (ring, &size) in self.rings.iter().zip(&self.sizes).skip(1) {
+            if frontier <= target {
+                break;
+            }
+            let size = size as u64;
+            let start = covered_start(ring, size, self.count);
+            if start >= frontier {
+                continue;
+            }
+            let m = ((frontier - start) / size) as usize;
+            let m = m.min(ring.n_blocks() - 1);
+            ring.collect_oldest(m, &mut scratch);
+            frontier = start;
+        }
+        top_q_entries(scratch, self.q)
+    }
+
+    fn reset(&mut self) {
+        for r in &mut self.rings {
+            r.reset();
+        }
+        self.count = 0;
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.rings.iter().flat_map(|r| r.blocks.iter()).map(|b| b.len()).sum()
+    }
+
+    fn threshold(&self) -> Option<V> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "slack-hier"
+    }
+}
+
+/// q-MAX over a `(W, τ)`-slack window with a lazy front buffer —
+/// Theorem 7 of the paper.
+///
+/// A single interval q-MAX absorbs every arrival; when a base block of
+/// `≈ Wτ` items completes, only its top-`q` summary is pushed into the
+/// hierarchical layers. Most arrivals therefore touch exactly one
+/// structure, giving `O(1)` amortized update with the hierarchical
+/// query cost.
+#[derive(Debug, Clone)]
+pub struct LazySlackQMax<I, V> {
+    q: usize,
+    front: AmortizedQMax<I, V>,
+    hier: HierSlackQMax<I, V>,
+    /// Items inserted into the current base block.
+    fill: usize,
+    /// Deferred-feed queue (deamortized mode): the previous block's
+    /// summary, drained a few items per arrival instead of in one
+    /// burst. `None` in the default (immediate-feed) mode.
+    pending: Option<std::collections::VecDeque<(I, V)>>,
+    /// Counter padding still owed to the layers for the pending block.
+    pending_pad: usize,
+    /// Items drained from `pending` per arrival.
+    drain_rate: usize,
+}
+
+impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
+    /// Creates a lazy slack-window q-MAX with `c` layers over windows of
+    /// `w` items with slack `tau` and space-slack `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`HierSlackQMax::new`].
+    pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        let hier = HierSlackQMax::new(q, gamma, w, tau, c);
+        LazySlackQMax {
+            q,
+            front: AmortizedQMax::new(q, gamma),
+            hier,
+            fill: 0,
+            pending: None,
+            pending_pad: 0,
+            drain_rate: 0,
+        }
+    }
+
+    /// Like [`LazySlackQMax::new`], but the per-block summary feed into
+    /// the layers is itself spread across the *next* block's arrivals
+    /// (the de-amortization the paper sketches after Theorem 7), so no
+    /// arrival pays the `O(q·c)` feed burst. The layers consequently
+    /// lag the stream by one base block — one extra block of window
+    /// slack. The remaining per-block spike is the `O(q(1+γ))` summary
+    /// extraction from the front buffer.
+    pub fn new_deamortized(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        let mut this = Self::new(q, gamma, w, tau, c);
+        // Drain fast enough to empty a q-item summary well within the
+        // base block, with constant-bounded work per arrival whenever
+        // W = Omega(q / tau) as Theorem 7 assumes.
+        this.drain_rate = q.div_ceil(this.hier.base_block()) * 2 + 2;
+        this.pending = Some(std::collections::VecDeque::new());
+        this
+    }
+
+    /// Feeds up to `k` deferred summary items into the layers.
+    fn drain_pending(&mut self, k: usize) {
+        let Some(pending) = &mut self.pending else {
+            return;
+        };
+        for _ in 0..k {
+            match pending.pop_front() {
+                Some((id, val)) => {
+                    self.pending_pad -= 1;
+                    self.hier.insert(id, val);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Forces the deferred queue empty and settles the owed counter
+    /// padding so layer block boundaries stay stream-aligned.
+    fn flush_pending(&mut self) {
+        self.drain_pending(usize::MAX);
+        let pad = self.pending_pad;
+        self.pending_pad = 0;
+        if pad == 0 {
+            return;
+        }
+        self.hier.count += pad as u64;
+        for (ring, &size) in self.hier.rings.iter_mut().zip(&self.hier.sizes) {
+            let before = (self.hier.count - pad as u64) / size as u64;
+            let after = self.hier.count / size as u64;
+            for _ in before..after {
+                ring.advance();
+            }
+        }
+    }
+
+    /// The effective window length.
+    pub fn effective_window(&self) -> usize {
+        self.hier.effective_window()
+    }
+
+    /// The base-block (summary) size — the granularity of the window
+    /// slack.
+    pub fn base_block(&self) -> usize {
+        self.hier.base_block()
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        if self.pending.is_some() {
+            self.drain_pending(self.drain_rate);
+        }
+        self.front.insert(id, val);
+        self.fill += 1;
+        if self.fill == self.hier.base_block() {
+            let summary = self.front.query();
+            if self.pending.is_some() {
+                // Deferred mode: settle the previous block completely,
+                // then queue this block's summary for lazy feeding.
+                self.flush_pending();
+                self.pending_pad = self.hier.base_block();
+                let pending = self.pending.as_mut().expect("deferred mode");
+                let base = self.hier.base_block();
+                pending.extend(summary.into_iter().take(base));
+            } else {
+                // Immediate mode: push the block's top-q summary into
+                // every layer, then pad the layers' item counters to
+                // keep block boundaries aligned with real stream
+                // positions.
+                let pad =
+                    self.hier.base_block() - summary.len().min(self.hier.base_block());
+                for (id, val) in summary {
+                    self.hier.insert(id, val);
+                }
+                self.hier.count += pad as u64;
+                for (ring, &size) in self.hier.rings.iter_mut().zip(&self.hier.sizes) {
+                    let before = (self.hier.count - pad as u64) / size as u64;
+                    let after = self.hier.count / size as u64;
+                    for _ in before..after {
+                        ring.advance();
+                    }
+                }
+            }
+            self.front.reset();
+            self.fill = 0;
+        }
+        true
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        let mut scratch = Vec::new();
+        collect_top_q(&self.front, &mut scratch);
+        if let Some(pending) = &self.pending {
+            // Deferred items are recent and still in the window.
+            scratch.extend(pending.iter().map(|(id, val)| Entry::new(id.clone(), val.clone())));
+        }
+        for (id, val) in self.hier.query() {
+            scratch.push(Entry::new(id, val));
+        }
+        top_q_entries(scratch, self.q)
+    }
+
+    fn reset(&mut self) {
+        self.front.reset();
+        self.hier.reset();
+        self.fill = 0;
+        if let Some(pending) = &mut self.pending {
+            pending.clear();
+        }
+        self.pending_pad = 0;
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.front.len()
+            + self.hier.len()
+            + self.pending.as_ref().map_or(0, |p| p.len())
+    }
+
+    fn threshold(&self) -> Option<V> {
+        self.front.threshold()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pending.is_some() {
+            "slack-lazy-wc"
+        } else {
+            "slack-lazy"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Checks the slack-window contract at the current position: the
+    /// result must equal the top-q of *some* suffix whose length is
+    /// between `min_len` and `max_len`.
+    fn assert_slack_window_result(
+        vals: &[u64],
+        result: &mut Vec<u64>,
+        q: usize,
+        min_len: usize,
+        max_len: usize,
+    ) {
+        result.sort_unstable();
+        let n = vals.len();
+        for len in min_len..=max_len.min(n) {
+            let mut expect: Vec<u64> = vals[n - len..].to_vec();
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+            expect.truncate(q);
+            expect.sort_unstable();
+            if expect == *result {
+                return;
+            }
+        }
+        panic!(
+            "result {result:?} does not match the top-{q} of any window of \
+             length {min_len}..={max_len} at position {n}"
+        );
+    }
+
+    #[test]
+    fn basic_matches_some_valid_window() {
+        let mut state = 9u64;
+        let q = 4;
+        let w = 128;
+        let tau = 0.25;
+        let mut sw = BasicSlackQMax::new(q, 0.5, w, tau);
+        let s = sw.block_size();
+        let w_eff = sw.effective_window();
+        let mut vals = Vec::new();
+        for i in 0..5000u64 {
+            let v = splitmix(&mut state) % 1_000_000;
+            vals.push(v);
+            sw.insert(i as u32, v);
+            if i % 37 == 0 && vals.len() >= w_eff {
+                let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                assert_slack_window_result(&vals, &mut got, q, w_eff - s, w_eff);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_early_stream_returns_global_top() {
+        let mut sw = BasicSlackQMax::new(3, 1.0, 1000, 0.1);
+        for v in [5u64, 100, 3, 42] {
+            sw.insert(v as u32, v);
+        }
+        let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 42, 100]);
+    }
+
+    #[test]
+    fn partial_query_isolates_block_ranges() {
+        // 4 blocks of 25 items; values encode their block so ranges
+        // are verifiable.
+        let q = 3;
+        let mut sw = BasicSlackQMax::new(q, 0.5, 100, 0.25);
+        assert_eq!(sw.block_size(), 25);
+        for i in 0..100u64 {
+            let block = i / 25; // 0..=3; block 3 is the current one
+            sw.insert(i as u32, block * 1000 + i);
+        }
+        // Note: at i=100 the ring advanced and block 0 was recycled;
+        // re-fill so all four retained blocks are known.
+        // Blocks ago: 0 = current (empty after advance). Query blocks
+        // 1..=3 (the three full ones).
+        let got: Vec<u64> = sw.query_partial(1, 1).into_iter().map(|(_, v)| v).collect();
+        // 1 block ago = the newest full block (values 3000..).
+        assert!(got.iter().all(|&v| v >= 3000), "wrong block isolated: {got:?}");
+        let got: Vec<u64> = sw.query_partial(3, 3).into_iter().map(|(_, v)| v).collect();
+        assert!(
+            got.iter().all(|&v| (1000..2000).contains(&v)),
+            "wrong oldest block: {got:?}"
+        );
+        // Full-range partial equals the regular query.
+        let mut all: Vec<u64> = sw
+            .query_partial(0, sw.n_blocks() - 1)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        let mut q_all: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+        all.sort_unstable();
+        q_all.sort_unstable();
+        assert_eq!(all, q_all);
+    }
+
+    #[test]
+    #[should_panic(expected = "oldest exceeds retained")]
+    fn partial_query_out_of_range_panics() {
+        let mut sw: BasicSlackQMax<u32, u64> = BasicSlackQMax::new(2, 0.5, 100, 0.25);
+        sw.query_partial(0, 4);
+    }
+
+    #[test]
+    fn basic_expires_old_items() {
+        let q = 2;
+        let w = 64;
+        let mut sw = BasicSlackQMax::new(q, 0.5, w, 0.25);
+        // One huge value early, then > W small ones.
+        sw.insert(0u32, 1_000_000u64);
+        for i in 0..(2 * sw.effective_window() as u64) {
+            sw.insert((i + 1) as u32, 10 + (i % 5));
+        }
+        let got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+        assert!(
+            got.iter().all(|&v| v < 1_000_000),
+            "expired maximum still reported: {got:?}"
+        );
+    }
+
+    #[test]
+    fn hier_matches_some_valid_window() {
+        let mut state = 13u64;
+        for c in [1usize, 2, 3] {
+            let q = 3;
+            let w = 216;
+            let tau = 1.0 / 27.0;
+            let mut sw = HierSlackQMax::new(q, 0.5, w, tau, c);
+            let w_eff = sw.effective_window();
+            let slack = sw.base_block();
+            let mut vals = Vec::new();
+            for i in 0..4000u64 {
+                let v = splitmix(&mut state) % 100_000;
+                vals.push(v);
+                sw.insert(i as u32, v);
+                if i % 53 == 0 && vals.len() >= w_eff {
+                    let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                    assert_slack_window_result(&vals, &mut got, q, w_eff - slack + 1, w_eff, );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hier_expires_old_items() {
+        let mut sw = HierSlackQMax::new(2, 0.5, 100, 0.1, 2);
+        sw.insert(0u32, 999_999u64);
+        for i in 0..(3 * sw.effective_window() as u64) {
+            sw.insert((i + 1) as u32, 1 + (i % 7));
+        }
+        let got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+        assert!(got.iter().all(|&v| v < 999_999), "expired maximum survived: {got:?}");
+    }
+
+    #[test]
+    fn lazy_matches_some_valid_window() {
+        let mut state = 99u64;
+        let q = 3;
+        let w = 256;
+        let tau = 1.0 / 16.0;
+        let mut sw = LazySlackQMax::new(q, 0.5, w, tau, 2);
+        let w_eff = sw.effective_window();
+        let slack = sw.hier.base_block();
+        let mut vals = Vec::new();
+        for i in 0..6000u64 {
+            let v = splitmix(&mut state) % 1_000_000;
+            vals.push(v);
+            sw.insert(i as u32, v);
+            if i % 61 == 0 && vals.len() >= 2 * w_eff {
+                let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                // The lazy variant's front buffer may under-represent a
+                // block by the summary cut, but the top-q of the window
+                // is always retained; allow the same slack contract.
+                assert_slack_window_result(&vals, &mut got, q, w_eff - slack + 1, w_eff + slack);
+            }
+        }
+    }
+
+    #[test]
+    fn deamortized_lazy_matches_some_valid_window() {
+        let mut state = 123u64;
+        let q = 3;
+        let w = 256;
+        let tau = 1.0 / 16.0;
+        let mut sw = LazySlackQMax::new_deamortized(q, 0.5, w, tau, 2);
+        let w_eff = sw.effective_window();
+        let slack = sw.base_block();
+        let mut vals = Vec::new();
+        for i in 0..6000u64 {
+            let v = splitmix(&mut state) % 1_000_000;
+            vals.push(v);
+            sw.insert(i as u32, v);
+            if i % 73 == 0 && vals.len() >= 2 * w_eff {
+                let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                // The deferred feed adds one base block of lag, so allow
+                // two blocks of slack either way.
+                assert_slack_window_result(
+                    &vals,
+                    &mut got,
+                    q,
+                    w_eff - 2 * slack + 1,
+                    w_eff + 2 * slack,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deamortized_lazy_tracks_recent_maximum() {
+        let mut state = 77u64;
+        let q = 2;
+        let mut def = LazySlackQMax::new_deamortized(q, 0.5, 512, 0.125, 2);
+        let w_eff = def.effective_window();
+        let slack = def.base_block();
+        let mut vals: Vec<u64> = Vec::new();
+        for i in 0..20_000u64 {
+            let v = splitmix(&mut state) % 100_000;
+            vals.push(v);
+            def.insert(i as u32, v);
+            if i % 997 == 0 && vals.len() > 2 * w_eff {
+                // Every valid answered window contains the core (the
+                // recent items minus the slack fringes), so the q-th
+                // largest of the answered window is at least the q-th
+                // largest of the core.
+                let core = &vals[vals.len() - (w_eff - 2 * slack)..];
+                let mut core_sorted = core.to_vec();
+                core_sorted.sort_unstable_by(|a, b| b.cmp(a));
+                let core_qth = core_sorted[q - 1];
+                let got: Vec<u64> = def.query().into_iter().map(|(_, v)| v).collect();
+                let got_min = *got.iter().min().expect("q results");
+                assert!(
+                    got_min >= core_qth,
+                    "reported min {got_min} below core q-th largest {core_qth} at i={i}"
+                );
+            }
+        }
+        assert_eq!(def.name(), "slack-lazy-wc");
+    }
+
+    #[test]
+    fn lazy_expires_old_items() {
+        let mut sw = LazySlackQMax::new(2, 0.5, 128, 0.125, 3);
+        sw.insert(0u32, 42_000_000u64);
+        for i in 0..(3 * sw.effective_window() as u64) {
+            sw.insert((i + 1) as u32, 1 + (i % 9));
+        }
+        let got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+        assert!(got.iter().all(|&v| v < 42_000_000));
+    }
+
+    #[test]
+    fn resets_clear_all_variants() {
+        let mut b = BasicSlackQMax::new(2, 0.5, 50, 0.2);
+        let mut h = HierSlackQMax::new(2, 0.5, 50, 0.2, 2);
+        let mut l = LazySlackQMax::new(2, 0.5, 50, 0.2, 2);
+        for i in 0..500u64 {
+            b.insert(i as u32, i);
+            h.insert(i as u32, i);
+            l.insert(i as u32, i);
+        }
+        b.reset();
+        h.reset();
+        l.reset();
+        assert_eq!(b.len(), 0);
+        assert_eq!(h.len(), 0);
+        assert_eq!(l.len(), 0);
+        assert!(b.query().is_empty());
+        assert!(h.query().is_empty());
+        assert!(l.query().is_empty());
+    }
+}

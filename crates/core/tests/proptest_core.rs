@@ -1,0 +1,226 @@
+//! Property-based tests of the q-MAX structures (crate-local; the
+//! workspace-level suite covers cross-crate behaviour).
+
+use proptest::prelude::*;
+use qmax_core::heap::MinHeap;
+use qmax_core::skiplist::SkipList;
+use qmax_core::{
+    AmortizedQMax, DeamortizedQMax, ExpDecayQMax, HierSlackQMax, IndexedMinHeap,
+    KeyedSkipListQMax, Minimal, QMax, TimeSlackQMax,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MinHeap drains in sorted order under interleaved push/pop.
+    #[test]
+    fn min_heap_is_a_priority_queue(ops in prop::collection::vec((any::<bool>(), any::<u32>()), 1..2000)) {
+        let mut heap = MinHeap::new();
+        let mut reference = std::collections::BinaryHeap::new();
+        for (is_pop, v) in ops {
+            if is_pop {
+                let got = heap.pop();
+                let expect = reference.pop().map(|std::cmp::Reverse(x)| x);
+                prop_assert_eq!(got, expect);
+            } else {
+                heap.push(v);
+                reference.push(std::cmp::Reverse(v));
+            }
+        }
+        prop_assert_eq!(heap.len(), reference.len());
+    }
+
+    /// SkipList mirrors a sorted multiset under insert / pop_min /
+    /// remove_one.
+    #[test]
+    fn skiplist_is_a_sorted_multiset(ops in prop::collection::vec((0u8..3, 0u16..64), 1..1500)) {
+        let mut sl = SkipList::new();
+        let mut reference: Vec<u16> = Vec::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    sl.insert(v);
+                    reference.push(v);
+                    reference.sort_unstable();
+                }
+                1 => {
+                    let got = sl.pop_min();
+                    let expect = if reference.is_empty() {
+                        None
+                    } else {
+                        Some(reference.remove(0))
+                    };
+                    prop_assert_eq!(got, expect);
+                }
+                _ => {
+                    let removed = sl.remove_one(&v, |_| true);
+                    let pos = reference.iter().position(|&x| x == v);
+                    prop_assert_eq!(removed, pos.is_some());
+                    if let Some(p) = pos {
+                        reference.remove(p);
+                    }
+                }
+            }
+        }
+        let drained: Vec<u16> = sl.iter().copied().collect();
+        prop_assert_eq!(drained, reference);
+    }
+
+    /// IndexedMinHeap upserts behave like a map + min tracking.
+    #[test]
+    fn indexed_heap_tracks_min(ops in prop::collection::vec((0u8..4, 0u16..32, any::<u32>()), 1..1500)) {
+        let mut heap: IndexedMinHeap<u16, u32> = IndexedMinHeap::new();
+        let mut reference: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+        for (op, k, v) in ops {
+            if op == 0 && !reference.is_empty() {
+                let (hk, hv) = heap.pop_min().unwrap();
+                let true_min = reference.values().min().copied().unwrap();
+                prop_assert_eq!(hv, true_min);
+                prop_assert_eq!(reference.remove(&hk), Some(hv));
+            } else {
+                heap.upsert(k, v);
+                reference.insert(k, v);
+            }
+            prop_assert_eq!(heap.len(), reference.len());
+            if let Some((_, min)) = heap.peek() {
+                prop_assert_eq!(*min, reference.values().min().copied().unwrap());
+            }
+        }
+    }
+
+    /// Keyed skip list keeps the top-q distinct keys by max value.
+    #[test]
+    fn keyed_skiplist_top_q_distinct(
+        ops in prop::collection::vec((0u16..24, any::<u32>()), 1..1200),
+        q in 1usize..8,
+    ) {
+        let mut qm = KeyedSkipListQMax::new(q);
+        let mut best: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+        for &(k, v) in &ops {
+            qm.insert(k, v);
+            let e = best.entry(k).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+        let mut expect: Vec<(u32, u16)> = best.iter().map(|(&k, &v)| (v, k)).collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(q);
+        let min_kept = expect.last().map(|&(v, _)| v).unwrap_or(0);
+        let got: std::collections::HashMap<u16, u32> = qm.query().into_iter().collect();
+        prop_assert_eq!(got.len(), expect.len());
+        // All strictly-above-threshold keys must be present with their
+        // exact max values (ties at the boundary may resolve either way).
+        for &(v, k) in &expect {
+            if v > min_kept {
+                prop_assert_eq!(got.get(&k), Some(&v));
+            }
+        }
+        for (&k, &v) in &got {
+            prop_assert_eq!(best.get(&k), Some(&v), "stale value for key {}", k);
+        }
+    }
+
+    /// q-MIN via Minimal equals sorting ascending.
+    #[test]
+    fn minimal_gives_q_min(vals in prop::collection::vec(any::<u64>(), 1..1500), q in 1usize..32) {
+        let mut qm = AmortizedQMax::new(q, 0.5);
+        for (i, &v) in vals.iter().enumerate() {
+            qm.insert(i as u32, Minimal(v));
+        }
+        let mut got: Vec<u64> = qm.query().into_iter().map(|(_, Minimal(v))| v).collect();
+        got.sort_unstable();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        expect.truncate(q);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Exponential decay ranks by decayed weight for any decay factor.
+    #[test]
+    fn exp_decay_ranks_correctly(
+        vals in prop::collection::vec(1u32..1_000_000, 2..300),
+        c_scaled in 2u32..99,
+        q in 1usize..6,
+    ) {
+        let c = c_scaled as f64 / 100.0;
+        let mut ed = ExpDecayQMax::new(DeamortizedQMax::new(q, 0.5), c);
+        for (i, &v) in vals.iter().enumerate() {
+            ed.insert(i, v as f64);
+        }
+        let got: std::collections::HashSet<usize> =
+            ed.query().into_iter().map(|(id, _)| id).collect();
+        // Reference: decayed weight val * c^(t - i).
+        let t = vals.len() as f64;
+        let mut scored: Vec<(f64, usize)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((v as f64).ln() + (t - i as f64) * c.ln(), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // Only check items strictly above the boundary (ties arbitrary).
+        let boundary = scored[got.len() - 1].0;
+        for &(s, i) in scored.iter().take(got.len()) {
+            if s > boundary + 1e-9 {
+                prop_assert!(got.contains(&i), "missing strictly-ranked item {}", i);
+            }
+        }
+    }
+
+    /// Time-based windows: the result is exactly the top-q of a
+    /// block-aligned time suffix of valid slack length.
+    #[test]
+    fn time_window_matches_block_aligned_suffix(
+        gaps in prop::collection::vec(0u64..40, 300..1200),
+        vals in prop::collection::vec(any::<u64>(), 1200),
+        q in 1usize..6,
+    ) {
+        let w_ns = 2_000u64;
+        let mut sw = TimeSlackQMax::new(q, 0.5, w_ns, 0.25);
+        let block = sw.block_ns();
+        let n_blocks = sw.effective_window_ns() / block;
+        let mut ts = 0u64;
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        for (i, &g) in gaps.iter().enumerate() {
+            ts += g;
+            let v = vals[i];
+            sw.insert(i as u32, v, ts);
+            all.push((ts, v));
+        }
+        let mut got: Vec<u64> = sw.query_at(ts).into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        // Reference: items in block epochs [cur-(n-1), cur].
+        let cur = ts / block;
+        let oldest = cur.saturating_sub(n_blocks - 1);
+        let mut expect: Vec<u64> = all
+            .iter()
+            .filter(|&&(t, _)| t / block >= oldest)
+            .map(|&(_, v)| v)
+            .collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(q);
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Hierarchical windows never report an expired or future item.
+    #[test]
+    fn hier_window_reports_only_live_items(
+        vals in prop::collection::vec(any::<u64>(), 600..2000),
+        c in 1usize..4,
+    ) {
+        let q = 3;
+        let w = 128;
+        let mut sw = HierSlackQMax::new(q, 0.5, w, 0.125, c);
+        let w_eff = sw.effective_window();
+        for (i, &v) in vals.iter().enumerate() {
+            sw.insert(i as u32, v);
+        }
+        let ids: Vec<u32> = sw.query().into_iter().map(|(id, _)| id).collect();
+        let oldest_allowed = vals.len().saturating_sub(w_eff) as u32;
+        for id in ids {
+            prop_assert!(id >= oldest_allowed, "expired item {} reported", id);
+            prop_assert!((id as usize) < vals.len());
+        }
+    }
+}

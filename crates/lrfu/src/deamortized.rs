@@ -1,0 +1,351 @@
+//! Worst-case constant-time LRFU (the de-amortized construction of
+//! Section 5.1).
+//!
+//! [`crate::QMaxLrfu`] runs an `O(q)` maintenance pass once per
+//! `⌈qγ⌉` requests; this variant pipelines that pass across requests
+//! so *every* request performs `O(γ⁻¹)` work:
+//!
+//! 1. **Refresh** — copy the live `(key, score)` registry into a stale
+//!    snapshot array, a few slots per miss;
+//! 2. **Select** — run the suspendable selection machine over the
+//!    snapshot to find its `E`-th smallest score, where `E` is the
+//!    number of entries above the target population;
+//! 3. **Evict** — walk the snapshot's bottom `E` entries, removing each
+//!    from the cache *unless its score was bumped since the snapshot*
+//!    (a bumped entry was hit, so it stays).
+//!
+//! Hits never touch the pipeline: they bump the key's log-score in the
+//! registry in `O(1)`. The eviction guard preserves the paper's LRFU
+//! guarantee — the `q` highest-score keys are never evicted: scores
+//! only grow, so a key in the current top `q` was already in the
+//! snapshot's top `q` (and the machine never selects those), or it
+//! arrived after the snapshot (and is not evictable this round).
+
+use crate::score::DecayScore;
+use crate::Cache;
+use qmax_core::{Entry, OrderedF64};
+use qmax_select::{Direction, NthElementMachine, WORK_BOUND_FACTOR};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug, Clone, Copy)]
+struct Info {
+    /// Index into the key registry.
+    idx: usize,
+    /// Current log-score.
+    w: f64,
+}
+
+#[derive(Debug)]
+enum Phase<K> {
+    /// Waiting for the population to exceed `q + g`.
+    Idle,
+    /// Copying registry slots `next..snap_len` into the snapshot.
+    Refresh { next: usize },
+    /// Selecting the `evict`-th smallest snapshot score.
+    Select { machine: NthElementMachine<Entry<K, OrderedF64>>, evict: usize },
+    /// Evicting snapshot slots `next..evict` (skipping bumped keys).
+    Evict { next: usize, evict: usize },
+}
+
+/// Counters describing the de-amortized execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeamortizedLrfuStats {
+    /// Completed refresh→select→evict pipelines.
+    pub iterations: u64,
+    /// Evictions skipped because the key was re-requested mid-pipeline.
+    pub eviction_skips: u64,
+    /// Largest number of pipeline work units charged to one request.
+    pub max_step_units: u64,
+}
+
+/// LRFU with worst-case `O(γ⁻¹)` work per request and population
+/// between `q` and roughly `q(1+γ)` keys.
+#[derive(Debug)]
+pub struct DeamortizedLrfu<K> {
+    q: usize,
+    /// Pipeline granularity `⌈qγ/2⌉`.
+    g: usize,
+    score: DecayScore,
+    map: HashMap<K, Info>,
+    keys: Vec<K>,
+    snapshot: Vec<Entry<K, OrderedF64>>,
+    /// Number of valid snapshot slots (registry size at refresh start).
+    snap_len: usize,
+    phase: Phase<K>,
+    /// Per-miss pipeline budget in work units.
+    budget: usize,
+    time: u64,
+    stats: DeamortizedLrfuStats,
+}
+
+impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
+    /// Creates a de-amortized LRFU cache that never evicts the `q`
+    /// highest-score keys, holds at most about `q(1+γ) + O(1)` keys,
+    /// and decays with parameter `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `gamma` is not positive and finite, or `c`
+    /// is outside `(0, 1)`.
+    pub fn new(q: usize, gamma: f64, c: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        let g = (((q as f64) * gamma / 2.0).ceil() as usize).max(3);
+        // The pipeline must finish within g misses: refresh copies
+        // q + 2g slots, selection costs WORK_BOUND_FACTOR * (q + 2g)
+        // units, eviction walks at most q + 2g slots.
+        let total_work = (WORK_BOUND_FACTOR + 2) * (q + 2 * g);
+        let budget = total_work.div_ceil(g) + WORK_BOUND_FACTOR;
+        DeamortizedLrfu {
+            q,
+            g,
+            score: DecayScore::new(c),
+            map: HashMap::new(),
+            keys: Vec::new(),
+            snapshot: Vec::new(),
+            snap_len: 0,
+            phase: Phase::Idle,
+            budget,
+            time: 0,
+            stats: DeamortizedLrfuStats::default(),
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> DeamortizedLrfuStats {
+        self.stats
+    }
+
+    /// The per-miss pipeline budget (`O(γ⁻¹)`).
+    pub fn step_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Removes registry slot `idx` (swap-remove, fixing the moved
+    /// key's index).
+    fn remove_slot(&mut self, idx: usize) {
+        let key = self.keys.swap_remove(idx);
+        self.map.remove(&key);
+        if idx < self.keys.len() {
+            let moved = self.keys[idx].clone();
+            self.map.get_mut(&moved).expect("registry in sync").idx = idx;
+        }
+    }
+
+    /// Advances the maintenance pipeline by at most `budget` units.
+    fn advance(&mut self) {
+        let mut rem = self.budget as i64;
+        let step_units = self.budget as u64;
+        while rem > 0 {
+            match &mut self.phase {
+                Phase::Idle => {
+                    if self.map.len() <= self.q + self.g {
+                        break;
+                    }
+                    self.snap_len = self.keys.len();
+                    if self.snapshot.len() < self.snap_len {
+                        // One-off growth; amortizes over the stream.
+                        self.snapshot.resize(
+                            self.snap_len,
+                            Entry::new(self.keys[0].clone(), OrderedF64(0.0)),
+                        );
+                    }
+                    self.phase = Phase::Refresh { next: 0 };
+                    rem -= 1;
+                }
+                Phase::Refresh { next } => {
+                    if *next >= self.snap_len {
+                        // Snapshot complete: how many entries exceed the
+                        // target population of q?
+                        let evict = self.snap_len - self.q;
+                        debug_assert!(evict >= 1);
+                        let machine = NthElementMachine::new(
+                            0,
+                            self.snap_len,
+                            evict - 1,
+                            Direction::Ascending,
+                        );
+                        self.phase = Phase::Select { machine, evict };
+                        rem -= 1;
+                    } else {
+                        let i = *next;
+                        let key = self.keys[i].clone();
+                        let w = self.map.get(&key).expect("registry in sync").w;
+                        self.snapshot[i] = Entry::new(key, OrderedF64(w));
+                        *next += 1;
+                        rem -= 1;
+                    }
+                }
+                Phase::Select { machine, evict } => {
+                    let before = machine.total_ops();
+                    machine.step(&mut self.snapshot[..self.snap_len], rem as usize);
+                    rem -= (machine.total_ops() - before) as i64;
+                    if machine.is_finished() {
+                        let evict = *evict;
+                        self.phase = Phase::Evict { next: 0, evict };
+                    }
+                }
+                Phase::Evict { next, evict } => {
+                    if *next >= *evict {
+                        self.stats.iterations += 1;
+                        self.phase = Phase::Idle;
+                        rem -= 1;
+                    } else {
+                        let entry = self.snapshot[*next].clone();
+                        *next += 1;
+                        rem -= 2;
+                        match self.map.get(&entry.id) {
+                            Some(info) if info.w == entry.val.get() => {
+                                let idx = info.idx;
+                                self.remove_slot(idx);
+                            }
+                            Some(_) => self.stats.eviction_skips += 1,
+                            // Already gone (cannot happen: snapshot keys
+                            // are unique and only this phase removes).
+                            None => debug_assert!(false, "snapshot key vanished"),
+                        }
+                    }
+                }
+            }
+        }
+        let used = self.budget as i64 - rem;
+        self.stats.max_step_units = self.stats.max_step_units.max(used.max(0) as u64);
+        let _ = step_units;
+    }
+}
+
+impl<K: Clone + Hash + Eq> Cache<K> for DeamortizedLrfu<K> {
+    fn request(&mut self, key: K) -> bool {
+        self.time += 1;
+        let t = self.time;
+        if let Some(info) = self.map.get_mut(&key) {
+            info.w = self.score.bump(info.w, t);
+            return true;
+        }
+        let idx = self.keys.len();
+        self.keys.push(key.clone());
+        self.map.insert(key, Info { idx, w: self.score.access(t) });
+        self.advance();
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity_bounds(&self) -> (usize, usize) {
+        (self.q, self.q + 2 * self.g + self.g)
+    }
+
+    fn reset(&mut self) {
+        self.map.clear();
+        self.keys.clear();
+        self.snapshot.clear();
+        self.snap_len = 0;
+        self.phase = Phase::Idle;
+        self.time = 0;
+        self.stats = DeamortizedLrfuStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "lrfu-qmax-wc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hit_ratio, HeapLrfu};
+    use qmax_traces::gen::arc_like;
+    use qmax_traces::rng::SplitMix64;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = DeamortizedLrfu::new(4, 0.5, 0.75);
+        assert!(!c.request("a"));
+        assert!(c.request("a"));
+        assert!(!c.request("b"));
+        assert!(c.request("b"));
+    }
+
+    #[test]
+    fn population_stays_bounded() {
+        let q = 100;
+        let mut c = DeamortizedLrfu::new(q, 0.5, 0.75);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200_000 {
+            c.request(rng.next_below(50_000));
+        }
+        let (_, hi) = c.capacity_bounds();
+        assert!(c.len() <= hi, "population {} above bound {hi}", c.len());
+        assert!(c.len() >= q, "population {} below q", c.len());
+        assert!(c.stats().iterations > 0, "pipeline never ran");
+    }
+
+    #[test]
+    fn top_q_scores_are_never_evicted() {
+        let q = 32;
+        let decay = 0.75;
+        let mut cache = DeamortizedLrfu::new(q, 0.5, decay);
+        let ds = DecayScore::new(decay);
+        let mut reference: HashMap<u64, f64> = HashMap::new();
+        let mut rng = SplitMix64::new(7);
+        for t in 1..=30_000u64 {
+            let key = rng.next_below(300);
+            cache.request(key);
+            let w = reference.entry(key).or_insert(f64::NEG_INFINITY);
+            *w = ds.bump(*w, t);
+            if t % 501 == 0 {
+                let mut scored: Vec<(u64, f64)> =
+                    reference.iter().map(|(&k, &w)| (k, w)).collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for &(k, _) in scored.iter().take(q) {
+                    assert!(cache.map.contains_key(&k), "top-{q} key {k} evicted at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_work_is_bounded() {
+        let q = 1000;
+        let mut c = DeamortizedLrfu::new(q, 0.25, 0.75);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..300_000 {
+            c.request(rng.next_below(100_000));
+        }
+        // A single request's pipeline work never exceeds the budget
+        // plus one indivisible selection unit.
+        assert!(
+            c.stats().max_step_units <= c.step_budget() as u64 + 32,
+            "max step units {} exceed budget {}",
+            c.stats().max_step_units,
+            c.step_budget()
+        );
+    }
+
+    #[test]
+    fn hit_ratio_close_to_exact_lrfu() {
+        let trace = arc_like(150_000, 15_000, 11);
+        let q = 1_500;
+        let exact = hit_ratio(&mut HeapLrfu::new(q, 0.75), &trace);
+        let ours = hit_ratio(&mut DeamortizedLrfu::new(q, 0.25, 0.75), &trace);
+        assert!(
+            ours >= exact - 0.02,
+            "de-amortized LRFU hit ratio {ours} well below exact {exact}"
+        );
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = DeamortizedLrfu::new(8, 0.5, 0.8);
+        for k in 0..1000u64 {
+            c.request(k % 37);
+        }
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), DeamortizedLrfuStats::default());
+        assert!(!c.request(1u64));
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's q-MAX based LRFU (Section 5.1): amortized constant time
+//! per request.
+
+use crate::score::DecayScore;
+use crate::Cache;
+use qmax_core::Entry;
+use qmax_core::OrderedF64;
+use qmax_select::nth_smallest;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// LRFU via exponential-decay q-MAX with duplicate merging.
+///
+/// Requests append `(key, λt)` entries to a `⌈q(1+γ)⌉`-slot buffer —
+/// *including* requests for keys already cached, which simply gain an
+/// extra entry (an exact log-sum-exp contribution). When the buffer
+/// fills, a maintenance pass merges each key's entries into one
+/// log-score, finds the q-th largest score with a linear-time
+/// selection, and evicts everything below it. The pass costs `O(q)` and
+/// runs at most once per `⌈qγ⌉` requests, so requests cost `O(1 + 1/γ)`
+/// amortized — versus `O(log q)` for the heap and `O(q)` for the scan
+/// baseline.
+///
+/// The cache population floats between `q` and `⌈q(1+γ)⌉` distinct
+/// keys, and — like the paper's construction — the `q` highest-score
+/// keys are never evicted.
+#[derive(Debug, Clone)]
+pub struct QMaxLrfu<K> {
+    q: usize,
+    cap: usize,
+    score: DecayScore,
+    /// Request log: one entry per request since the last merge, plus
+    /// one merged entry per surviving key.
+    buf: Vec<Entry<K, OrderedF64>>,
+    /// Cached keys (the cache content) with their entry multiplicity.
+    cached: HashMap<K, u32>,
+    time: u64,
+    maintenance_passes: u64,
+}
+
+impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
+    /// Creates a q-MAX LRFU cache that always retains the `q`
+    /// highest-score keys, holds at most `⌈q(1+γ)⌉` keys, and decays
+    /// with parameter `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `gamma` is not positive and finite, or `c`
+    /// is outside `(0, 1)`.
+    pub fn new(q: usize, gamma: f64, c: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        let cap = (((q as f64) * (1.0 + gamma)).ceil() as usize).max(q + 1);
+        QMaxLrfu {
+            q,
+            cap,
+            score: DecayScore::new(c),
+            buf: Vec::with_capacity(cap),
+            cached: HashMap::new(),
+            time: 0,
+            maintenance_passes: 0,
+        }
+    }
+
+    /// Maximum number of distinct keys the cache may hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of `O(q)` maintenance passes run so far.
+    pub fn maintenance_passes(&self) -> u64 {
+        self.maintenance_passes
+    }
+
+    /// Merges duplicate entries (log-sum-exp per key) and, if more than
+    /// `q` distinct keys remain, evicts all keys below the q-th largest
+    /// log-score.
+    fn maintain(&mut self) {
+        let mut merged: HashMap<K, f64> = HashMap::with_capacity(self.buf.len());
+        for e in self.buf.drain(..) {
+            match merged.get_mut(&e.id) {
+                Some(w) => *w = crate::score::logaddexp(*w, e.val.get()),
+                None => {
+                    merged.insert(e.id, e.val.get());
+                }
+            }
+        }
+        self.buf
+            .extend(merged.into_iter().map(|(k, w)| Entry::new(k, OrderedF64(w))));
+        if self.buf.len() > self.q {
+            let cut = self.buf.len() - self.q;
+            nth_smallest(&mut self.buf, cut);
+            for evicted in self.buf.drain(..cut) {
+                self.cached.remove(&evicted.id);
+            }
+        }
+        for e in &self.buf {
+            self.cached.insert(e.id.clone(), 1);
+        }
+        self.maintenance_passes += 1;
+    }
+}
+
+impl<K: Clone + Hash + Eq> Cache<K> for QMaxLrfu<K> {
+    fn request(&mut self, key: K) -> bool {
+        self.time += 1;
+        let w = OrderedF64(self.score.access(self.time));
+        let hit = match self.cached.get_mut(&key) {
+            Some(mult) => {
+                *mult += 1;
+                true
+            }
+            None => {
+                self.cached.insert(key.clone(), 1);
+                false
+            }
+        };
+        self.buf.push(Entry::new(key, w));
+        if self.buf.len() == self.cap {
+            self.maintain();
+        }
+        hit
+    }
+
+    fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn capacity_bounds(&self) -> (usize, usize) {
+        (self.q, self.cap)
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.cached.clear();
+        self.time = 0;
+        self.maintenance_passes = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "lrfu-qmax"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeapLrfu;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = QMaxLrfu::new(4, 0.5, 0.75);
+        assert!(!c.request("a"));
+        assert!(c.request("a"));
+        assert!(!c.request("b"));
+        assert!(c.request("b"));
+    }
+
+    #[test]
+    fn population_stays_within_bounds() {
+        let mut c = QMaxLrfu::new(100, 0.5, 0.75);
+        for k in 0..100_000u64 {
+            c.request(k % 7919);
+        }
+        let (_, hi) = c.capacity_bounds();
+        assert!(c.len() <= hi, "population {} above {hi}", c.len());
+        assert!(c.len() >= 100, "population {} below q after warm-up", c.len());
+        assert!(c.maintenance_passes() > 0);
+    }
+
+    #[test]
+    fn top_q_scores_are_never_evicted() {
+        // Mirror the requests into an exact reference and verify that
+        // the q highest-score keys of the reference are always cached.
+        let q = 32;
+        let c_decay = 0.75;
+        let mut qmax = QMaxLrfu::new(q, 0.5, c_decay);
+        let mut reference: HashMap<u64, f64> = HashMap::new();
+        let ds = DecayScore::new(c_decay);
+        let mut state = 5u64;
+        for t in 1..=20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 200;
+            qmax.request(key);
+            let w = reference.entry(key).or_insert(f64::NEG_INFINITY);
+            *w = ds.bump(*w, t);
+            if t % 997 == 0 {
+                let mut scored: Vec<(u64, f64)> =
+                    reference.iter().map(|(&k, &w)| (k, w)).collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for &(k, _) in scored.iter().take(q) {
+                    assert!(
+                        qmax.cached.contains_key(&k),
+                        "top-{q} key {k} evicted at t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_is_amortized() {
+        let q = 1000;
+        let gamma = 0.5;
+        let mut c = QMaxLrfu::new(q, gamma, 0.75);
+        let n = 300_000u64;
+        for k in 0..n {
+            c.request(k % 50_000);
+        }
+        // One pass per (cap - q) requests at most (plus slack for the
+        // duplicate-heavy regime where fewer keys survive the merge).
+        let max_passes = n / ((c.capacity() - q) as u64) + 2;
+        assert!(
+            c.maintenance_passes() <= max_passes,
+            "{} passes exceed {max_passes}",
+            c.maintenance_passes()
+        );
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut c = QMaxLrfu::new(16, 0.5, 0.8);
+        for k in 0..5000u64 {
+            c.request(k % 97);
+        }
+        assert!(c.maintenance_passes() > 0);
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.maintenance_passes(), 0);
+        assert!(!c.request(1u64), "fresh cache must miss");
+        assert!(c.request(1u64), "then hit");
+    }
+
+    #[test]
+    fn capacity_bounds_reflect_gamma() {
+        let c = QMaxLrfu::<u64>::new(100, 0.5, 0.75);
+        assert_eq!(c.capacity_bounds(), (100, 150));
+    }
+
+    #[test]
+    fn hit_ratio_close_to_exact_lrfu_on_skewed_trace() {
+        let trace = qmax_traces::gen::arc_like(100_000, 10_000, 3);
+        let q = 1_000;
+        let exact = crate::hit_ratio(&mut HeapLrfu::new(q, 0.75), &trace);
+        let ours = crate::hit_ratio(&mut QMaxLrfu::new(q, 0.25, 0.75), &trace);
+        assert!(
+            ours >= exact - 0.02,
+            "q-MAX LRFU hit ratio {ours} well below exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Log-domain exponential-decay score arithmetic.
+
+/// `ln(e^a + e^b)` computed without overflow: the larger argument is
+/// factored out, leaving `max + ln(1 + e^(min−max))`.
+#[inline]
+pub fn logaddexp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Exponential-decay score bookkeeping shared by the LRFU variants.
+///
+/// With decay parameter `c ∈ (0, 1)` and `λ = −ln c`, the *stored*
+/// log-score of an item accessed at times `i₁, …, iₖ` is
+/// `w = ln Σ exp(λ·iⱼ)`; its LRFU score at time `t` is `exp(w − λt)`.
+/// Ordering by `w` therefore orders by score, and a fresh access at
+/// time `t` folds in as `w ← logaddexp(w, λt)`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayScore {
+    lambda: f64,
+}
+
+impl DecayScore {
+    /// Creates score bookkeeping for decay parameter `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in `(0, 1)`.
+    pub fn new(c: f64) -> Self {
+        assert!(c > 0.0 && c < 1.0, "decay parameter must be in (0, 1)");
+        DecayScore { lambda: -c.ln() }
+    }
+
+    /// The log-contribution of a single access at time `t`.
+    #[inline]
+    pub fn access(&self, t: u64) -> f64 {
+        self.lambda * t as f64
+    }
+
+    /// Folds an access at time `t` into an existing log-score.
+    #[inline]
+    pub fn bump(&self, w: f64, t: u64) -> f64 {
+        logaddexp(w, self.access(t))
+    }
+
+    /// The decayed absolute score at time `t` of a stored log-score
+    /// (only used for reporting; comparisons use `w` directly).
+    #[inline]
+    pub fn decayed(&self, w: f64, t: u64) -> f64 {
+        (w - self.lambda * t as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logaddexp_matches_direct_computation() {
+        for (a, b) in [(0.0f64, 0.0f64), (1.0, 2.0), (-3.0, 4.0), (10.0, 10.0)] {
+            let direct = (a.exp() + b.exp()).ln();
+            assert!((logaddexp(a, b) - direct).abs() < 1e-12, "({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn logaddexp_is_overflow_safe() {
+        let big = 1e6;
+        let r = logaddexp(big, big);
+        assert!((r - (big + 2f64.ln())).abs() < 1e-6);
+        assert!(r.is_finite());
+        assert_eq!(logaddexp(f64::NEG_INFINITY, 5.0), 5.0);
+        assert_eq!(logaddexp(5.0, f64::NEG_INFINITY), 5.0);
+    }
+
+    #[test]
+    fn scores_match_naive_lrfu() {
+        // Naive: score at time t = sum over accesses of c^(t-i).
+        let c = 0.75f64;
+        let ds = DecayScore::new(c);
+        let accesses = [3u64, 7, 8, 15];
+        let t = 20u64;
+        let naive: f64 = accesses.iter().map(|&i| c.powi((t - i) as i32)).sum();
+        let mut w = f64::NEG_INFINITY;
+        for &i in &accesses {
+            w = ds.bump(w, i);
+        }
+        assert!((ds.decayed(w, t) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_by_w_is_ordering_by_score() {
+        let ds = DecayScore::new(0.9);
+        // Item A: one recent access; item B: two ancient accesses.
+        let wa = ds.access(100);
+        let mut wb = ds.access(1);
+        wb = ds.bump(wb, 2);
+        let t = 101;
+        assert_eq!(wa > wb, ds.decayed(wa, t) > ds.decayed(wb, t));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay parameter")]
+    fn c_of_one_panics() {
+        let _ = DecayScore::new(1.0);
+    }
+
+    #[test]
+    fn stays_finite_over_very_long_streams() {
+        // 10^8 requests with c = 0.75: raw weights would be c^-1e8 ≈
+        // 10^12M — far beyond f64 — but log-domain arithmetic stays
+        // finite and keeps ordering.
+        let ds = DecayScore::new(0.75);
+        let old = ds.access(10);
+        let recent = ds.access(100_000_000);
+        assert!(old.is_finite() && recent.is_finite());
+        assert!(recent > old);
+        // Bumping an ancient score with a fresh access is dominated by
+        // the fresh access, as the decay model requires.
+        let bumped = ds.bump(old, 100_000_000);
+        assert!(bumped.is_finite());
+        assert!(bumped >= recent);
+        assert!(bumped - recent < 1e-6, "ancient history should be negligible");
+    }
+
+    #[test]
+    fn repeated_bumps_equal_batch_logsumexp() {
+        let ds = DecayScore::new(0.9);
+        let times = [1u64, 5, 9, 10, 11];
+        let mut incremental = f64::NEG_INFINITY;
+        for &t in &times {
+            incremental = ds.bump(incremental, t);
+        }
+        let direct: f64 = times.iter().map(|&t| (ds.access(t)).exp()).sum::<f64>().ln();
+        assert!((incremental - direct).abs() < 1e-9);
+    }
+}

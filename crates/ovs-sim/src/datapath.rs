@@ -1,0 +1,380 @@
+//! The two-tier software datapath: exact-match cache in front of a
+//! tuple-space-search classifier.
+
+use qmax_traces::{hash, FlowKey, Packet};
+
+/// Action applied to a matched packet (output port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// Output port index.
+    pub out_port: u16,
+}
+
+/// An exact-match cache (EMC) in the style of the OVS userspace
+/// datapath: a small direct-indexed 2-way table keyed by the full
+/// 5-tuple, answering the common case with one hash and at most two
+/// comparisons.
+#[derive(Debug, Clone)]
+pub struct Emc {
+    mask: usize,
+    /// Two ways per bucket: (key, action), vacant = None.
+    slots: Vec<[Option<(FlowKey, Action)>; 2]>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Emc {
+    /// Creates an EMC with `entries` slots (rounded up to a power of
+    /// two; OVS uses 8192).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "EMC must have entries");
+        let n = entries.next_power_of_two();
+        Emc { mask: n - 1, slots: vec![[None, None]; n], hits: 0, misses: 0 }
+    }
+
+    #[inline]
+    fn bucket(&self, flow: &FlowKey) -> usize {
+        (flow.as_u64() as usize) & self.mask
+    }
+
+    /// Looks up a flow.
+    #[inline]
+    pub fn lookup(&mut self, flow: &FlowKey) -> Option<Action> {
+        let b = self.bucket(flow);
+        for (k, a) in self.slots[b].iter().flatten() {
+            if k == flow {
+                self.hits += 1;
+                return Some(*a);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs a flow, evicting the second way of its bucket if full.
+    pub fn install(&mut self, flow: FlowKey, action: Action) {
+        let b = self.bucket(&flow);
+        let bucket = &mut self.slots[b];
+        if bucket[0].is_none() {
+            bucket[0] = Some((flow, action));
+        } else if bucket[1].is_none() {
+            bucket[1] = Some((flow, action));
+        } else {
+            bucket.swap(0, 1);
+            bucket[0] = Some((flow, action));
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// One wildcard mask of the megaflow classifier: which 5-tuple fields
+/// the rule set distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMask {
+    /// Prefix bits of the source address that are matched.
+    pub src_prefix: u8,
+    /// Prefix bits of the destination address that are matched.
+    pub dst_prefix: u8,
+    /// Whether ports and protocol are matched.
+    pub match_l4: bool,
+}
+
+impl FlowMask {
+    fn apply(&self, flow: &FlowKey) -> FlowKey {
+        let src_mask: u32 = if self.src_prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.src_prefix as u32)
+        };
+        let dst_mask: u32 = if self.dst_prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.dst_prefix as u32)
+        };
+        FlowKey {
+            src_ip: flow.src_ip & src_mask,
+            dst_ip: flow.dst_ip & dst_mask,
+            src_port: if self.match_l4 { flow.src_port } else { 0 },
+            dst_port: if self.match_l4 { flow.dst_port } else { 0 },
+            proto: if self.match_l4 { flow.proto } else { 0 },
+        }
+    }
+}
+
+/// A tuple-space-search classifier: one open hash table per mask,
+/// probed in order (like OVS's dpcls subtables).
+#[derive(Debug, Clone)]
+pub struct Megaflow {
+    masks: Vec<FlowMask>,
+    tables: Vec<std::collections::HashMap<u64, Action>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Megaflow {
+    /// Creates a classifier over the given subtable masks (probed in
+    /// the given order).
+    pub fn new(masks: Vec<FlowMask>) -> Self {
+        let tables = masks.iter().map(|_| std::collections::HashMap::new()).collect();
+        Megaflow { masks, tables, hits: 0, misses: 0 }
+    }
+
+    fn masked_key(mask: &FlowMask, flow: &FlowKey) -> u64 {
+        hash::mix64(mask.apply(flow).as_u64())
+    }
+
+    /// Looks up a flow across all subtables.
+    pub fn lookup(&mut self, flow: &FlowKey) -> Option<Action> {
+        for (mask, table) in self.masks.iter().zip(&self.tables) {
+            if let Some(a) = table.get(&Self::masked_key(mask, flow)) {
+                self.hits += 1;
+                return Some(*a);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs a rule under subtable `mask_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask_idx` is out of range.
+    pub fn install(&mut self, mask_idx: usize, flow: &FlowKey, action: Action) {
+        let mask = self.masks[mask_idx];
+        self.tables[mask_idx].insert(Self::masked_key(&mask, flow), action);
+    }
+
+    /// (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Forwarding statistics of a [`Switch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets forwarded.
+    pub packets: u64,
+    /// Bytes forwarded.
+    pub bytes: u64,
+    /// EMC hits.
+    pub emc_hits: u64,
+    /// Megaflow (dpcls) hits.
+    pub megaflow_hits: u64,
+    /// Slow-path upcalls (first packet of a flow).
+    pub upcalls: u64,
+}
+
+/// The simulated switch datapath: EMC → megaflow → upcall, mirroring
+/// the OVS userspace fast path one PMD thread runs.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    emc: Emc,
+    megaflow: Megaflow,
+    ports: u16,
+    stats: SwitchStats,
+}
+
+impl Switch {
+    /// Creates a switch with an OVS-sized EMC (8192 entries), a
+    /// megaflow classifier with a typical subtable mix (a /24-pair
+    /// subtable and an exact L4 subtable), and `ports` output ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(ports: u16) -> Self {
+        assert!(ports > 0, "need at least one port");
+        Switch {
+            emc: Emc::new(8192),
+            megaflow: Megaflow::new(vec![
+                FlowMask { src_prefix: 24, dst_prefix: 24, match_l4: false },
+                FlowMask { src_prefix: 32, dst_prefix: 32, match_l4: true },
+            ]),
+            ports,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// The forwarding decision for a flow (deterministic hash of the
+    /// 5-tuple onto an output port — a stand-in for the OpenFlow
+    /// pipeline's final action).
+    fn decide(&self, flow: &FlowKey) -> Action {
+        Action { out_port: (flow.as_u64() % self.ports as u64) as u16 }
+    }
+
+    /// Processes one packet through the datapath and returns its
+    /// action. First packets of a flow take the simulated slow path
+    /// (an upcall that installs megaflow + EMC entries).
+    pub fn process(&mut self, pkt: &Packet) -> Action {
+        let flow = pkt.flow();
+        self.stats.packets += 1;
+        self.stats.bytes += pkt.len as u64;
+        if let Some(a) = self.emc.lookup(&flow) {
+            self.stats.emc_hits += 1;
+            return a;
+        }
+        if let Some(a) = self.megaflow.lookup(&flow) {
+            self.stats.megaflow_hits += 1;
+            // Promote to the EMC like OVS does on dpcls hits.
+            self.emc.install(flow, a);
+            return a;
+        }
+        // Upcall: consult the (simulated) OpenFlow pipeline, install.
+        self.stats.upcalls += 1;
+        let action = self.decide(&flow);
+        self.megaflow.install(1, &flow, action);
+        self.emc.install(flow, action);
+        action
+    }
+
+    /// Processes an RX batch through the datapath (DPDK polls NICs in
+    /// bursts of up to 32 frames; processing batch-wise is how OVS's
+    /// PMD loop actually runs). Returns the actions in packet order.
+    pub fn process_batch(&mut self, batch: &[Packet], actions: &mut Vec<Action>) {
+        actions.clear();
+        actions.extend(batch.iter().map(|p| self.process(p)));
+    }
+
+    /// Forwarding statistics so far.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_traces::gen::caida_like;
+
+    #[test]
+    fn emc_hit_after_install() {
+        let mut emc = Emc::new(128);
+        let p: Vec<Packet> = caida_like(1, 1).collect();
+        let flow = p[0].flow();
+        assert_eq!(emc.lookup(&flow), None);
+        emc.install(flow, Action { out_port: 3 });
+        assert_eq!(emc.lookup(&flow), Some(Action { out_port: 3 }));
+    }
+
+    #[test]
+    fn emc_bucket_eviction_keeps_two_ways() {
+        let mut emc = Emc::new(1); // single bucket: everything collides
+        let pkts: Vec<Packet> = caida_like(200, 2).collect();
+        for (i, p) in pkts.iter().take(3).enumerate() {
+            emc.install(p.flow(), Action { out_port: i as u16 });
+        }
+        // Last two installed flows must be present.
+        assert!(emc.lookup(&pkts[2].flow()).is_some());
+        let present = [0, 1]
+            .iter()
+            .filter(|&&i| emc.lookup(&pkts[i].flow()).is_some())
+            .count();
+        assert_eq!(present, 1, "exactly one older flow survives in the 2-way bucket");
+    }
+
+    #[test]
+    fn megaflow_wildcards_aggregate_flows() {
+        let mut mf = Megaflow::new(vec![FlowMask {
+            src_prefix: 24,
+            dst_prefix: 0,
+            match_l4: false,
+        }]);
+        let base = FlowKey { src_ip: 0x0A000001, dst_ip: 1, src_port: 1, dst_port: 2, proto: 6 };
+        mf.install(0, &base, Action { out_port: 9 });
+        // Any flow in the same /24 matches.
+        let sibling = FlowKey { src_ip: 0x0A0000FF, dst_ip: 77, src_port: 5, dst_port: 6, proto: 17 };
+        assert_eq!(mf.lookup(&sibling), Some(Action { out_port: 9 }));
+        let stranger = FlowKey { src_ip: 0x0B000001, ..sibling };
+        assert_eq!(mf.lookup(&stranger), None);
+    }
+
+    #[test]
+    fn switch_upcalls_once_per_flow() {
+        let mut sw = Switch::new(4);
+        let pkts: Vec<Packet> = caida_like(20_000, 3).collect();
+        let flows: std::collections::HashSet<u64> =
+            pkts.iter().map(|p| p.flow().as_u64()).collect();
+        for p in &pkts {
+            sw.process(p);
+        }
+        let st = sw.stats();
+        assert_eq!(st.packets, 20_000);
+        assert_eq!(st.upcalls as usize, flows.len(), "one upcall per distinct flow");
+        assert_eq!(st.emc_hits + st.megaflow_hits + st.upcalls, st.packets);
+        // The fast path must dominate on a skewed trace.
+        assert!(st.emc_hits > st.packets / 2, "EMC hits {} too low", st.emc_hits);
+    }
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let mut emc = Emc::new(64);
+        let pkts: Vec<Packet> = caida_like(10, 6).collect();
+        let flow = pkts[0].flow();
+        assert_eq!(emc.lookup(&flow), None);
+        emc.install(flow, Action { out_port: 1 });
+        emc.lookup(&flow);
+        emc.lookup(&flow);
+        assert_eq!(emc.counters(), (2, 1));
+        let mut mf = Megaflow::new(vec![FlowMask {
+            src_prefix: 32,
+            dst_prefix: 32,
+            match_l4: true,
+        }]);
+        assert_eq!(mf.lookup(&flow), None);
+        mf.install(0, &flow, Action { out_port: 2 });
+        assert!(mf.lookup(&flow).is_some());
+        assert_eq!(mf.counters(), (1, 1));
+    }
+
+    #[test]
+    fn subtable_order_gives_first_match_priority() {
+        // A /24 wildcard subtable probed before an exact one wins for
+        // flows both would match.
+        let mut mf = Megaflow::new(vec![
+            FlowMask { src_prefix: 24, dst_prefix: 0, match_l4: false },
+            FlowMask { src_prefix: 32, dst_prefix: 32, match_l4: true },
+        ]);
+        let flow = FlowKey { src_ip: 0x0A000001, dst_ip: 7, src_port: 1, dst_port: 2, proto: 6 };
+        mf.install(0, &flow, Action { out_port: 10 });
+        mf.install(1, &flow, Action { out_port: 20 });
+        assert_eq!(mf.lookup(&flow), Some(Action { out_port: 10 }));
+    }
+
+    #[test]
+    fn batch_processing_matches_per_packet() {
+        let pkts: Vec<Packet> = caida_like(3000, 8).collect();
+        let mut a = Switch::new(4);
+        let mut b = Switch::new(4);
+        let per_packet: Vec<Action> = pkts.iter().map(|p| a.process(p)).collect();
+        let mut batched = Vec::new();
+        let mut all = Vec::new();
+        for chunk in pkts.chunks(32) {
+            b.process_batch(chunk, &mut batched);
+            all.extend(batched.iter().copied());
+        }
+        assert_eq!(per_packet, all);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn forwarding_is_deterministic_per_flow() {
+        let mut sw = Switch::new(8);
+        let pkts: Vec<Packet> = caida_like(5000, 5).collect();
+        let mut seen: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
+        for p in &pkts {
+            let a = sw.process(p);
+            let e = seen.entry(p.flow().as_u64()).or_insert(a.out_port);
+            assert_eq!(*e, a.out_port, "flow changed port");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Line-rate throughput evaluation: how fast can the switch + hook
+//! forward, and does it keep up with the wire?
+
+use crate::datapath::Switch;
+use crate::MeasurementHook;
+use qmax_traces::{FlowKey, Packet};
+use std::time::Instant;
+
+/// Per-packet Ethernet wire overhead: preamble (8B) + inter-frame gap
+/// (12B). A 64-byte frame therefore occupies 84 byte-times on the wire.
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// A line-rate offered load: link speed plus frame size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineRate {
+    /// Link speed in gigabits per second (10.0 and 40.0 in the paper).
+    pub gbps: f64,
+    /// Frame size in bytes, excluding wire overhead (64 for the
+    /// stress tests, the trace's mean size for the 40G experiments).
+    pub frame_bytes: u32,
+}
+
+impl LineRate {
+    /// The offered packet rate in packets per second.
+    pub fn offered_pps(&self) -> f64 {
+        self.gbps * 1e9 / (8.0 * (self.frame_bytes + WIRE_OVERHEAD_BYTES) as f64)
+    }
+
+    /// The per-packet time budget in nanoseconds at line rate.
+    pub fn budget_ns(&self) -> f64 {
+        1e9 / self.offered_pps()
+    }
+}
+
+/// Result of a throughput evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputReport {
+    /// Offered load in millions of packets per second.
+    pub offered_mpps: f64,
+    /// Achieved forwarding rate in millions of packets per second.
+    pub achieved_mpps: f64,
+    /// Achieved throughput in gigabits per second (including wire
+    /// overhead, i.e. relative to the link's nominal speed).
+    pub achieved_gbps: f64,
+    /// Measured datapath + hook cost per packet in nanoseconds.
+    pub cost_ns_per_packet: f64,
+    /// Fraction of the line-rate budget consumed (1.0 = exactly at
+    /// line rate; above 1.0 the switch drops).
+    pub budget_utilization: f64,
+}
+
+/// A hook that records nothing: the "vanilla OVS" baseline of
+/// Figures 12–17.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl MeasurementHook for NullHook {
+    #[inline]
+    fn on_packet(&mut self, _flow: FlowKey, _packet_id: u64, _len: u16) {}
+
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+}
+
+/// Runs `packets` through `switch` with `hook` attached, measures the
+/// real per-packet processing cost, and reports the throughput the
+/// combination would achieve against the offered `rate`.
+///
+/// The model: a PMD thread has `rate.budget_ns()` per packet; if the
+/// measured cost exceeds the budget, throughput degrades
+/// proportionally (`achieved = offered * budget / cost`) — the standard
+/// receive-livelock-free DPDK polling model the paper's setup matches.
+pub fn evaluate_throughput<H: MeasurementHook>(
+    switch: &mut Switch,
+    hook: &mut H,
+    packets: &[Packet],
+    rate: LineRate,
+) -> ThroughputReport {
+    assert!(!packets.is_empty(), "need packets to measure");
+    let start = Instant::now();
+    for p in packets {
+        switch.process(p);
+        hook.on_packet(p.flow(), p.packet_id(), p.len);
+    }
+    let elapsed = start.elapsed();
+    let cost_ns = elapsed.as_nanos() as f64 / packets.len() as f64;
+    let budget = rate.budget_ns();
+    let offered = rate.offered_pps();
+    let achieved_pps = if cost_ns <= budget { offered } else { offered * budget / cost_ns };
+    ThroughputReport {
+        offered_mpps: offered / 1e6,
+        achieved_mpps: achieved_pps / 1e6,
+        achieved_gbps: achieved_pps
+            * 8.0
+            * (rate.frame_bytes + WIRE_OVERHEAD_BYTES) as f64
+            / 1e9,
+        cost_ns_per_packet: cost_ns,
+        budget_utilization: cost_ns / budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_traces::gen::caida_like;
+
+    #[test]
+    fn classic_line_rates_are_reproduced() {
+        // 10G at 64B frames = 14.88 Mpps, the textbook number.
+        let r = LineRate { gbps: 10.0, frame_bytes: 64 };
+        assert!((r.offered_pps() / 1e6 - 14.88).abs() < 0.01);
+        assert!((r.budget_ns() - 67.2).abs() < 0.1);
+        // 40G at 64B = 59.52 Mpps.
+        let r40 = LineRate { gbps: 40.0, frame_bytes: 64 };
+        assert!((r40.offered_pps() / 1e6 - 59.52).abs() < 0.05);
+    }
+
+    #[test]
+    fn achieved_never_exceeds_offered() {
+        let mut sw = Switch::new(4);
+        let mut hook = NullHook;
+        let pkts: Vec<_> = caida_like(50_000, 1).collect();
+        let rep = evaluate_throughput(
+            &mut sw,
+            &mut hook,
+            &pkts,
+            LineRate { gbps: 10.0, frame_bytes: 64 },
+        );
+        assert!(rep.achieved_mpps <= rep.offered_mpps + 1e-9);
+        assert!(rep.cost_ns_per_packet > 0.0);
+        assert!(rep.achieved_gbps <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn expensive_hook_reduces_throughput() {
+        struct BusyHook(u64);
+        impl MeasurementHook for BusyHook {
+            fn on_packet(&mut self, _f: FlowKey, id: u64, _l: u16) {
+                // Burn deterministic cycles per packet.
+                let mut x = id;
+                for _ in 0..2000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                self.0 ^= x;
+            }
+        }
+        let pkts: Vec<_> = caida_like(20_000, 2).collect();
+        let rate = LineRate { gbps: 40.0, frame_bytes: 64 };
+        let mut sw1 = Switch::new(4);
+        let rep_null = evaluate_throughput(&mut sw1, &mut NullHook, &pkts, rate);
+        let mut sw2 = Switch::new(4);
+        let mut busy = BusyHook(0);
+        let rep_busy = evaluate_throughput(&mut sw2, &mut busy, &pkts, rate);
+        assert!(
+            rep_busy.achieved_mpps < rep_null.achieved_mpps,
+            "busy {} not below null {}",
+            rep_busy.achieved_mpps,
+            rep_null.achieved_mpps
+        );
+        assert!(rep_busy.budget_utilization > 1.0, "busy hook must blow the 40G budget");
+    }
+
+    #[test]
+    fn budget_scales_inversely_with_rate() {
+        let r10 = LineRate { gbps: 10.0, frame_bytes: 64 };
+        let r40 = LineRate { gbps: 40.0, frame_bytes: 64 };
+        assert!((r10.budget_ns() / r40.budget_ns() - 4.0).abs() < 1e-9);
+        // Bigger frames buy more time per packet.
+        let big = LineRate { gbps: 10.0, frame_bytes: 1500 };
+        assert!(big.budget_ns() > 10.0 * r10.budget_ns());
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let mut sw = Switch::new(2);
+        let pkts: Vec<_> = caida_like(30_000, 4).collect();
+        let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+        let rep = evaluate_throughput(&mut sw, &mut NullHook, &pkts, rate);
+        // achieved_gbps reconstructs from achieved_mpps.
+        let gbps = rep.achieved_mpps * 1e6 * 8.0 * (64 + 20) as f64 / 1e9;
+        assert!((gbps - rep.achieved_gbps).abs() < 1e-9);
+        // Utilization below 1 implies line rate achieved.
+        if rep.budget_utilization <= 1.0 {
+            assert!((rep.achieved_mpps - rep.offered_mpps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need packets")]
+    fn empty_batch_panics() {
+        let mut sw = Switch::new(1);
+        evaluate_throughput(
+            &mut sw,
+            &mut NullHook,
+            &[],
+            LineRate { gbps: 10.0, frame_bytes: 64 },
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Selection algorithms used by the q-MAX data structures.
+//!
+//! The q-MAX algorithm (Ben Basat et al., IMC 2019) maintains the `q`
+//! largest items of a stream in worst-case constant time per update. Its
+//! core trick is that finding an order statistic of an `O(q)`-sized array
+//! takes `O(q)` time ([`nth_smallest`] / [`mom_nth_smallest`]), and that
+//! this linear-time computation can be *de-amortized*: broken into many
+//! small, bounded-work steps that are interleaved with arrivals
+//! ([`NthElementMachine`]).
+//!
+//! This crate provides:
+//!
+//! * [`nth_smallest`] — introselect (quickselect with a median-of-medians
+//!   fallback): expected linear, worst-case linear.
+//! * [`mom_nth_smallest`] — pure BFPRT median-of-medians selection:
+//!   worst-case linear with a larger constant.
+//! * [`NthElementMachine`] — a suspendable selection machine. Each call to
+//!   [`NthElementMachine::step`] performs at most `budget` elementary
+//!   operations and returns whether the selection has completed. Total
+//!   work is bounded by `WORK_BOUND_FACTOR * n`, so running the machine
+//!   with a per-step budget of `WORK_BOUND_FACTOR * n / s` completes it
+//!   within `s` steps.
+//! * [`PartitionMachine`] — a suspendable three-way partition around a
+//!   fixed pivot value.
+//! * low-level helpers: [`partition3`], [`insertion_sort`],
+//!   [`median_of_five`].
+//!
+//! All algorithms operate in place on caller-owned slices; the machines
+//! hold only indices, never borrows, so the caller may mutate *other*
+//! regions of the same buffer between steps (this is exactly how q-MAX
+//! inserts arrivals into one region while selection runs on another).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod machine;
+mod partition;
+mod quickselect;
+mod topk;
+
+pub use machine::{Direction, MachineStatus, NthElementMachine, PartitionMachine, WORK_BOUND_FACTOR};
+pub use partition::{insertion_sort, median_of_five, partition3};
+pub use quickselect::{mom_nth_smallest, nth_largest, nth_smallest};
+pub use topk::{top_k_indices, top_k_suffix};

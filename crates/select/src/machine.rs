@@ -1,0 +1,617 @@
+//! Suspendable, bounded-work selection machines.
+//!
+//! The q-MAX algorithm de-amortizes a linear-time selection by running a
+//! few of its elementary operations per stream arrival. These machines
+//! make that possible: they hold the full control state of a
+//! median-of-medians selection (or of a three-way partition) as plain
+//! data — an explicit frame stack and loop counters — so the computation
+//! can be advanced by any number of *elementary operations* (element
+//! comparisons / swaps) at a time, with the buffer borrowed only for the
+//! duration of each [`NthElementMachine::step`] call.
+//!
+//! Because the machines address the buffer by index range and never hold
+//! a borrow across steps, the caller is free to mutate the buffer
+//! *outside* the machine's `[lo, hi)` range between steps. q-MAX uses
+//! this to insert arriving items into one region of its array while the
+//! selection runs over the other region.
+
+use core::cmp::Ordering;
+
+/// Ranges of at most this many elements are solved by direct insertion
+/// sort rather than recursive selection.
+const SMALL: usize = 24;
+
+/// Conservative upper bound on the total number of elementary operations
+/// the [`NthElementMachine`] performs for a range of `n` elements:
+/// `total_ops <= WORK_BOUND_FACTOR * n + WORK_BOUND_FACTOR`.
+///
+/// The BFPRT recurrence `T(n) = T(n/5) + T(7n/10) + c*n` solves to
+/// `T(n) = 10*c*n`; our per-element constant `c` (group medians ~2.4 ops,
+/// partition ~2 ops) gives `T(n) ~ 45n`. The factor below adds headroom
+/// for the insertion-sort base cases. The de-amortized q-MAX uses it to
+/// size its per-arrival operation budget.
+pub const WORK_BOUND_FACTOR: usize = 64;
+
+/// Progress report of a machine step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineStatus {
+    /// More steps are required.
+    InProgress,
+    /// The computation has completed; results may be read.
+    Finished,
+}
+
+/// Comparison direction of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Natural order: the machine selects the k-th **smallest**.
+    Ascending,
+    /// Reversed order: the machine selects the k-th **largest**.
+    Descending,
+}
+
+impl Direction {
+    #[inline]
+    fn cmp<T: Ord>(self, a: &T, b: &T) -> Ordering {
+        match self {
+            Direction::Ascending => a.cmp(b),
+            Direction::Descending => b.cmp(a),
+        }
+    }
+}
+
+/// Control state of one selection frame.
+#[derive(Debug)]
+enum Phase<T> {
+    /// Frame freshly (re-)entered; dispatch on range size.
+    Start,
+    /// Insertion-sorting a small range; `i` is the next element to place.
+    SmallSort { i: usize },
+    /// Packing group-of-5 medians to the front of the range.
+    Medians { next_group: usize, packed: usize },
+    /// A child frame is selecting the median of the packed medians.
+    AwaitPivot,
+    /// Three-way partition around `pivot` in progress.
+    Partition { lt: usize, i: usize, gt: usize, pivot: T },
+}
+
+#[derive(Debug)]
+struct Frame<T> {
+    lo: usize,
+    hi: usize,
+    /// Absolute index at which the sought order statistic must land.
+    target: usize,
+    phase: Phase<T>,
+}
+
+/// A suspendable `nth_element`: rearranges `buf[lo..hi]` so that the
+/// `k`-th element in the machine's direction order ends at index
+/// `lo + k`, with all "smaller" elements before it and all "larger"
+/// after (smaller/larger meant in the direction order).
+///
+/// Uses median-of-medians pivots throughout, so the total work is
+/// worst-case linear: at most [`WORK_BOUND_FACTOR`]` * (hi - lo)`
+/// elementary operations regardless of input order.
+///
+/// ```
+/// use qmax_select::{Direction, MachineStatus, NthElementMachine};
+/// let mut buf = vec![5, 1, 9, 3, 7, 2, 8, 0, 6, 4, 11, 13, 12, 15, 14,
+///                    21, 20, 23, 22, 25, 24, 27, 26, 29, 28, 31, 30];
+/// let mut m = NthElementMachine::new(0, buf.len(), 4, Direction::Ascending);
+/// while m.step(&mut buf, 8) == MachineStatus::InProgress {}
+/// assert_eq!(buf[4], 4);
+/// ```
+#[derive(Debug)]
+pub struct NthElementMachine<T> {
+    frames: Vec<Frame<T>>,
+    dir: Direction,
+    result: Option<usize>,
+    total_ops: u64,
+    max_step_ops: u64,
+}
+
+impl<T: Ord + Clone> NthElementMachine<T> {
+    /// Creates a machine that will place the `k`-th element (0-based) of
+    /// `buf[lo..hi]` — in `dir` order — at index `lo + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or `k` is out of range.
+    pub fn new(lo: usize, hi: usize, k: usize, dir: Direction) -> Self {
+        assert!(lo < hi, "empty selection range [{lo}, {hi})");
+        assert!(k < hi - lo, "selection index {k} out of range {}", hi - lo);
+        NthElementMachine {
+            frames: vec![Frame { lo, hi, target: lo + k, phase: Phase::Start }],
+            dir,
+            result: None,
+            total_ops: 0,
+            max_step_ops: 0,
+        }
+    }
+
+    /// Whether the selection has completed.
+    pub fn is_finished(&self) -> bool {
+        self.result.is_some()
+    }
+
+    /// Absolute index of the selected element once finished.
+    pub fn result_index(&self) -> Option<usize> {
+        self.result
+    }
+
+    /// Total elementary operations performed so far.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Largest number of elementary operations performed by a single
+    /// [`step`](Self::step) call (may exceed the budget by the cost of
+    /// one indivisible unit, a bounded constant).
+    pub fn max_step_ops(&self) -> u64 {
+        self.max_step_ops
+    }
+
+    /// Runs at most ~`budget` elementary operations of the selection.
+    ///
+    /// A step never stops in the middle of an indivisible unit (placing
+    /// one element of an insertion sort, computing one group-of-5
+    /// median), so the actual work may exceed `budget` by a small
+    /// constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the machine's configured range.
+    pub fn step(&mut self, buf: &mut [T], budget: usize) -> MachineStatus {
+        if self.result.is_some() {
+            return MachineStatus::Finished;
+        }
+        let mut rem = budget as i64;
+        let step_start = self.total_ops;
+        while rem > 0 && self.result.is_none() {
+            rem -= self.advance_unit(buf, rem as u64) as i64;
+        }
+        let used = self.total_ops - step_start;
+        if used > self.max_step_ops {
+            self.max_step_ops = used;
+        }
+        if self.result.is_some() {
+            MachineStatus::Finished
+        } else {
+            MachineStatus::InProgress
+        }
+    }
+
+    /// Runs the machine to completion and returns the index of the
+    /// selected element.
+    pub fn run_to_completion(&mut self, buf: &mut [T]) -> usize {
+        while self.result.is_none() {
+            self.advance_unit(buf, u64::MAX / 4);
+        }
+        self.result.expect("machine just finished")
+    }
+
+    /// Executes one unit of work of at most ~`max_cost` operations;
+    /// returns its operation cost.
+    fn advance_unit(&mut self, buf: &mut [T], max_cost: u64) -> u64 {
+        let dir = self.dir;
+        let fidx = self.frames.len() - 1;
+        let frame = &mut self.frames[fidx];
+        assert!(frame.hi <= buf.len(), "buffer shorter than machine range");
+        let (lo, hi, target) = (frame.lo, frame.hi, frame.target);
+        let cost: u64;
+        enum Outcome {
+            Continue,
+            FrameDone,
+            PushChild { clo: usize, chi: usize, ck: usize },
+        }
+        let outcome;
+        match &mut frame.phase {
+            Phase::Start => {
+                cost = 1;
+                if hi - lo <= SMALL {
+                    frame.phase = Phase::SmallSort { i: lo + 1 };
+                } else {
+                    frame.phase = Phase::Medians { next_group: lo, packed: 0 };
+                }
+                outcome = Outcome::Continue;
+            }
+            Phase::SmallSort { i } => {
+                if *i >= hi {
+                    outcome = Outcome::FrameDone;
+                    cost = 1;
+                } else {
+                    let mut j = *i;
+                    let mut moved = 1u64;
+                    while j > lo && dir.cmp(&buf[j - 1], &buf[j]) == Ordering::Greater {
+                        buf.swap(j - 1, j);
+                        j -= 1;
+                        moved += 1;
+                    }
+                    *i += 1;
+                    cost = moved;
+                    outcome = Outcome::Continue;
+                }
+            }
+            Phase::Medians { next_group, packed } => {
+                if *next_group >= hi {
+                    let ngroups = *packed;
+                    debug_assert!(ngroups >= 1);
+                    frame.phase = Phase::AwaitPivot;
+                    outcome = Outcome::PushChild {
+                        clo: lo,
+                        chi: lo + ngroups,
+                        ck: (ngroups - 1) / 2,
+                    };
+                    cost = 1;
+                } else {
+                    let g = *next_group;
+                    let len = (hi - g).min(5);
+                    // Sort the group in the machine's direction; the
+                    // median index is the same either way.
+                    for a in g + 1..g + len {
+                        let mut j = a;
+                        while j > g && dir.cmp(&buf[j - 1], &buf[j]) == Ordering::Greater {
+                            buf.swap(j - 1, j);
+                            j -= 1;
+                        }
+                    }
+                    let median = g + (len - 1) / 2;
+                    buf.swap(lo + *packed, median);
+                    *packed += 1;
+                    *next_group += len;
+                    cost = 12;
+                    outcome = Outcome::Continue;
+                }
+            }
+            Phase::AwaitPivot => {
+                unreachable!("AwaitPivot frames are resumed only via child completion")
+            }
+            Phase::Partition { lt, i, gt, pivot } => {
+                if *i < *gt {
+                    // Process a whole budget's worth of elements in one
+                    // tight loop — this is the machine's hot path.
+                    let mut c = 0u64;
+                    while *i < *gt && c < max_cost {
+                        match dir.cmp(&buf[*i], pivot) {
+                            Ordering::Less => {
+                                buf.swap(*lt, *i);
+                                *lt += 1;
+                                *i += 1;
+                            }
+                            Ordering::Greater => {
+                                *gt -= 1;
+                                buf.swap(*i, *gt);
+                            }
+                            Ordering::Equal => *i += 1,
+                        }
+                        c += 2;
+                    }
+                    cost = c;
+                    outcome = Outcome::Continue;
+                } else {
+                    // Partition complete: recurse into the side holding
+                    // the target, or finish if the target is in the
+                    // "equal" run.
+                    let (plo, phi) = (*lt, *gt);
+                    cost = 1;
+                    if target < plo {
+                        frame.hi = plo;
+                        frame.phase = Phase::Start;
+                        outcome = Outcome::Continue;
+                    } else if target >= phi {
+                        frame.lo = phi;
+                        frame.phase = Phase::Start;
+                        outcome = Outcome::Continue;
+                    } else {
+                        outcome = Outcome::FrameDone;
+                    }
+                }
+            }
+        }
+        self.total_ops += cost;
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::PushChild { clo, chi, ck } => {
+                self.frames.push(Frame {
+                    lo: clo,
+                    hi: chi,
+                    target: clo + ck,
+                    phase: Phase::Start,
+                });
+            }
+            Outcome::FrameDone => {
+                let done = self.frames.pop().expect("frame stack non-empty");
+                let t = done.target;
+                match self.frames.last_mut() {
+                    None => self.result = Some(t),
+                    Some(parent) => {
+                        let Phase::AwaitPivot = parent.phase else {
+                            unreachable!("parent of a completed frame must await its pivot")
+                        };
+                        // The child has placed the median-of-medians at
+                        // its target index; use its value as the pivot.
+                        let (plo, phi) = (parent.lo, parent.hi);
+                        parent.phase = Phase::Partition {
+                            lt: plo,
+                            i: plo,
+                            gt: phi,
+                            pivot: buf[t].clone(),
+                        };
+                    }
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// A suspendable three-way partition of `buf[lo..hi]` around a fixed
+/// pivot value.
+///
+/// After completion, with `(lt, gt) = machine.result().unwrap()`:
+/// * `buf[lo..lt]` holds elements ordered strictly before the pivot,
+/// * `buf[lt..gt]` holds elements equal to the pivot,
+/// * `buf[gt..hi]` holds elements ordered strictly after the pivot,
+///
+/// all in the machine's [`Direction`] order.
+#[derive(Debug)]
+pub struct PartitionMachine<T> {
+    lo: usize,
+    hi: usize,
+    lt: usize,
+    i: usize,
+    gt: usize,
+    pivot: T,
+    dir: Direction,
+    total_ops: u64,
+}
+
+impl<T: Ord> PartitionMachine<T> {
+    /// Creates a partition machine for `buf[lo..hi]` around `pivot`.
+    pub fn new(lo: usize, hi: usize, pivot: T, dir: Direction) -> Self {
+        assert!(lo <= hi, "invalid partition range [{lo}, {hi})");
+        PartitionMachine { lo, hi, lt: lo, i: lo, gt: hi, pivot, dir, total_ops: 0 }
+    }
+
+    /// The configured `[lo, hi)` range.
+    pub fn range(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether the partition has completed.
+    pub fn is_finished(&self) -> bool {
+        self.i >= self.gt
+    }
+
+    /// `(lt, gt)` boundaries once finished.
+    pub fn result(&self) -> Option<(usize, usize)> {
+        if self.is_finished() {
+            Some((self.lt, self.gt))
+        } else {
+            None
+        }
+    }
+
+    /// Total elementary operations performed so far.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Processes at most `budget` elements of the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the machine's configured range.
+    pub fn step(&mut self, buf: &mut [T], budget: usize) -> MachineStatus {
+        assert!(self.hi <= buf.len(), "buffer shorter than machine range");
+        let mut rem = budget;
+        while rem > 0 && self.i < self.gt {
+            match self.dir.cmp(&buf[self.i], &self.pivot) {
+                Ordering::Less => {
+                    buf.swap(self.lt, self.i);
+                    self.lt += 1;
+                    self.i += 1;
+                }
+                Ordering::Greater => {
+                    self.gt -= 1;
+                    buf.swap(self.i, self.gt);
+                }
+                Ordering::Equal => self.i += 1,
+            }
+            self.total_ops += 2;
+            rem -= 1;
+        }
+        if self.is_finished() {
+            MachineStatus::Finished
+        } else {
+            MachineStatus::InProgress
+        }
+    }
+
+    /// Runs the machine to completion and returns the `(lt, gt)` bounds.
+    pub fn run_to_completion(&mut self, buf: &mut [T]) -> (usize, usize) {
+        while self.step(buf, usize::MAX) == MachineStatus::InProgress {}
+        self.result().expect("machine just finished")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn run_machine(v: &mut [u32], k: usize, dir: Direction, budget: usize) -> usize {
+        let mut m = NthElementMachine::new(0, v.len(), k, dir);
+        let mut guard = 0usize;
+        while m.step(v, budget) == MachineStatus::InProgress {
+            guard += 1;
+            assert!(guard < 100_000_000, "machine failed to terminate");
+        }
+        m.result_index().unwrap()
+    }
+
+    #[test]
+    fn ascending_selects_kth_smallest() {
+        let mut state = 7u64;
+        for n in [1usize, 5, 24, 25, 100, 1000] {
+            let base: Vec<u32> = (0..n).map(|_| (splitmix(&mut state) % 97) as u32).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for k in [0, n / 2, n - 1] {
+                let mut v = base.clone();
+                let idx = run_machine(&mut v, k, Direction::Ascending, 16);
+                assert_eq!(idx, k);
+                assert_eq!(v[k], sorted[k]);
+                assert!(v[..k].iter().all(|x| *x <= v[k]));
+                assert!(v[k + 1..].iter().all(|x| *x >= v[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn descending_selects_kth_largest() {
+        let mut state = 42u64;
+        for n in [3usize, 50, 333] {
+            let base: Vec<u32> = (0..n).map(|_| (splitmix(&mut state) % 31) as u32).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for k in [0, n / 2, n - 1] {
+                let mut v = base.clone();
+                run_machine(&mut v, k, Direction::Descending, 7);
+                assert_eq!(v[k], sorted[k]);
+                assert!(v[..k].iter().all(|x| *x >= v[k]));
+                assert!(v[k + 1..].iter().all(|x| *x <= v[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_inputs_stay_within_work_bound() {
+        for n in [100usize, 1000, 5000] {
+            let patterns: Vec<Vec<u32>> = vec![
+                (0..n as u32).collect(),
+                (0..n as u32).rev().collect(),
+                vec![3; n],
+                (0..n as u32).map(|x| x % 2).collect(),
+            ];
+            for base in patterns {
+                let mut v = base.clone();
+                let mut m = NthElementMachine::new(0, n, n / 2, Direction::Ascending);
+                m.run_to_completion(&mut v);
+                assert!(
+                    m.total_ops() <= (WORK_BOUND_FACTOR * n + WORK_BOUND_FACTOR) as u64,
+                    "ops {} exceed bound for n={n}",
+                    m.total_ops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_budget_is_respected_up_to_unit_cost() {
+        let mut state = 3u64;
+        let n = 2000;
+        let mut v: Vec<u32> = (0..n).map(|_| splitmix(&mut state) as u32).collect();
+        let mut m = NthElementMachine::new(0, n, 100, Direction::Ascending);
+        while m.step(&mut v, 10) == MachineStatus::InProgress {}
+        // A unit costs at most ~SMALL ops (one insertion-sort placement).
+        assert!(m.max_step_ops() <= 10 + SMALL as u64 + 2);
+    }
+
+    #[test]
+    fn machine_ignores_buffer_outside_range() {
+        let mut state = 5u64;
+        let n = 500;
+        let mut v: Vec<u32> = (0..n + 50).map(|_| (splitmix(&mut state) % 1000) as u32).collect();
+        let frozen_prefix: Vec<u32> = v[..25].to_vec();
+        let mut expect: Vec<u32> = v[25..25 + n].to_vec();
+        expect.sort_unstable();
+        let mut m = NthElementMachine::new(25, 25 + n, 77, Direction::Ascending);
+        let mut tick = 0u32;
+        while m.step(&mut v, 5) == MachineStatus::InProgress {
+            // Mutate the regions outside [25, 525) between steps.
+            v[tick as usize % 25] = tick;
+            v[525 + (tick as usize % 25)] = tick;
+            tick += 1;
+        }
+        assert_eq!(v[25 + 77], expect[77]);
+        let _ = frozen_prefix;
+    }
+
+    #[test]
+    fn partition_machine_partitions() {
+        let mut state = 9u64;
+        let n = 300;
+        let mut v: Vec<u32> = (0..n).map(|_| (splitmix(&mut state) % 10) as u32).collect();
+        let mut m = PartitionMachine::new(10, 290, 5u32, Direction::Ascending);
+        while m.step(&mut v, 13) == MachineStatus::InProgress {}
+        let (lt, gt) = m.result().unwrap();
+        assert!(v[10..lt].iter().all(|&x| x < 5));
+        assert!(v[lt..gt].iter().all(|&x| x == 5));
+        assert!(v[gt..290].iter().all(|&x| x > 5));
+    }
+
+    #[test]
+    fn partition_machine_descending() {
+        let mut v: Vec<u32> = vec![1, 9, 5, 5, 3, 8, 0, 5];
+        let mut m = PartitionMachine::new(0, 8, 5u32, Direction::Descending);
+        while m.step(&mut v, 3) == MachineStatus::InProgress {}
+        let (lt, gt) = m.result().unwrap();
+        // Descending: "before pivot" means greater values.
+        assert!(v[..lt].iter().all(|&x| x > 5));
+        assert!(v[lt..gt].iter().all(|&x| x == 5));
+        assert!(v[gt..].iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn empty_partition_range_is_finished_immediately() {
+        let mut v: Vec<u32> = vec![1, 2, 3];
+        let mut m = PartitionMachine::new(1, 1, 2u32, Direction::Ascending);
+        assert_eq!(m.step(&mut v, 10), MachineStatus::Finished);
+        assert_eq!(m.result(), Some((1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty selection range")]
+    fn empty_selection_range_panics() {
+        let _ = NthElementMachine::<u32>::new(3, 3, 0, Direction::Ascending);
+    }
+
+    #[test]
+    fn finished_machine_steps_are_noops() {
+        let mut v: Vec<u32> = (0..200).rev().collect();
+        let mut m = NthElementMachine::new(0, 200, 50, Direction::Ascending);
+        m.run_to_completion(&mut v);
+        let ops = m.total_ops();
+        let snapshot = v.clone();
+        assert_eq!(m.step(&mut v, 1000), MachineStatus::Finished);
+        assert_eq!(m.total_ops(), ops, "finished machine must do no work");
+        assert_eq!(v, snapshot, "finished machine must not touch the buffer");
+    }
+
+    #[test]
+    fn single_element_range() {
+        let mut v = vec![9u32, 42, 7];
+        let mut m = NthElementMachine::new(1, 2, 0, Direction::Descending);
+        assert_eq!(m.step(&mut v, 100), MachineStatus::Finished);
+        assert_eq!(m.result_index(), Some(1));
+        assert_eq!(v, vec![9, 42, 7]);
+    }
+
+    #[test]
+    fn huge_budget_completes_in_one_step() {
+        let mut v: Vec<u32> = (0..5000).map(|x| x * 37 % 991).collect();
+        let mut m = NthElementMachine::new(0, 5000, 2500, Direction::Ascending);
+        assert_eq!(m.step(&mut v, usize::MAX / 8), MachineStatus::Finished);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(v[2500], sorted[2500]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Complete (non-incremental) selection: introselect and pure
+//! median-of-medians.
+
+use crate::partition::{insertion_sort, median_of_five, partition3};
+
+/// Ranges shorter than this are solved by insertion sort.
+const SMALL: usize = 24;
+
+/// Rearranges `buf` so that its `k`-th smallest element (0-based) is at
+/// index `k`, everything before it is `<=` it, and everything after is
+/// `>=` it. Returns a reference to the element at index `k`.
+///
+/// This is *introselect*: quickselect using a pseudo-random pivot, falling
+/// back to median-of-medians pivot selection when the recursion depth
+/// budget is exhausted, so the worst case is `O(n)`.
+///
+/// # Panics
+///
+/// Panics if `k >= buf.len()`.
+pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
+    assert!(k < buf.len(), "selection index {k} out of range {}", buf.len());
+    let n = buf.len();
+    // 2 * log2(n) pivot rounds before falling back to MoM pivots.
+    let mut depth_budget = 2 * (usize::BITS - n.leading_zeros()) as usize + 2;
+    let mut lo = 0usize;
+    let mut hi = n;
+    let target = k;
+    // Cheap deterministic pivot randomization (splitmix-style counter).
+    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (n as u64);
+    loop {
+        if hi - lo <= SMALL {
+            insertion_sort(&mut buf[lo..hi]);
+            return &buf[target];
+        }
+        let pivot_idx = if depth_budget == 0 {
+            mom_pivot(buf, lo, hi)
+        } else {
+            depth_budget -= 1;
+            rng_state = rng_state.wrapping_mul(0xD120_0000_0000_1001).wrapping_add(1);
+            let r = (rng_state >> 33) as usize;
+            // Median of three pseudo-random probes.
+            let a = lo + r % (hi - lo);
+            let b = lo + (r / (hi - lo)) % (hi - lo);
+            let c = lo + (hi - lo) / 2;
+            median3_index(buf, a, b, c)
+        };
+        buf.swap(lo, pivot_idx);
+        let (plo, phi) = {
+            // partition3 needs the pivot by value; move it to `lo` and use
+            // a clone-free trick: split the slice so the pivot is outside
+            // the partitioned range.
+            let (head, tail) = buf.split_at_mut(lo + 1);
+            let pivot = &head[lo];
+            let (lt, gt) = partition3_rel(tail, hi - lo - 1, pivot);
+            (lo + 1 + lt, lo + 1 + gt)
+        };
+        // Fold the pivot element (at lo) into the "equal" run.
+        buf.swap(lo, plo - 1);
+        let eq_lo = plo - 1;
+        let eq_hi = phi;
+        if target < eq_lo {
+            hi = eq_lo;
+        } else if target >= eq_hi {
+            lo = eq_hi;
+        } else {
+            return &buf[target];
+        }
+    }
+}
+
+/// Three-way partition of `tail[..len]` around `pivot`; relative indices.
+fn partition3_rel<T: Ord>(tail: &mut [T], len: usize, pivot: &T) -> (usize, usize) {
+    partition3(tail, 0, len, pivot)
+}
+
+fn median3_index<T: Ord>(buf: &[T], a: usize, b: usize, c: usize) -> usize {
+    let (x, y, z) = (&buf[a], &buf[b], &buf[c]);
+    if (x <= y) == (y <= z) {
+        b
+    } else if (y <= x) == (x <= z) {
+        a
+    } else {
+        c
+    }
+}
+
+/// Chooses a worst-case-good pivot for `buf[lo..hi]` by the BFPRT
+/// median-of-medians construction and returns its index.
+fn mom_pivot<T: Ord>(buf: &mut [T], lo: usize, hi: usize) -> usize {
+    let n = hi - lo;
+    let mut ngroups = 0usize;
+    let mut g = lo;
+    while g < hi {
+        let len = (hi - g).min(5);
+        let m = median_of_five(buf, g, len);
+        buf.swap(lo + ngroups, m);
+        ngroups += 1;
+        g += len;
+    }
+    debug_assert_eq!(ngroups, n.div_ceil(5));
+    // Recursively select the median of the medians now packed at the front.
+    let mid = (ngroups - 1) / 2;
+    nth_smallest(&mut buf[lo..lo + ngroups], mid);
+    lo + mid
+}
+
+/// Pure BFPRT median-of-medians selection: worst-case `O(n)` regardless of
+/// input order, with a larger constant than [`nth_smallest`].
+///
+/// Same contract as [`nth_smallest`].
+pub fn mom_nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
+    assert!(k < buf.len(), "selection index {k} out of range {}", buf.len());
+    let mut lo = 0usize;
+    let mut hi = buf.len();
+    let target = k;
+    loop {
+        if hi - lo <= SMALL {
+            insertion_sort(&mut buf[lo..hi]);
+            return &buf[target];
+        }
+        let pivot_idx = mom_pivot(buf, lo, hi);
+        buf.swap(lo, pivot_idx);
+        let (plo, phi) = {
+            let (head, tail) = buf.split_at_mut(lo + 1);
+            let pivot = &head[lo];
+            let (lt, gt) = partition3(tail, 0, hi - lo - 1, pivot);
+            (lo + 1 + lt, lo + 1 + gt)
+        };
+        buf.swap(lo, plo - 1);
+        let eq_lo = plo - 1;
+        let eq_hi = phi;
+        if target < eq_lo {
+            hi = eq_lo;
+        } else if target >= eq_hi {
+            lo = eq_hi;
+        } else {
+            return &buf[target];
+        }
+    }
+}
+
+/// Rearranges `buf` so that its `k`-th **largest** element (0-based, so
+/// `k = 0` is the maximum) is at index `buf.len() - 1 - k`, with all
+/// larger elements after it. Returns a reference to that element.
+///
+/// Convenience wrapper over [`nth_smallest`].
+pub fn nth_largest<T: Ord>(buf: &mut [T], k: usize) -> &T {
+    let n = buf.len();
+    assert!(k < n, "selection index {k} out of range {n}");
+    nth_smallest(buf, n - 1 - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_select(v: &mut [u32], k: usize) {
+        let mut sorted = v.to_owned();
+        sorted.sort_unstable();
+        let got = *nth_smallest(v, k);
+        assert_eq!(got, sorted[k], "k={k}");
+        assert_eq!(v[k], sorted[k]);
+        assert!(v[..k].iter().all(|x| *x <= v[k]));
+        assert!(v[k + 1..].iter().all(|x| *x >= v[k]));
+    }
+
+    #[test]
+    fn selects_on_random_data() {
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for n in [1usize, 2, 5, 24, 25, 100, 1000] {
+            let base: Vec<u32> = (0..n).map(|_| next() % 64).collect();
+            for k in [0, n / 3, n / 2, n - 1] {
+                let mut v = base.clone();
+                check_select(&mut v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn selects_on_adversarial_patterns() {
+        for n in [50usize, 200, 1001] {
+            for k in [0, n / 2, n - 1] {
+                let mut asc: Vec<u32> = (0..n as u32).collect();
+                check_select(&mut asc, k);
+                let mut desc: Vec<u32> = (0..n as u32).rev().collect();
+                check_select(&mut desc, k);
+                let mut eq = vec![7u32; n];
+                check_select(&mut eq, k);
+                let mut organ: Vec<u32> =
+                    (0..n as u32 / 2).chain((0..n as u32 / 2 + 1).rev()).take(n).collect();
+                check_select(&mut organ, k);
+            }
+        }
+    }
+
+    #[test]
+    fn mom_matches_sorted() {
+        let mut state = 999u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for n in [1usize, 30, 128, 777] {
+            let base: Vec<u32> = (0..n).map(|_| next() % 50).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for k in [0, n / 2, n - 1] {
+                let mut v = base.clone();
+                assert_eq!(*mom_nth_smallest(&mut v, k), sorted[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn nth_largest_is_mirror() {
+        let mut v = vec![10u32, 40, 20, 30, 50];
+        assert_eq!(*nth_largest(&mut v, 0), 50);
+        let mut v = vec![10u32, 40, 20, 30, 50];
+        assert_eq!(*nth_largest(&mut v, 4), 10);
+        let mut v = vec![10u32, 40, 20, 30, 50];
+        assert_eq!(*nth_largest(&mut v, 1), 40);
+        // top-1 elements sit after index n-1-k
+        assert!(v[4] >= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_out_of_range_panics() {
+        let mut v = vec![1, 2, 3];
+        nth_smallest(&mut v, 3);
+    }
+}

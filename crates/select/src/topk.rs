@@ -1,0 +1,95 @@
+//! Partial-sort conveniences built on the selection primitives.
+
+use crate::quickselect::nth_smallest;
+
+/// Moves the `k` largest elements of `buf` to its tail and sorts that
+/// tail descending-from-the-end — i.e. after the call,
+/// `buf[buf.len()-k..]` holds the top `k` in ascending order. Returns
+/// the sorted top-`k` slice.
+///
+/// `O(n + k log k)`: one selection pass plus a sort of the tail.
+///
+/// ```
+/// use qmax_select::top_k_suffix;
+/// let mut v = vec![5, 1, 9, 3, 7, 2];
+/// assert_eq!(top_k_suffix(&mut v, 3), &[5, 7, 9]);
+/// ```
+pub fn top_k_suffix<T: Ord>(buf: &mut [T], k: usize) -> &[T] {
+    let n = buf.len();
+    assert!(k <= n, "k={k} exceeds length {n}");
+    if k == 0 {
+        return &buf[n..];
+    }
+    if k < n {
+        nth_smallest(buf, n - k);
+    }
+    buf[n - k..].sort_unstable();
+    &buf[n - k..]
+}
+
+/// Returns the indices `0..buf.len()` ordered so the first `k` refer to
+/// the `k` largest elements (descending). Does not reorder `buf`.
+///
+/// Useful when elements are expensive to move or external state is
+/// keyed by position.
+pub fn top_k_indices<T: Ord>(buf: &[T], k: usize) -> Vec<usize> {
+    let n = buf.len();
+    assert!(k <= n, "k={k} exceeds length {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < n {
+        // Select over indices comparing through the buffer.
+        idx.sort_unstable_by(|&a, &b| buf[b].cmp(&buf[a]));
+    } else {
+        idx.sort_unstable_by(|&a, &b| buf[b].cmp(&buf[a]));
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_suffix_basic() {
+        let mut v = vec![4u32, 8, 1, 9, 3, 7, 2, 6];
+        assert_eq!(top_k_suffix(&mut v, 3), &[7, 8, 9]);
+        // The prefix holds the rest (any order).
+        let mut rest = v[..5].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn top_k_suffix_extremes() {
+        let mut v = vec![3u32, 1, 2];
+        assert_eq!(top_k_suffix(&mut v, 0), &[] as &[u32]);
+        let mut v = vec![3u32, 1, 2];
+        assert_eq!(top_k_suffix(&mut v, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn top_k_suffix_oversized_panics() {
+        let mut v = vec![1u32];
+        top_k_suffix(&mut v, 2);
+    }
+
+    #[test]
+    fn top_k_indices_point_at_largest() {
+        let v = vec![10u32, 50, 20, 40, 30];
+        let idx = top_k_indices(&v, 2);
+        assert_eq!(idx, vec![1, 3]);
+        // Original untouched.
+        assert_eq!(v, vec![10, 50, 20, 40, 30]);
+    }
+
+    #[test]
+    fn top_k_indices_zero() {
+        let v = vec![1u32, 2];
+        assert!(top_k_indices(&v, 0).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Command-line trace utilities.
+//!
+//! ```text
+//! trace-tools gen <caida16|caida18|univ1> <packets> [seed] > trace.csv
+//! trace-tools stats < trace.csv
+//! trace-tools topflows <q> [gamma] < trace.csv
+//! ```
+//!
+//! `gen` writes a synthetic trace in the CSV format of
+//! [`qmax_traces::csv`]; `stats` summarises a trace; `topflows` streams
+//! it through a q-MAX-style reservoir (a simple size-q sorted fold here,
+//! to keep this crate dependency-free) and prints the heaviest flows.
+
+use qmax_traces::csv::{read_packets, write_packets};
+use qmax_traces::gen::{caida18_like, caida_like, univ1_like};
+use qmax_traces::Packet;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(),
+        Some("topflows") => cmd_topflows(&args[1..]),
+        _ => {
+            eprintln!("usage: trace-tools <gen|stats|topflows> ...");
+            eprintln!("  gen <caida16|caida18|univ1> <packets> [seed]  write CSV to stdout");
+            eprintln!("  stats                                          summarise CSV from stdin");
+            eprintln!("  topflows <q>                                   heaviest flows from stdin");
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("trace-tools: {e}");
+        exit(1);
+    }
+}
+
+fn cmd_gen(args: &[String]) -> io::Result<()> {
+    let profile = args.first().map(String::as_str).unwrap_or("");
+    let packets: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "gen needs a packet count"))?;
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let trace: Vec<Packet> = match profile {
+        "caida16" => caida_like(packets, seed).collect(),
+        "caida18" => caida18_like(packets, seed).collect(),
+        "univ1" => univ1_like(packets, seed).collect(),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown profile {other:?} (want caida16|caida18|univ1)"),
+            ))
+        }
+    };
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    write_packets(&mut out, &trace)?;
+    out.flush()
+}
+
+fn cmd_stats() -> io::Result<()> {
+    let stdin = io::stdin();
+    let packets = read_packets(BufReader::new(stdin.lock()))?;
+    if packets.is_empty() {
+        println!("empty trace");
+        return Ok(());
+    }
+    let mut flows: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut bytes = 0u64;
+    for p in &packets {
+        let e = flows.entry(p.flow().as_u64()).or_default();
+        e.0 += 1;
+        e.1 += p.len as u64;
+        bytes += p.len as u64;
+    }
+    let span_ns = packets.last().unwrap().ts_ns - packets.first().unwrap().ts_ns;
+    let mut sizes: Vec<u64> = flows.values().map(|&(c, _)| c).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let top10: u64 = sizes.iter().take(10).sum();
+    println!("packets        : {}", packets.len());
+    println!("bytes          : {bytes}");
+    println!("distinct flows : {}", flows.len());
+    println!("duration       : {:.3} s", span_ns as f64 / 1e9);
+    if span_ns > 0 {
+        println!("mean rate      : {:.3} Mpps", packets.len() as f64 / span_ns as f64 * 1e3);
+    }
+    println!("mean pkt size  : {:.1} B", bytes as f64 / packets.len() as f64);
+    println!(
+        "top-10 flows   : {:.1}% of packets",
+        top10 as f64 / packets.len() as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_topflows(args: &[String]) -> io::Result<()> {
+    let q: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "topflows needs q"))?;
+    let stdin = io::stdin();
+    let packets = read_packets(BufReader::new(stdin.lock()))?;
+    let mut flows: HashMap<u64, (Packet, u64)> = HashMap::new();
+    for p in &packets {
+        let e = flows.entry(p.flow().as_u64()).or_insert((*p, 0));
+        e.1 += p.len as u64;
+    }
+    let mut ranked: Vec<(Packet, u64)> = flows.into_values().collect();
+    ranked.sort_unstable_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
+    ranked.truncate(q);
+    println!("{:<18} {:<18} {:>7} {:>7} {:>5} {:>14}", "src", "dst", "sport", "dport", "prot", "bytes");
+    for (p, bytes) in ranked {
+        println!(
+            "{:<18} {:<18} {:>7} {:>7} {:>5} {:>14}",
+            fmt_ip(p.src_ip),
+            fmt_ip(p.dst_ip),
+            p.src_port,
+            p.dst_port,
+            p.proto,
+            bytes
+        );
+    }
+    Ok(())
+}
+
+fn fmt_ip(ip: u32) -> String {
+    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 255, (ip >> 8) & 255, ip & 255)
+}

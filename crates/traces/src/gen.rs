@@ -1,0 +1,364 @@
+//! Synthetic trace generators.
+//!
+//! Each generator documents which real dataset it stands in for and
+//! which properties it preserves (see DESIGN.md for the substitution
+//! rationale). All generators are deterministic in their seed.
+
+use crate::packet::Packet;
+use crate::rng::SplitMix64;
+use crate::zipf::ZipfSampler;
+
+/// Parameters of a synthetic packet trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Number of packets to generate.
+    pub packets: usize,
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Zipf skew of flow popularity (ISP traces ≈ 1.0–1.2, datacenter
+    /// traces are flatter).
+    pub alpha: f64,
+    /// Packet length profile.
+    pub sizes: SizeProfile,
+    /// Mean packet inter-arrival time in nanoseconds.
+    pub mean_gap_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Packet-length mixes observed in the wild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeProfile {
+    /// ISP-backbone-like bimodal mix: ~40% minimum-size (ACK-heavy),
+    /// ~40% MTU-size, the rest spread between.
+    Backbone,
+    /// Datacenter-like mix: dominated by MTU-size packets with a small
+    /// control-packet mode.
+    Datacenter,
+    /// All packets the same size.
+    Fixed(u16),
+}
+
+impl SizeProfile {
+    fn draw(&self, rng: &mut SplitMix64) -> u16 {
+        match *self {
+            SizeProfile::Fixed(s) => s,
+            SizeProfile::Backbone => {
+                let r = rng.next_below(100);
+                if r < 40 {
+                    40 + rng.next_below(40) as u16
+                } else if r < 80 {
+                    1400 + rng.next_below(100) as u16
+                } else {
+                    80 + rng.next_below(1320) as u16
+                }
+            }
+            SizeProfile::Datacenter => {
+                let r = rng.next_below(100);
+                if r < 15 {
+                    64 + rng.next_below(100) as u16
+                } else {
+                    1450 + rng.next_below(50) as u16
+                }
+            }
+        }
+    }
+}
+
+/// An iterator producing the packets of a synthetic trace.
+#[derive(Debug)]
+pub struct TraceIter {
+    spec: TraceSpec,
+    flows: ZipfSampler,
+    rng: SplitMix64,
+    /// Pre-mixed flow endpoint table (so flow ranks don't leak into IPs).
+    produced: usize,
+    ts_ns: u64,
+    /// Optional microburst timing model.
+    burst: Option<BurstClock>,
+}
+
+impl Iterator for TraceIter {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.produced >= self.spec.packets {
+            return None;
+        }
+        let rank = self.flows.sample() as u64;
+        // Derive a stable 5-tuple from the flow rank.
+        let fid = crate::hash::hash64(rank, self.spec.seed ^ 0xF10F);
+        let src_ip = (fid >> 32) as u32;
+        let dst_ip = fid as u32;
+        let ports = crate::hash::hash64(rank, self.spec.seed ^ 0x9087);
+        let src_port = (ports >> 16) as u16;
+        let dst_port = ports as u16;
+        let proto = if ports & 0x10000 != 0 { 6 } else { 17 };
+        let len = self.spec.sizes.draw(&mut self.rng);
+        // Exponential-ish inter-arrival via a geometric approximation.
+        let mut gap = if self.spec.mean_gap_ns == 0 {
+            0
+        } else {
+            let u = self.rng.next_f64().max(1e-12);
+            (-(u.ln()) * self.spec.mean_gap_ns as f64) as u64
+        };
+        if let Some(burst) = self.burst {
+            gap = burst.scale_gap(self.ts_ns, gap);
+        }
+        self.ts_ns += gap;
+        let seq = self.produced as u64;
+        self.produced += 1;
+        Some(Packet { src_ip, dst_ip, src_port, dst_port, proto, len, ts_ns: self.ts_ns, seq })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.spec.packets - self.produced;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TraceIter {}
+
+/// Generates a trace from an explicit [`TraceSpec`].
+pub fn from_spec(spec: TraceSpec) -> TraceIter {
+    let flows = ZipfSampler::new(spec.flows.max(1), spec.alpha, spec.seed ^ 0xABCD);
+    let rng = SplitMix64::new(spec.seed);
+    TraceIter { spec, flows, rng, produced: 0, ts_ns: 0, burst: None }
+}
+
+/// A CAIDA-like ISP backbone trace: many flows, Zipf(1.1) popularity,
+/// backbone packet-size mix.
+///
+/// Stands in for the paper's CAIDA'16 (equinix-chicago) trace.
+pub fn caida_like(packets: usize, seed: u64) -> TraceIter {
+    from_spec(TraceSpec {
+        packets,
+        flows: (packets / 30).clamp(1, 2_000_000),
+        alpha: 1.1,
+        sizes: SizeProfile::Backbone,
+        mean_gap_ns: 700,
+        seed,
+    })
+}
+
+/// A second ISP profile with slightly different skew and flow count,
+/// standing in for the paper's CAIDA'18 (equinix-newyork) trace.
+pub fn caida18_like(packets: usize, seed: u64) -> TraceIter {
+    from_spec(TraceSpec {
+        packets,
+        flows: (packets / 20).clamp(1, 3_000_000),
+        alpha: 1.0,
+        sizes: SizeProfile::Backbone,
+        mean_gap_ns: 500,
+        seed,
+    })
+}
+
+/// A UNIV1-like datacenter trace: far fewer, heavier flows with an
+/// MTU-dominated size mix.
+///
+/// Stands in for the paper's UNIV1 dataset (Benson et al., IMC 2010).
+pub fn univ1_like(packets: usize, seed: u64) -> TraceIter {
+    from_spec(TraceSpec {
+        packets,
+        flows: (packets / 500).clamp(1, 50_000),
+        alpha: 0.8,
+        sizes: SizeProfile::Datacenter,
+        mean_gap_ns: 1_200,
+        seed,
+    })
+}
+
+/// The paper's "randomly generated stream of numbers": i.i.d. uniform
+/// 64-bit values.
+pub fn random_u64_stream(n: usize, seed: u64) -> impl Iterator<Item = u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(move |_| rng.next_u64())
+}
+
+/// A trace with microbursts: steady background traffic punctuated by
+/// short, intense bursts from a handful of flows — the workload that
+/// motivates query-time-granularity bandwidth monitoring (DBM) and
+/// microburst detection.
+///
+/// `burst_every_ns` controls burst spacing; each burst lasts about 2%
+/// of that interval and carries `burst_factor`× the background rate.
+pub fn bursty_like(
+    packets: usize,
+    burst_every_ns: u64,
+    burst_factor: u64,
+    seed: u64,
+) -> TraceIter {
+    // Reuse the backbone generator but overwrite timing with a bursty
+    // clock: the caller gets packets whose inter-arrival gap shrinks by
+    // `burst_factor` inside burst windows.
+    let spec = TraceSpec {
+        packets,
+        flows: (packets / 50).clamp(1, 500_000),
+        alpha: 1.0,
+        sizes: SizeProfile::Backbone,
+        mean_gap_ns: 1_000,
+        seed,
+    };
+    let mut it = from_spec(spec);
+    it.burst = Some(BurstClock {
+        every_ns: burst_every_ns.max(100),
+        factor: burst_factor.max(2),
+    });
+    it
+}
+
+/// Burst timing model attached to a [`TraceIter`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BurstClock {
+    pub every_ns: u64,
+    pub factor: u64,
+}
+
+impl BurstClock {
+    /// Scales an inter-arrival gap: inside the burst window (the first
+    /// 2% of every period), packets arrive `factor`× faster.
+    pub(crate) fn scale_gap(&self, now_ns: u64, gap: u64) -> u64 {
+        let phase = now_ns % self.every_ns;
+        if phase < self.every_ns / 50 {
+            (gap / self.factor).max(1)
+        } else {
+            gap
+        }
+    }
+}
+
+/// A cache access trace standing in for the ARC "P1.lis" workload:
+/// a Zipf-popular working set interleaved with sequential scan loops
+/// (the pattern that separates recency-only from frequency-aware
+/// policies, which is what LRFU hit-ratio experiments need).
+///
+/// Returns the sequence of accessed keys.
+pub fn arc_like(requests: usize, working_set: usize, seed: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(requests);
+    let mut zipf = ZipfSampler::new(working_set.max(1), 0.9, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x5CA7);
+    let scan_base = working_set as u64 * 10;
+    let mut i = 0usize;
+    while out.len() < requests {
+        // Alternate phases: ~70% of requests are Zipf references, ~30%
+        // sequential scans (scans touch cold keys once, like the
+        // file-system reads that dominate P1).
+        if i % 10 < 7 {
+            for _ in 0..32 {
+                if out.len() >= requests {
+                    break;
+                }
+                out.push(zipf.sample() as u64);
+            }
+        } else {
+            let scan_len = (8 + rng.next_below(64)) as usize;
+            let start = scan_base + rng.next_below(working_set as u64 * 100);
+            for j in 0..scan_len {
+                if out.len() >= requests {
+                    break;
+                }
+                out.push(start + j as u64);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn trace_has_requested_length_and_monotone_time() {
+        let trace: Vec<Packet> = caida_like(10_000, 1).collect();
+        assert_eq!(trace.len(), 10_000);
+        for w in trace.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+            assert!(w[0].seq + 1 == w[1].seq);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a: Vec<Packet> = caida_like(1000, 7).collect();
+        let b: Vec<Packet> = caida_like(1000, 7).collect();
+        assert_eq!(a, b);
+        let c: Vec<Packet> = caida_like(1000, 8).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn caida_like_is_flow_skewed() {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for p in caida_like(50_000, 3) {
+            *counts.entry(p.flow().as_u64()).or_default() += 1;
+        }
+        let mut sizes: Vec<u64> = counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sizes.iter().sum();
+        let top10: u64 = sizes.iter().take(10).sum();
+        assert!(
+            top10 as f64 > total as f64 * 0.2,
+            "top-10 flows carry only {top10}/{total} packets — not skewed"
+        );
+    }
+
+    #[test]
+    fn univ1_like_has_fewer_flows_than_caida() {
+        let caida_flows = caida_like(20_000, 3).map(|p| p.flow()).collect::<std::collections::HashSet<_>>().len();
+        let univ_flows = univ1_like(20_000, 3).map(|p| p.flow()).collect::<std::collections::HashSet<_>>().len();
+        assert!(univ_flows * 2 < caida_flows, "univ={univ_flows} caida={caida_flows}");
+    }
+
+    #[test]
+    fn backbone_sizes_are_bimodal() {
+        let trace: Vec<Packet> = caida_like(20_000, 5).collect();
+        let small = trace.iter().filter(|p| p.len < 100).count();
+        let big = trace.iter().filter(|p| p.len >= 1400).count();
+        assert!(small > trace.len() / 5, "small fraction {small}");
+        assert!(big > trace.len() / 5, "big fraction {big}");
+    }
+
+    #[test]
+    fn random_stream_is_uniformish() {
+        let vals: Vec<u64> = random_u64_stream(10_000, 9).collect();
+        let above = vals.iter().filter(|&&v| v > u64::MAX / 2).count();
+        assert!((above as i64 - 5000).abs() < 300, "above-median count {above}");
+    }
+
+    #[test]
+    fn bursty_trace_has_rate_spikes() {
+        let period = 1_000_000u64;
+        let trace: Vec<Packet> = bursty_like(100_000, period, 20, 5).collect();
+        let horizon = trace.last().unwrap().ts_ns;
+        // Slice *finer* than the burst window (period/50) so bursts
+        // stand out; the busiest slice must carry far more than the
+        // mean slice.
+        let width = period / 50;
+        let n_slices = (horizon / width + 1) as usize;
+        let mut counts = vec![0u64; n_slices];
+        for p in &trace {
+            counts[(p.ts_ns / width) as usize] += 1;
+        }
+        let mean = trace.len() as u64 / n_slices as u64;
+        let peak = *counts.iter().max().unwrap();
+        assert!(peak > 5 * mean, "no burst visible: peak {peak} vs mean {mean}");
+    }
+
+    #[test]
+    fn arc_like_mixes_hot_and_cold_keys() {
+        let reqs = arc_like(50_000, 1000, 11);
+        assert_eq!(reqs.len(), 50_000);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &k in &reqs {
+            *counts.entry(k).or_default() += 1;
+        }
+        let hot = counts.values().filter(|&&c| c > 50).count();
+        let cold = counts.values().filter(|&&c| c == 1).count();
+        assert!(hot > 10, "no hot keys ({hot})");
+        assert!(cold > 1000, "no scan keys ({cold})");
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic 64-bit mixing functions.
+//!
+//! The sampling-based applications (priority sampling, network-wide
+//! heavy hitters, count-distinct, bottom-k) derive per-item randomness
+//! by hashing keys; these finalizer-style mixers are fast, well
+//! distributed, and identical across observation points — exactly what
+//! routing-oblivious measurement requires.
+
+/// The splitmix64 / murmur3-style finalizer: a bijective mix of all 64
+/// bits.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes `key` under `seed` (distinct seeds give independent-looking
+/// hash functions, used for sketch rows).
+#[inline]
+pub fn hash64(key: u64, seed: u64) -> u64 {
+    mix64(key ^ mix64(seed.wrapping_add(0x9E3779B97F4A7C15)))
+}
+
+/// Maps `key` to a uniform float in the open interval `(0, 1)`.
+///
+/// Never returns exactly 0.0 (so priorities `w / u` stay finite) nor
+/// 1.0.
+#[inline]
+pub fn to_unit_open(key: u64, seed: u64) -> f64 {
+    let h = hash64(key, seed);
+    // 53 significant bits, then nudge away from zero.
+    ((h >> 11) as f64 + 0.5) * (1.0 / 9007199254740992.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Low-entropy inputs should produce different high bits.
+        let a = mix64(0) >> 32;
+        let b = mix64(1) >> 32;
+        let c = mix64(2) >> 32;
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn hash64_seeds_are_independent() {
+        let k = 42u64;
+        assert_ne!(hash64(k, 0), hash64(k, 1));
+        assert_eq!(hash64(k, 7), hash64(k, 7));
+    }
+
+    #[test]
+    fn to_unit_open_stays_in_open_interval() {
+        for key in 0..10_000u64 {
+            let u = to_unit_open(key, 3);
+            assert!(u > 0.0 && u < 1.0, "u={u} for key={key}");
+        }
+    }
+
+    #[test]
+    fn to_unit_open_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mut buckets = [0u32; 10];
+        for key in 0..n {
+            let u = to_unit_open(key, 11);
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let expect = n as f64 / 10.0;
+            assert!(
+                (b as f64 - expect).abs() < expect * 0.05,
+                "bucket {i} has {b}, expected ~{expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload substrate for the q-MAX reproduction.
+//!
+//! The paper evaluates on CAIDA backbone traces, a university datacenter
+//! trace (UNIV1), an ARC cache trace (P1.lis), and uniformly random
+//! number streams. Those datasets are not redistributable, so this crate
+//! generates *synthetic equivalents* that preserve the properties the
+//! evaluated algorithms are sensitive to — the key (flow) popularity
+//! distribution, packet-size mix, and arrival order randomness — plus
+//! deterministic hashing and RNG utilities shared by the other crates.
+//!
+//! * [`Packet`] / [`FlowKey`] — the packet model used end-to-end.
+//! * [`gen`] — trace generators: [`gen::caida_like`], [`gen::univ1_like`],
+//!   [`gen::random_u64_stream`], [`gen::arc_like`].
+//! * [`zipf::ZipfSampler`] — `O(1)` Zipf sampling via the alias method.
+//! * [`hash`] — 64-bit mixing/hash functions used for sampling decisions.
+//! * [`csv`] — minimal CSV import/export so real traces can be plugged
+//!   in where available.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod gen;
+pub mod hash;
+mod packet;
+pub mod rng;
+pub mod zipf;
+
+pub use packet::{FlowKey, Packet};

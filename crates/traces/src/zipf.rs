@@ -1,0 +1,195 @@
+//! Zipfian sampling via the alias method.
+//!
+//! Flow popularity in internet traces is classically modelled as
+//! Zipf-distributed: the rank-`r` flow receives a share proportional to
+//! `r^(-α)`. For trace generation we need millions of samples over up to
+//! millions of flows, so we precompute Walker's alias table once
+//! (`O(n)`) and sample in `O(1)`.
+
+use crate::rng::SplitMix64;
+
+/// An `O(1)` sampler for an arbitrary finite discrete distribution
+/// (Walker's alias method), specialised here for Zipf popularity.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Acceptance probability of each bucket (scaled to `u64`).
+    prob: Vec<u64>,
+    /// Alias bucket used on rejection.
+    alias: Vec<u32>,
+    rng: SplitMix64,
+}
+
+impl ZipfSampler {
+    /// Builds a Zipf(α) sampler over ranks `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`, or if `alpha` is
+    /// negative or not finite.
+    pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(n <= u32::MAX as usize, "support too large");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        let weights: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-alpha)).collect();
+        Self::from_weights(&weights, seed)
+    }
+
+    /// Builds an alias sampler from arbitrary non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn from_weights(weights: &[f64], seed: u64) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let n = weights.len();
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| *w >= 0.0 && w.is_finite()) && sum > 0.0,
+            "weights must be non-negative, finite, and not all zero"
+        );
+        // Scale so the average bucket weight is 1.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / sum).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        let mut rem = scaled.clone();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![u64::MAX; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = (rem[s as usize] * (u64::MAX as f64)) as u64;
+            alias[s as usize] = l;
+            rem[l as usize] -= 1.0 - rem[s as usize];
+            if rem[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (numerical residue) accept with probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = u64::MAX;
+            alias[i as usize] = i;
+        }
+        ZipfSampler { prob, alias, rng: SplitMix64::new(seed) }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Draws one rank in `O(1)`.
+    #[inline]
+    pub fn sample(&mut self) -> u32 {
+        let n = self.prob.len() as u64;
+        let r = self.rng.next_u64();
+        // Split one draw: low bits pick the bucket, a second draw decides
+        // accept-vs-alias (one extra draw keeps the two independent).
+        let bucket = ((r as u128 * n as u128) >> 64) as usize;
+        if self.rng.next_u64() <= self.prob[bucket] {
+            bucket as u32
+        } else {
+            self.alias[bucket]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let mut s = ZipfSampler::new(10, 0.0, 42);
+        let mut counts = [0u32; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[s.sample() as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = n as f64 / 10.0;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "rank {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut s = ZipfSampler::new(1000, 1.0, 7);
+        let mut counts = vec![0u32; 1000];
+        let n = 300_000;
+        for _ in 0..n {
+            counts[s.sample() as usize] += 1;
+        }
+        // Rank 0 should get roughly 1/H_1000 ≈ 13.4% of the mass.
+        let share0 = counts[0] as f64 / n as f64;
+        assert!((share0 - 0.134).abs() < 0.02, "head share {share0}");
+        // Monotone decreasing in expectation: compare decile sums.
+        let head: u32 = counts[..100].iter().sum();
+        let tail: u32 = counts[900..].iter().sum();
+        assert!(head > 10 * tail, "head {head} not dominant over tail {tail}");
+    }
+
+    #[test]
+    fn explicit_weights_respected() {
+        let mut s = ZipfSampler::from_weights(&[1.0, 0.0, 3.0], 9);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[s.sample() as usize] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bucket sampled");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ZipfSampler::new(50, 1.2, 5);
+        let mut b = ZipfSampler::new(50, 1.2, 5);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn negative_alpha_panics() {
+        let _ = ZipfSampler::new(10, -1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative, finite")]
+    fn all_zero_weights_panic() {
+        let _ = ZipfSampler::from_weights(&[0.0, 0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative, finite")]
+    fn nan_weight_panics() {
+        let _ = ZipfSampler::from_weights(&[1.0, f64::NAN], 1);
+    }
+
+    #[test]
+    fn single_bucket_always_sampled() {
+        let mut s = ZipfSampler::from_weights(&[42.0], 3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(), 0);
+        }
+        assert_eq!(s.support(), 1);
+    }
+}

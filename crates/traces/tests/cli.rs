@@ -1,0 +1,62 @@
+//! Integration tests for the `trace-tools` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn trace_tools() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace-tools"))
+}
+
+#[test]
+fn gen_then_stats_roundtrip() {
+    let gen = trace_tools()
+        .args(["gen", "caida16", "2000", "7"])
+        .output()
+        .expect("run gen");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    let csv = gen.stdout;
+    assert!(csv.starts_with(b"src_ip,"), "missing header");
+
+    let mut stats = trace_tools()
+        .arg("stats")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn stats");
+    stats.stdin.as_mut().unwrap().write_all(&csv).unwrap();
+    let out = stats.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("packets        : 2000"), "{text}");
+    assert!(text.contains("distinct flows"), "{text}");
+}
+
+#[test]
+fn topflows_lists_requested_count() {
+    let gen = trace_tools().args(["gen", "univ1", "3000", "3"]).output().unwrap();
+    let mut top = trace_tools()
+        .args(["topflows", "5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    top.stdin.as_mut().unwrap().write_all(&gen.stdout).unwrap();
+    let out = top.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 6, "header + 5 flows, got: {lines:?}");
+}
+
+#[test]
+fn unknown_profile_fails_cleanly() {
+    let out = trace_tools().args(["gen", "nonsense", "10"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
+}
+
+#[test]
+fn missing_subcommand_prints_usage() {
+    let out = trace_tools().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

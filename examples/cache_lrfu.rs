@@ -1,0 +1,46 @@
+//! Constant-time LRFU caching: the q-MAX based LRFU against the
+//! classical heap implementation on a synthetic ARC-style trace
+//! (the paper's Figure 9 / Table 2 scenario).
+//!
+//! Run with: `cargo run --release --example cache_lrfu`
+
+use qmax_lrfu::{hit_ratio, Cache, DeamortizedLrfu, HeapLrfu, QMaxLrfu, ScanLrfu};
+use qmax_traces::gen::arc_like;
+use std::time::Instant;
+
+fn main() {
+    let q = 10_000;
+    let c = 0.75;
+    let trace = arc_like(2_000_000, 200_000, 5);
+    println!("trace: {} requests over a 200k-key working set", trace.len());
+    println!("cache: q = {q}, LRFU decay c = {c}\n");
+    println!("{:<34} {:>9} {:>12}", "policy", "hit%", "Mreq/s");
+
+    bench(&mut HeapLrfu::new(q, c), &trace);
+    bench(&mut ScanLrfu::new(q, c), &trace);
+    bench(&mut DeamortizedLrfu::new(q, 0.5, c), &trace);
+    for gamma in [0.1, 0.5, 1.0] {
+        let mut cache = QMaxLrfu::new(q, gamma, c);
+        let label = format!("lrfu-qmax (gamma={gamma})");
+        let start = Instant::now();
+        let hr = hit_ratio(&mut cache, &trace);
+        let dt = start.elapsed();
+        println!(
+            "{label:<34} {:>8.1}% {:>12.2}",
+            hr * 100.0,
+            trace.len() as f64 / dt.as_secs_f64() / 1e6
+        );
+    }
+}
+
+fn bench<C: Cache<u64>>(cache: &mut C, trace: &[u64]) {
+    let start = Instant::now();
+    let hr = hit_ratio(cache, trace);
+    let dt = start.elapsed();
+    println!(
+        "{:<34} {:>8.1}% {:>12.2}",
+        cache.name(),
+        hr * 100.0,
+        trace.len() as f64 / dt.as_secs_f64() / 1e6
+    );
+}

@@ -1,0 +1,40 @@
+//! Counting distinct flows over a sliding window: the KMV estimator on
+//! a slack-window q-MIN (the paper's improvement over Fusy-Giroire for
+//! windowed distinct counting).
+//!
+//! Run with: `cargo run --release --example distinct_flows_window`
+
+use qmax_apps::CountDistinct;
+use qmax_core::BasicSlackQMax;
+use qmax_traces::gen::caida_like;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+fn main() {
+    let w = 500_000;
+    let q = 1024;
+    let packets: Vec<_> = caida_like(3_000_000, 9).collect();
+    let mut cd = CountDistinct::new_windowed(BasicSlackQMax::new(q, 0.5, w, 0.25), 5);
+
+    // Exact reference over the same window for comparison.
+    let mut window: VecDeque<u64> = VecDeque::new();
+
+    println!("estimating distinct flows over the last {w} packets (q = {q})\n");
+    println!("{:>10} {:>12} {:>12} {:>8}", "packet#", "estimate", "true", "err");
+    for (i, p) in packets.iter().enumerate() {
+        let key = p.flow().as_u64();
+        cd.observe(key);
+        window.push_back(key);
+        if window.len() > w {
+            window.pop_front();
+        }
+        if i > 0 && i % 500_000 == 0 {
+            let est = cd.estimate();
+            let truth = window.iter().copied().collect::<HashSet<_>>().len();
+            let err = (est - truth as f64).abs() / truth as f64 * 100.0;
+            println!("{i:>10} {est:>12.0} {truth:>12} {err:>7.1}%");
+        }
+    }
+    println!("\n(the slack window spans 75-100% of W, so a few percent of");
+    println!(" deviation is inherent; the KMV standard error adds ~1/sqrt(q))");
+}

@@ -1,0 +1,40 @@
+//! Sliding-window q-MAX: track the largest values of the last W items
+//! over a slack window, with the basic / hierarchical / lazy variants
+//! (the paper's Algorithms 3-4 and Theorem 7).
+//!
+//! Run with: `cargo run --release --example sliding_window`
+
+use qmax_core::{BasicSlackQMax, HierSlackQMax, LazySlackQMax, QMax};
+use qmax_traces::gen::random_u64_stream;
+use std::time::Instant;
+
+fn main() {
+    let q = 10_000;
+    let w = 4_000_000;
+    let tau = 0.01;
+    let n = 20_000_000;
+    println!("stream: {n} random values; window W = {w}, slack tau = {tau}, q = {q}\n");
+    println!("{:<14} {:>10} {:>12} {:>14}", "variant", "Mupd/s", "query (ms)", "stored items");
+
+    run("basic", BasicSlackQMax::new(q, 0.25, w, tau), n);
+    run("hier (c=2)", HierSlackQMax::new(q, 0.25, w, tau, 2), n);
+    run("lazy (c=2)", LazySlackQMax::new(q, 0.25, w, tau, 2), n);
+}
+
+fn run<Q: QMax<u32, u64>>(name: &str, mut sw: Q, n: usize) {
+    let start = Instant::now();
+    for (i, v) in random_u64_stream(n, 3).enumerate() {
+        sw.insert(i as u32, v);
+    }
+    let update_dt = start.elapsed();
+    let qstart = Instant::now();
+    let top = sw.query();
+    let query_dt = qstart.elapsed();
+    assert_eq!(top.len(), sw.q());
+    println!(
+        "{name:<14} {:>10.2} {:>12.3} {:>14}",
+        n as f64 / update_dt.as_secs_f64() / 1e6,
+        query_dt.as_secs_f64() * 1e3,
+        sw.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! In-switch monitoring at line rate: attach priority sampling to the
+//! simulated OVS datapath and see whether the switch still keeps up
+//! with a 10G link (the scenario of the paper's Figures 12-14).
+//!
+//! Run with: `cargo run --release --example switch_monitoring`
+
+use qmax_apps::PrioritySampling;
+use qmax_core::{AmortizedQMax, HeapQMax, OrderedF64, QMax, SkipListQMax};
+use qmax_ovs_sim::{evaluate_throughput, LineRate, MeasurementHook, NullHook, Switch};
+use qmax_traces::gen::caida_like;
+use qmax_traces::FlowKey;
+
+/// Wraps Priority Sampling as a per-packet switch hook, sampling
+/// packets weighted by their byte size.
+struct SamplingHook<Q> {
+    ps: PrioritySampling<Q>,
+    label: &'static str,
+}
+
+impl<Q: QMax<qmax_apps::WeightedKey, OrderedF64>> MeasurementHook for SamplingHook<Q> {
+    fn on_packet(&mut self, _flow: FlowKey, packet_id: u64, len: u16) {
+        self.ps.observe(packet_id, len as f64);
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+fn main() {
+    let q = 1_000_000;
+    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let packets: Vec<_> = caida_like(3_000_000, 11).collect();
+    println!(
+        "10G line rate at 64B frames: {:.2} Mpps, {:.1} ns/packet budget",
+        rate.offered_pps() / 1e6,
+        rate.budget_ns()
+    );
+    println!("q = {q}, trace = {} packets\n", packets.len());
+    println!("{:<26} {:>10} {:>12} {:>10}", "hook", "ns/pkt", "achieved", "of line");
+
+    report("vanilla (no measurement)", {
+        let mut sw = Switch::new(8);
+        evaluate_throughput(&mut sw, &mut NullHook, &packets, rate)
+    });
+    report("priority-sampling/q-MAX", {
+        let mut sw = Switch::new(8);
+        let mut hook = SamplingHook {
+            ps: PrioritySampling::new(AmortizedQMax::new(q, 0.25), 1),
+            label: "qmax",
+        };
+        evaluate_throughput(&mut sw, &mut hook, &packets, rate)
+    });
+    report("priority-sampling/heap", {
+        let mut sw = Switch::new(8);
+        let mut hook = SamplingHook { ps: PrioritySampling::new(HeapQMax::new(q), 1), label: "heap" };
+        evaluate_throughput(&mut sw, &mut hook, &packets, rate)
+    });
+    report("priority-sampling/skiplist", {
+        let mut sw = Switch::new(8);
+        let mut hook = SamplingHook {
+            ps: PrioritySampling::new(SkipListQMax::new(q), 1),
+            label: "skiplist",
+        };
+        evaluate_throughput(&mut sw, &mut hook, &packets, rate)
+    });
+}
+
+fn report(name: &str, rep: qmax_ovs_sim::ThroughputReport) {
+    println!(
+        "{name:<26} {:>10.1} {:>9.2} Gbps {:>9.0}%",
+        rep.cost_ns_per_packet,
+        rep.achieved_gbps,
+        100.0 * rep.achieved_gbps / 10.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Universal monitoring: one UnivMon sketch answering heavy hitters,
+//! entropy, and distinct-count queries over a packet trace, with q-MAX
+//! tracking each level's heavy hitters.
+//!
+//! Run with: `cargo run --release --example universal_monitoring`
+
+use qmax_apps::UnivMon;
+use qmax_core::DedupQMax;
+use qmax_traces::gen::caida_like;
+use std::collections::HashMap;
+
+fn main() {
+    let packets: Vec<_> = caida_like(1_000_000, 3).collect();
+    let keys: Vec<u64> = packets.iter().map(|p| p.flow().as_u64()).collect();
+
+    // Ground truth for comparison.
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &k in &keys {
+        *truth.entry(k).or_default() += 1;
+    }
+    let n = keys.len() as f64;
+    let true_entropy: f64 = truth
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
+
+    let mut um = UnivMon::new(12, 5, 4096, 7, || DedupQMax::new(128, 0.5));
+    for &k in &keys {
+        um.observe(k);
+    }
+    println!("trace: {} packets, {} distinct flows", keys.len(), truth.len());
+    println!(
+        "sketch: {} levels x (5 x 4096 CountSketch + 128-entry q-MAX tracker)\n",
+        um.levels()
+    );
+
+    println!("top flows (level-0 heavy hitters):");
+    println!("{:<20} {:>10} {:>10}", "flow", "estimate", "true");
+    for (key, est) in um.level_heavy_hitters(0).into_iter().take(8) {
+        println!("{key:<20x} {est:>10.0} {:>10}", truth.get(&key).copied().unwrap_or(0));
+    }
+
+    let est_entropy = um.estimate_entropy();
+    let est_distinct = um.estimate_distinct();
+    println!("\nentropy : estimated {est_entropy:.3} bits, true {true_entropy:.3} bits");
+    println!(
+        "distinct: estimated {est_distinct:.0}, true {} ({:+.1}%)",
+        truth.len(),
+        (est_distinct / truth.len() as f64 - 1.0) * 100.0
+    );
+}

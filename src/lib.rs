@@ -1,0 +1,12 @@
+//! Workspace umbrella crate for the q-MAX reproduction.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). It re-exports the public crates
+//! so examples can use a single dependency root.
+
+pub use qmax_apps as apps;
+pub use qmax_core as core;
+pub use qmax_lrfu as lrfu;
+pub use qmax_ovs_sim as ovs_sim;
+pub use qmax_select as select;
+pub use qmax_traces as traces;

@@ -1,0 +1,89 @@
+//! Integration: every reservoir backend must produce the same top-q
+//! set on the same workload — random numbers and realistic packet
+//! traces alike.
+
+use qmax_core::{
+    AmortizedQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax, SortedVecQMax,
+};
+use qmax_traces::gen::{caida_like, random_u64_stream, univ1_like};
+
+fn top_vals(qm: &mut dyn QMax<u32, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+    v.sort_unstable();
+    v
+}
+
+fn check_agreement(stream: &[u64], q: usize) {
+    let mut backends: Vec<Box<dyn QMax<u32, u64>>> = vec![
+        Box::new(AmortizedQMax::new(q, 0.25)),
+        Box::new(DeamortizedQMax::new(q, 0.25)),
+        Box::new(AmortizedQMax::new(q, 1.7)),
+        Box::new(DeamortizedQMax::new(q, 0.03)),
+        Box::new(HeapQMax::new(q)),
+        Box::new(SkipListQMax::new(q)),
+        Box::new(SortedVecQMax::new(q)),
+    ];
+    for qm in &mut backends {
+        for (i, &v) in stream.iter().enumerate() {
+            qm.insert(i as u32, v);
+        }
+    }
+    let reference = top_vals(backends[0].as_mut());
+    // Reference against an independent full sort.
+    let mut sorted = stream.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted.truncate(q);
+    sorted.sort_unstable();
+    assert_eq!(reference, sorted, "amortized q-MAX differs from full sort");
+    for qm in &mut backends[1..] {
+        assert_eq!(top_vals(qm.as_mut()), reference, "{} disagrees", qm.name());
+    }
+}
+
+#[test]
+fn agree_on_random_stream() {
+    let stream: Vec<u64> = random_u64_stream(60_000, 42).collect();
+    for q in [1usize, 17, 1000] {
+        check_agreement(&stream, q);
+    }
+}
+
+#[test]
+fn agree_on_packet_sizes() {
+    // Packet sizes have few distinct values — a heavy-ties workload.
+    let stream: Vec<u64> = caida_like(50_000, 7).map(|p| p.len as u64).collect();
+    check_agreement(&stream, 256);
+}
+
+#[test]
+fn agree_on_flow_hashes() {
+    let stream: Vec<u64> = univ1_like(50_000, 9).map(|p| p.flow().as_u64()).collect();
+    for q in [64usize, 2048] {
+        check_agreement(&stream, q);
+    }
+}
+
+#[test]
+fn agree_after_reset_and_reuse() {
+    let s1: Vec<u64> = random_u64_stream(20_000, 1).collect();
+    let s2: Vec<u64> = random_u64_stream(20_000, 2).collect();
+    let q = 128;
+    let mut a = AmortizedQMax::new(q, 0.5);
+    let mut d = DeamortizedQMax::new(q, 0.5);
+    for (i, &v) in s1.iter().enumerate() {
+        a.insert(i as u32, v);
+        d.insert(i as u32, v);
+    }
+    a.reset();
+    d.reset();
+    for (i, &v) in s2.iter().enumerate() {
+        a.insert(i as u32, v);
+        d.insert(i as u32, v);
+    }
+    assert_eq!(top_vals(&mut a), top_vals(&mut d));
+    let mut sorted = s2.clone();
+    sorted.sort_unstable_by(|x, y| y.cmp(x));
+    sorted.truncate(q);
+    sorted.sort_unstable();
+    assert_eq!(top_vals(&mut a), sorted);
+}

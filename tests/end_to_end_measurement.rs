@@ -1,0 +1,133 @@
+//! Integration: full measurement pipelines across crates — packets
+//! flow through the simulated switch, measurement hooks feed the
+//! q-MAX-backed applications, and the answers are checked against
+//! ground truth.
+
+use qmax_apps::network_wide::{Controller, Nmp, SampledPacket};
+use qmax_apps::{CountDistinct, PrioritySampling};
+use qmax_core::{AmortizedQMax, Minimal};
+use qmax_ovs_sim::{evaluate_throughput, LineRate, MeasurementHook, Switch};
+use qmax_traces::gen::caida_like;
+use qmax_traces::{FlowKey, Packet};
+use std::collections::HashMap;
+
+/// A hook that runs a whole per-switch measurement stack: a k-min
+/// packet sample (for network-wide merging) plus a distinct-flow
+/// counter.
+struct FullStack {
+    nmp: Nmp<AmortizedQMax<SampledPacket, Minimal<u64>>>,
+    distinct: CountDistinct<AmortizedQMax<u64, Minimal<u64>>>,
+}
+
+impl MeasurementHook for FullStack {
+    fn on_packet(&mut self, flow: FlowKey, packet_id: u64, _len: u16) {
+        self.nmp.observe_raw(flow, packet_id);
+        self.distinct.observe(flow.as_u64());
+    }
+}
+
+#[test]
+fn switch_pipeline_feeds_network_wide_controller() {
+    let packets: Vec<Packet> = caida_like(200_000, 77).collect();
+    // Two switches, each seeing half the packets plus a shared slice
+    // (overlapping observation, as in multi-path routing).
+    let q = 2_000;
+    let mut stacks: Vec<FullStack> = (0..2)
+        .map(|_| FullStack {
+            nmp: Nmp::new(AmortizedQMax::new(q, 0.5)),
+            distinct: CountDistinct::new(AmortizedQMax::new(512, 0.5), 5),
+        })
+        .collect();
+    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let mut sw0 = Switch::new(4);
+    let mut sw1 = Switch::new(4);
+    let third = packets.len() / 3;
+    let r0 = evaluate_throughput(&mut sw0, &mut stacks[0], &packets[..2 * third], rate);
+    let r1 = evaluate_throughput(&mut sw1, &mut stacks[1], &packets[third..], rate);
+    assert!(r0.achieved_mpps > 0.0 && r1.achieved_mpps > 0.0);
+
+    // Controller merges the two switches' samples.
+    let reports: Vec<Vec<SampledPacket>> =
+        stacks.iter_mut().map(|s| s.nmp.report()).collect();
+    let controller = Controller::new(q);
+    let sample = controller.merge(&reports);
+    // Every packet was observed at least once; the estimate must track
+    // the distinct packet count.
+    let rel = (sample.total_estimate - packets.len() as f64).abs() / packets.len() as f64;
+    assert!(rel < 0.2, "total estimate {} rel err {rel}", sample.total_estimate);
+
+    // Heavy hitters from the merged sample vs ground truth.
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for p in &packets {
+        *truth.entry(p.flow().as_u64()).or_default() += 1;
+    }
+    let hh = controller.heavy_hitters(&sample, 0.02);
+    for (flow, est) in &hh {
+        let t = truth.get(&flow.as_u64()).copied().unwrap_or(0) as f64;
+        assert!(
+            t > 0.005 * packets.len() as f64,
+            "reported HH {flow:?} (est {est}) is actually tiny ({t})"
+        );
+    }
+    // The single biggest true flow must be reported.
+    let (&top, _) = truth.iter().max_by_key(|&(_, &c)| c).unwrap();
+    if *truth.values().max().unwrap() as f64 >= 0.03 * packets.len() as f64 {
+        assert!(
+            hh.iter().any(|(f, _)| f.as_u64() == top),
+            "largest flow missing from heavy hitters"
+        );
+    }
+}
+
+#[test]
+fn priority_sampling_estimates_byte_volumes_through_the_switch() {
+    let packets: Vec<Packet> = caida_like(300_000, 33).collect();
+    struct PsHook {
+        ps: PrioritySampling<AmortizedQMax<qmax_apps::WeightedKey, qmax_core::OrderedF64>>,
+    }
+    impl MeasurementHook for PsHook {
+        fn on_packet(&mut self, _flow: FlowKey, packet_id: u64, len: u16) {
+            self.ps.observe(packet_id, len as f64);
+        }
+    }
+    let mut hook = PsHook { ps: PrioritySampling::new(AmortizedQMax::new(4_000, 0.5), 2) };
+    let mut sw = Switch::new(4);
+    evaluate_throughput(
+        &mut sw,
+        &mut hook,
+        &packets,
+        LineRate { gbps: 10.0, frame_bytes: 64 },
+    );
+    let est = hook.ps.estimate_subset(|_| true);
+    let truth: f64 = packets.iter().map(|p| p.len as f64).sum();
+    let rel = (est - truth).abs() / truth;
+    assert!(rel < 0.1, "byte-volume estimate {est} vs {truth} (rel {rel})");
+    // The switch itself must have forwarded everything exactly once.
+    assert_eq!(sw.stats().packets as usize, packets.len());
+}
+
+#[test]
+fn distinct_flows_via_hook_matches_truth() {
+    let packets: Vec<Packet> = caida_like(150_000, 55).collect();
+    let mut stack = FullStack {
+        nmp: Nmp::new(AmortizedQMax::new(100, 0.5)),
+        distinct: CountDistinct::new(AmortizedQMax::new(1024, 0.5), 5),
+    };
+    let mut sw = Switch::new(4);
+    evaluate_throughput(
+        &mut sw,
+        &mut stack,
+        &packets,
+        LineRate { gbps: 10.0, frame_bytes: 64 },
+    );
+    let truth = packets
+        .iter()
+        .map(|p| p.flow().as_u64())
+        .collect::<std::collections::HashSet<_>>()
+        .len() as f64;
+    let est = stack.distinct.estimate();
+    let rel = (est - truth).abs() / truth;
+    assert!(rel < 0.15, "distinct flows {est} vs {truth} (rel {rel})");
+    // Cross-check against the switch's upcall counter: one per flow.
+    assert_eq!(sw.stats().upcalls as f64, truth);
+}

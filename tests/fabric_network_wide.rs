@@ -1,0 +1,105 @@
+//! Integration: network-wide heavy hitters over the leaf–spine fabric —
+//! packets traverse up to three switches, every switch runs an NMP
+//! hook, and the controller's merged sample still counts each packet
+//! once (the paper's routing-oblivious claim on a real topology).
+
+use qmax_apps::network_wide::{Controller, Nmp, SampledPacket};
+use qmax_core::{AmortizedQMax, Minimal};
+use qmax_ovs_sim::{LeafSpine, MeasurementHook};
+use qmax_traces::gen::caida_like;
+use qmax_traces::{FlowKey, Packet};
+use std::collections::{HashMap, HashSet};
+
+struct NmpHook {
+    nmp: Nmp<AmortizedQMax<SampledPacket, Minimal<u64>>>,
+}
+
+impl MeasurementHook for NmpHook {
+    fn on_packet(&mut self, flow: FlowKey, packet_id: u64, _len: u16) {
+        self.nmp.observe_raw(flow, packet_id);
+    }
+}
+
+fn run_fabric(
+    packets: &[Packet],
+    leaves: usize,
+    spines: usize,
+    q: usize,
+    instrumented: usize,
+) -> (Vec<Vec<SampledPacket>>, u64) {
+    let mut fabric = LeafSpine::new(leaves, spines);
+    let mut hooks: Vec<NmpHook> = (0..instrumented)
+        .map(|_| NmpHook { nmp: Nmp::new(AmortizedQMax::new(q, 0.5)) })
+        .collect();
+    for p in packets {
+        fabric.route(p, &mut hooks);
+    }
+    let reports = hooks.iter_mut().map(|h| h.nmp.report()).collect();
+    (reports, fabric.total_hops())
+}
+
+#[test]
+fn full_instrumentation_counts_every_packet_once() {
+    let packets: Vec<Packet> = caida_like(100_000, 5).collect();
+    let q = 2_000;
+    let (reports, hops) = run_fabric(&packets, 4, 2, q, 6);
+    assert!(hops > packets.len() as u64, "fabric produced no multi-hop paths");
+    let ctl = Controller::new(q);
+    let sample = ctl.merge(&reports);
+    // No duplicate packets despite multi-switch observation.
+    let distinct: HashSet<u64> = sample.packets.iter().map(|sp| sp.hash).collect();
+    assert_eq!(distinct.len(), sample.packets.len());
+    // The total estimate tracks distinct packets, not hops.
+    let rel = (sample.total_estimate - packets.len() as f64).abs() / packets.len() as f64;
+    assert!(
+        rel < 0.15,
+        "estimate {} vs {} packets (rel {rel}) — double counting?",
+        sample.total_estimate,
+        packets.len()
+    );
+}
+
+#[test]
+fn partial_deployment_estimates_its_coverage() {
+    // Instrument only the leaves (no spines): every packet still hits
+    // at least its ingress leaf, so coverage is complete and estimates
+    // hold — the routing-oblivious scheme needs no core cooperation.
+    let packets: Vec<Packet> = caida_like(80_000, 7).collect();
+    let q = 1_500;
+    let (reports, _) = run_fabric(&packets, 4, 2, q, 4); // 4 = leaves only
+    let ctl = Controller::new(q);
+    let sample = ctl.merge(&reports);
+    let rel = (sample.total_estimate - packets.len() as f64).abs() / packets.len() as f64;
+    assert!(rel < 0.15, "leaf-only estimate {} (rel {rel})", sample.total_estimate);
+}
+
+#[test]
+fn fabric_heavy_hitters_match_ground_truth() {
+    // Inject a 25% flow into the trace and find it through the fabric.
+    let mut packets: Vec<Packet> = caida_like(60_000, 9).collect();
+    let hh = packets[17];
+    for (i, p) in packets.iter_mut().enumerate() {
+        if i % 4 == 0 {
+            p.src_ip = hh.src_ip;
+            p.dst_ip = hh.dst_ip;
+            p.src_port = hh.src_port;
+            p.dst_port = hh.dst_port;
+            p.proto = hh.proto;
+        }
+    }
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for p in &packets {
+        *truth.entry(p.flow().as_u64()).or_default() += 1;
+    }
+    let q = 2_000;
+    let (reports, _) = run_fabric(&packets, 3, 2, q, 5);
+    let ctl = Controller::new(q);
+    let sample = ctl.merge(&reports);
+    let found = ctl.heavy_hitters(&sample, 0.2);
+    assert!(!found.is_empty());
+    assert_eq!(found[0].0, hh.flow(), "wrong top flow through the fabric");
+    let est = found[0].1;
+    let true_count = truth[&hh.flow().as_u64()] as f64;
+    let rel = (est - true_count).abs() / true_count;
+    assert!(rel < 0.15, "HH estimate {est} vs {true_count} (rel {rel})");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the core invariants, driven by proptest.
+
+use proptest::prelude::*;
+use qmax_core::{
+    AmortizedQMax, BasicSlackQMax, DedupQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax,
+};
+use qmax_select::{nth_smallest, Direction, MachineStatus, NthElementMachine};
+use std::collections::HashMap;
+
+fn reference_top_q(vals: &[u64], q: usize) -> Vec<u64> {
+    let mut s = vals.to_vec();
+    s.sort_unstable_by(|a, b| b.cmp(a));
+    s.truncate(q);
+    s.sort_unstable();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interval structures return exactly the q largest values for
+    /// arbitrary streams, q, and gamma.
+    #[test]
+    fn interval_qmax_matches_reference(
+        vals in prop::collection::vec(any::<u64>(), 1..4000),
+        q in 1usize..64,
+        gamma in 0.01f64..2.5,
+    ) {
+        let expect = reference_top_q(&vals, q);
+        let mut amort = AmortizedQMax::new(q, gamma);
+        let mut deamort = DeamortizedQMax::new(q, gamma);
+        let mut heap = HeapQMax::new(q);
+        let mut skip = SkipListQMax::new(q);
+        for (i, &v) in vals.iter().enumerate() {
+            amort.insert(i as u32, v);
+            deamort.insert(i as u32, v);
+            heap.insert(i as u32, v);
+            skip.insert(i as u32, v);
+        }
+        for qm in [&mut amort as &mut dyn QMax<u32, u64>, &mut deamort, &mut heap, &mut skip] {
+            let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expect, "{} incorrect", qm.name());
+        }
+    }
+
+    /// The admission threshold never admits an item that could not be
+    /// among the top q, and never rejects one that must be.
+    #[test]
+    fn threshold_is_safe(
+        vals in prop::collection::vec(any::<u64>(), 100..3000),
+        q in 1usize..32,
+    ) {
+        let mut qm = DeamortizedQMax::new(q, 0.3);
+        for (i, &v) in vals.iter().enumerate() {
+            let before = qm.threshold();
+            let admitted = qm.insert(i as u32, v);
+            if let Some(t) = before {
+                // Anything strictly above the threshold is admitted.
+                prop_assert_eq!(admitted, v > t);
+                // A rejected item is provably outside the top q of the
+                // prefix: at least q earlier items are >= t >= v.
+                if !admitted {
+                    let bigger = vals[..=i].iter().filter(|&&x| x >= v).count();
+                    prop_assert!(bigger > q);
+                }
+            }
+        }
+    }
+
+    /// The selection machine computes the same order statistic as the
+    /// batch introselect for any budget.
+    #[test]
+    fn machine_matches_batch_select(
+        mut vals in prop::collection::vec(any::<u32>(), 1..800),
+        k_seed in any::<u64>(),
+        budget in 1usize..200,
+    ) {
+        let n = vals.len();
+        let k = (k_seed as usize) % n;
+        let mut batch = vals.clone();
+        let expect = *nth_smallest(&mut batch, k);
+        let mut m = NthElementMachine::new(0, n, k, Direction::Ascending);
+        while m.step(&mut vals, budget) == MachineStatus::InProgress {}
+        prop_assert_eq!(m.result_index(), Some(k));
+        prop_assert_eq!(vals[k], expect);
+        for &v in &vals[..k] {
+            prop_assert!(v <= vals[k]);
+        }
+        for &v in &vals[k + 1..] {
+            prop_assert!(v >= vals[k]);
+        }
+    }
+
+    /// DedupQMax returns the top-q distinct keys by their maximum value.
+    #[test]
+    fn dedup_qmax_keeps_max_per_key(
+        ops in prop::collection::vec((0u32..40, any::<u64>()), 1..3000),
+        q in 1usize..16,
+    ) {
+        let mut qm = DedupQMax::new(q, 0.5);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for &(k, v) in &ops {
+            qm.insert(k, v);
+            let e = truth.entry(k).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+        let got: HashMap<u32, u64> = qm.query().into_iter().collect();
+        // Every reported key carries its true maximum value.
+        for (&k, &v) in &got {
+            prop_assert_eq!(truth.get(&k), Some(&v));
+        }
+        // The reported set dominates: no unreported key has a value
+        // strictly above a reported one (ties may go either way).
+        let reported_min = got.values().min().copied().unwrap_or(u64::MAX);
+        let missing_max = truth
+            .iter()
+            .filter(|(k, _)| !got.contains_key(k))
+            .map(|(_, &v)| v)
+            .max();
+        if let Some(mm) = missing_max {
+            if got.len() == q {
+                prop_assert!(mm <= reported_min);
+            } else {
+                // Fewer than q distinct keys exist; nothing may be missing.
+                prop_assert_eq!(truth.len(), got.len());
+            }
+        }
+    }
+
+    /// Slack-window results always match the top-q of *some* window of
+    /// valid slack length.
+    #[test]
+    fn slack_window_contract(
+        vals in prop::collection::vec(any::<u64>(), 500..2500),
+        q in 1usize..8,
+        tau_inv in 2usize..10,
+    ) {
+        let w = 256;
+        let tau = 1.0 / tau_inv as f64;
+        let mut sw = BasicSlackQMax::new(q, 0.5, w, tau);
+        let w_eff = sw.effective_window();
+        let s = sw.block_size();
+        for (i, &v) in vals.iter().enumerate() {
+            sw.insert(i as u32, v);
+        }
+        if vals.len() >= w_eff {
+            let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            let n = vals.len();
+            // Coverage spans [w_eff - s, w_eff - 1] items (exactly
+            // w_eff - s right after a block boundary).
+            let ok = (w_eff - s..=w_eff).any(|len| {
+                len <= n && reference_top_q(&vals[n - len..], q) == got
+            });
+            prop_assert!(ok, "no valid window explains {:?}", got);
+        }
+    }
+
+    /// Insert/query/reset cycles never corrupt state.
+    #[test]
+    fn reset_cycles_are_clean(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 1..400), 1..5),
+        q in 1usize..16,
+    ) {
+        let mut qm = DeamortizedQMax::new(q, 0.4);
+        for chunk in &chunks {
+            qm.reset();
+            for (i, &v) in chunk.iter().enumerate() {
+                qm.insert(i as u32, v);
+            }
+            let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, reference_top_q(chunk, q));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration: sliding-window network-wide heavy hitters (Theorem 8) —
+//! when traffic shifts, the windowed sample detects the new heavy
+//! hitter and forgets the old one, while the interval sample stays
+//! stuck in the past.
+
+use qmax_apps::network_wide::{Controller, Nmp, SampledPacket, TimedNmp};
+use qmax_core::{AmortizedQMax, Minimal};
+use qmax_traces::gen::{from_spec, SizeProfile, TraceSpec};
+use qmax_traces::{FlowKey, Packet};
+
+/// Builds a two-phase trace: phase 1 dominated by flow A, phase 2 by
+/// flow B (each ~40% of its phase), with background traffic around.
+fn two_phase_trace(n: usize) -> (Vec<Packet>, FlowKey, FlowKey) {
+    let spec = TraceSpec {
+        packets: n,
+        flows: 5_000,
+        alpha: 0.6,
+        sizes: SizeProfile::Backbone,
+        mean_gap_ns: 1_000,
+        seed: 99,
+    };
+    let mut packets: Vec<Packet> = from_spec(spec).collect();
+    let half = n / 2;
+    let flow_a = packets[0].flow();
+    let flow_b = packets[half].flow();
+    for (i, p) in packets.iter_mut().enumerate() {
+        let dominate = i % 5 < 2; // 40% of each phase
+        if dominate {
+            let f = if i < half { flow_a } else { flow_b };
+            p.src_ip = f.src_ip;
+            p.dst_ip = f.dst_ip;
+            p.src_port = f.src_port;
+            p.dst_port = f.dst_port;
+            p.proto = f.proto;
+        }
+    }
+    (packets, flow_a, flow_b)
+}
+
+#[test]
+fn windowed_sample_tracks_the_traffic_shift() {
+    let n = 120_000;
+    let (packets, flow_a, flow_b) = two_phase_trace(n);
+    let horizon = packets.last().unwrap().ts_ns;
+    let q = 1_000;
+    // Window = last quarter of the trace's duration.
+    let window_ns = horizon / 4;
+    let mut windowed = TimedNmp::new(q, 0.5, window_ns, 0.25);
+    let mut interval = Nmp::<AmortizedQMax<SampledPacket, Minimal<u64>>>::new(
+        AmortizedQMax::new(q, 0.5),
+    );
+    for p in &packets {
+        windowed.observe(p);
+        interval.observe(p);
+    }
+    let ctl = Controller::new(q);
+
+    // The windowed view sees only phase 2: flow B is the top heavy
+    // hitter and flow A has vanished.
+    let wsample = ctl.merge(&[windowed.report_at(horizon)]);
+    let whh = ctl.heavy_hitters(&wsample, 0.2);
+    assert!(!whh.is_empty(), "no windowed heavy hitter found");
+    assert_eq!(whh[0].0, flow_b, "windowed view must rank the new flow first");
+    assert!(
+        !whh.iter().any(|(f, _)| *f == flow_a),
+        "expired heavy hitter still reported in the windowed view"
+    );
+
+    // The interval view averages both phases: both flows are heavy.
+    let isample = ctl.merge(&[interval.report()]);
+    let ihh = ctl.heavy_hitters(&isample, 0.15);
+    let iflows: Vec<FlowKey> = ihh.iter().map(|&(f, _)| f).collect();
+    assert!(iflows.contains(&flow_a), "interval view lost the old heavy hitter");
+    assert!(iflows.contains(&flow_b), "interval view missed the new heavy hitter");
+
+    // Windowed total estimate ~ packets within the window, not the
+    // whole trace.
+    let in_window = packets.iter().filter(|p| p.ts_ns + window_ns >= horizon).count() as f64;
+    let rel = (wsample.total_estimate - in_window).abs() / in_window;
+    assert!(
+        rel < 0.35,
+        "windowed total {} vs in-window packets {in_window} (rel {rel})",
+        wsample.total_estimate
+    );
+}

@@ -1,0 +1,119 @@
+//! Integration: the slack-window structures against a naive exact
+//! sliding-window reference, on realistic packet workloads.
+
+use qmax_core::{BasicSlackQMax, HierSlackQMax, LazySlackQMax, QMax};
+use qmax_traces::gen::caida_like;
+use std::collections::VecDeque;
+
+/// Exact sliding-window top-q reference.
+struct NaiveWindow {
+    w: usize,
+    q: usize,
+    items: VecDeque<u64>,
+}
+
+impl NaiveWindow {
+    fn new(q: usize, w: usize) -> Self {
+        NaiveWindow { w, q, items: VecDeque::new() }
+    }
+
+    fn insert(&mut self, v: u64) {
+        self.items.push_back(v);
+        if self.items.len() > self.w {
+            self.items.pop_front();
+        }
+    }
+
+    /// Top-q of the last `len` items (ascending).
+    fn top_q_of_suffix(&self, len: usize) -> Vec<u64> {
+        let n = self.items.len();
+        let len = len.min(n);
+        let mut v: Vec<u64> = self.items.iter().skip(n - len).copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.truncate(self.q);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Checks that `got` equals the reference's top-q for *some* window
+/// length in `[min_len, max_len]` — the slack-window contract.
+fn assert_within_slack(naive: &NaiveWindow, got: &mut Vec<u64>, min_len: usize, max_len: usize) {
+    got.sort_unstable();
+    for len in min_len..=max_len {
+        if *got == naive.top_q_of_suffix(len) {
+            return;
+        }
+    }
+    panic!("window result matches no suffix in [{min_len}, {max_len}]: {got:?}");
+}
+
+#[test]
+fn basic_window_on_packet_trace() {
+    let q = 8;
+    let w = 1024;
+    let tau = 0.125;
+    let mut sw = BasicSlackQMax::new(q, 0.5, w, tau);
+    let w_eff = sw.effective_window();
+    let slack = sw.block_size();
+    let mut naive = NaiveWindow::new(q, w_eff);
+    for (i, p) in caida_like(30_000, 3).enumerate() {
+        let v = (p.len as u64) << 32 | (p.flow().as_u64() & 0xFFFF_FFFF);
+        sw.insert(i as u32, v);
+        naive.insert(v);
+        if i > 2 * w_eff && i % 251 == 0 {
+            let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+            assert_within_slack(&naive, &mut got, w_eff - slack, w_eff);
+        }
+    }
+}
+
+#[test]
+fn hier_window_on_packet_trace() {
+    let q = 5;
+    let w = 2048;
+    let tau = 1.0 / 64.0;
+    for c in [2usize, 3] {
+        let mut sw = HierSlackQMax::new(q, 0.5, w, tau, c);
+        let w_eff = sw.effective_window();
+        let slack = sw.base_block();
+        let mut naive = NaiveWindow::new(q, w_eff);
+        for (i, p) in caida_like(40_000, 5).enumerate() {
+            let v = p.flow().as_u64() ^ (i as u64).rotate_left(32);
+            sw.insert(i as u32, v);
+            naive.insert(v);
+            if i > 2 * w_eff && i % 509 == 0 {
+                let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                assert_within_slack(&naive, &mut got, w_eff - slack, w_eff);
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_window_keeps_the_maximum_alive() {
+    // The single invariant users rely on most: the window maximum is
+    // always reported while it is (comfortably) inside the window.
+    let q = 4;
+    let w = 4096;
+    let mut sw = LazySlackQMax::new(q, 0.5, w, 1.0 / 16.0, 2);
+    let w_eff = sw.effective_window();
+    let mut recent_max: VecDeque<u64> = VecDeque::new();
+    for (i, p) in caida_like(60_000, 9).enumerate() {
+        let v = p.flow().as_u64();
+        sw.insert(i as u32, v);
+        recent_max.push_back(v);
+        if recent_max.len() + 2 * sw.base_block() > w_eff {
+            recent_max.pop_front();
+        }
+        if i > 2 * w_eff && i % 777 == 0 {
+            let max_safe = *recent_max.iter().max().unwrap();
+            let got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+            assert!(
+                got.contains(&max_safe),
+                "window max {max_safe} missing from {got:?} at i={i}"
+            );
+        }
+    }
+}
+
