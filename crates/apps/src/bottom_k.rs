@@ -45,7 +45,10 @@ impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
     ///
     /// Panics if `weight` is not positive and finite.
     pub fn observe(&mut self, key: u64, weight: f64) -> bool {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive and finite");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive and finite"
+        );
         let u = hash::to_unit_open(key, self.seed);
         let rank = -u.ln() / weight;
         self.reservoir
@@ -54,8 +57,12 @@ impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
 
     /// The current sample, smallest rank first.
     pub fn sample(&mut self) -> Vec<RankedKey> {
-        let mut s: Vec<RankedKey> =
-            self.reservoir.query().into_iter().map(|(rk, _)| rk).collect();
+        let mut s: Vec<RankedKey> = self
+            .reservoir
+            .query()
+            .into_iter()
+            .map(|(rk, _)| rk)
+            .collect();
         s.sort_by(|a, b| a.rank.total_cmp(&b.rank));
         s
     }
@@ -63,7 +70,10 @@ impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
     /// Merges another sketch's sample into this one (both must use the
     /// same seed so shared keys carry identical ranks).
     pub fn merge(&mut self, other: &mut Self) {
-        debug_assert_eq!(self.seed, other.seed, "merging sketches with different seeds");
+        debug_assert_eq!(
+            self.seed, other.seed,
+            "merging sketches with different seeds"
+        );
         for rk in other.sample() {
             self.reservoir.insert(rk, Minimal(OrderedF64(rk.rank)));
         }
@@ -77,7 +87,11 @@ impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
     pub fn estimate_subset<F: Fn(u64) -> bool>(&mut self, subset: F) -> f64 {
         let sample = self.sample();
         if sample.len() < self.reservoir.q() {
-            return sample.iter().filter(|rk| subset(rk.key)).map(|rk| rk.weight).sum();
+            return sample
+                .iter()
+                .filter(|rk| subset(rk.key))
+                .map(|rk| rk.weight)
+                .sum();
         }
         let tau = sample.last().expect("non-empty").rank;
         sample
@@ -110,13 +124,21 @@ impl<Q: QMax<RankedKey, Minimal<OrderedF64>>> BottomK<Q> {
             return None;
         }
         let full = sample.len() >= self.reservoir.q();
-        let tau = if full { sample.last().expect("non-empty").rank } else { f64::INFINITY };
+        let tau = if full {
+            sample.last().expect("non-empty").rank
+        } else {
+            f64::INFINITY
+        };
         // Per-key estimated multiplicity: 1 / P(sampled | tau).
         let mut weighted: Vec<(f64, f64)> = sample
             .iter()
             .take(if full { sample.len() - 1 } else { sample.len() })
             .map(|rk| {
-                let p = if full { 1.0 - (-rk.weight * tau).exp() } else { 1.0 };
+                let p = if full {
+                    1.0 - (-rk.weight * tau).exp()
+                } else {
+                    1.0
+                };
                 (rk.weight, 1.0 / p.max(f64::MIN_POSITIVE))
             })
             .collect();
@@ -173,7 +195,10 @@ mod tests {
         for key in 1..5000u64 {
             bk.observe(key, 1.0);
         }
-        assert!(bk.sample().iter().any(|rk| rk.key == 0), "heavy key not sampled");
+        assert!(
+            bk.sample().iter().any(|rk| rk.key == 0),
+            "heavy key not sampled"
+        );
     }
 
     #[test]
@@ -198,7 +223,9 @@ mod tests {
     #[test]
     fn merged_sketch_equals_single_sketch() {
         let k = 32;
-        let all: Vec<(u64, f64)> = (0..2000u64).map(|key| (key, 1.0 + (key % 7) as f64)).collect();
+        let all: Vec<(u64, f64)> = (0..2000u64)
+            .map(|key| (key, 1.0 + (key % 7) as f64))
+            .collect();
         let mut whole = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
         let mut left = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
         let mut right = BottomK::new(AmortizedQMax::new(k, 0.5), 9);
@@ -233,7 +260,10 @@ mod tests {
             let truth = weights[(phi * weights.len() as f64) as usize];
             let est = bk.estimate_quantile(phi).expect("non-empty sketch");
             let rel = (est - truth).abs() / truth;
-            assert!(rel < 0.2, "phi={phi}: est {est} vs truth {truth} (rel {rel})");
+            assert!(
+                rel < 0.2,
+                "phi={phi}: est {est} vs truth {truth} (rel {rel})"
+            );
         }
     }
 

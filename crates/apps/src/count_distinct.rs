@@ -41,7 +41,11 @@ pub struct CountDistinct<Q> {
 impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
     /// Creates an interval estimator over the given q-MIN backend.
     pub fn new(reservoir: Q, seed: u64) -> Self {
-        CountDistinct { reservoir, seed, admitted: Some(HashSet::new()) }
+        CountDistinct {
+            reservoir,
+            seed,
+            admitted: Some(HashSet::new()),
+        }
     }
 
     /// Creates a sliding-window estimator: pair with a slack-window
@@ -49,7 +53,11 @@ impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
     /// re-inserted (so recent duplicates keep a key alive in the
     /// window); the estimator de-duplicates hashes at query time.
     pub fn new_windowed(reservoir: Q, seed: u64) -> Self {
-        CountDistinct { reservoir, seed, admitted: None }
+        CountDistinct {
+            reservoir,
+            seed,
+            admitted: None,
+        }
     }
 
     /// Processes one stream key.
@@ -72,8 +80,12 @@ impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
     /// Estimates the number of distinct keys seen (within the window,
     /// for windowed instances).
     pub fn estimate(&mut self) -> f64 {
-        let mut hashes: Vec<u64> =
-            self.reservoir.query().into_iter().map(|(_, Minimal(h))| h).collect();
+        let mut hashes: Vec<u64> = self
+            .reservoir
+            .query()
+            .into_iter()
+            .map(|(_, Minimal(h))| h)
+            .collect();
         hashes.sort_unstable();
         hashes.dedup();
         let q = self.reservoir.q().min(hashes.len());
@@ -125,7 +137,10 @@ mod tests {
             let rel = (est - distinct as f64).abs() / distinct as f64;
             // KMV standard error is ~1/sqrt(q); allow 4 sigma.
             let tol = 4.0 / (q as f64).sqrt();
-            assert!(rel < tol, "distinct={distinct} q={q}: est {est} rel {rel} tol {tol}");
+            assert!(
+                rel < tol,
+                "distinct={distinct} q={q}: est {est} rel {rel} tol {tol}"
+            );
         }
     }
 
@@ -180,6 +195,9 @@ mod tests {
         let est = cd.estimate();
         let lo = (w as f64) * 0.75 * (1.0 - 4.0 / (q as f64).sqrt());
         let hi = (w as f64) * (1.0 + 4.0 / (q as f64).sqrt());
-        assert!(est >= lo && est <= hi, "windowed estimate {est} outside [{lo}, {hi}]");
+        assert!(
+            est >= lo && est <= hi,
+            "windowed estimate {est} outside [{lo}, {hi}]"
+        );
     }
 }

@@ -98,7 +98,11 @@ impl Dbm {
             debug_assert!(ts_ns >= last.end_ns, "timestamps must be non-decreasing");
         }
         let idx = self.slots.len() as u32;
-        self.slots.push(Some(Bucket { start_ns: ts_ns, end_ns: ts_ns, bytes }));
+        self.slots.push(Some(Bucket {
+            start_ns: ts_ns,
+            end_ns: ts_ns,
+            bytes,
+        }));
         self.next.push(NIL);
         self.prev.push(self.tail);
         self.versions.push(0);
@@ -141,10 +145,7 @@ impl Dbm {
         let cand = loop {
             let c = self.candidates.pop().expect("a mergeable pair must exist");
             let li = c.left as usize;
-            if self.slots[li].is_some()
-                && self.versions[li] == c.version
-                && self.next[li] != NIL
-            {
+            if self.slots[li].is_some() && self.versions[li] == c.version && self.next[li] != NIL {
                 break c;
             }
         };
@@ -263,7 +264,11 @@ mod tests {
         // should dominate the estimate.
         let mut dbm = Dbm::new(64);
         for i in 0..3000u64 {
-            let bytes = if (1000..1100).contains(&i) { 100_000 } else { 100 };
+            let bytes = if (1000..1100).contains(&i) {
+                100_000
+            } else {
+                100
+            };
             dbm.observe(i * 1_000, bytes);
         }
         let burst = dbm.bytes_in_range(1_000_000, 1_100_000);
@@ -286,7 +291,9 @@ mod tests {
         dbm.observe(10_000, 1_000_000);
         let snap = dbm.snapshot();
         assert!(snap.iter().any(|b| b.bytes == 1_000_000 && b.start_ns == 0));
-        assert!(snap.iter().any(|b| b.bytes >= 1_000_000 && b.end_ns == 10_000));
+        assert!(snap
+            .iter()
+            .any(|b| b.bytes >= 1_000_000 && b.end_ns == 10_000));
     }
 
     #[test]

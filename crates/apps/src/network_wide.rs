@@ -42,7 +42,10 @@ pub struct Nmp<Q> {
 impl<Q: QMax<SampledPacket, Minimal<u64>>> Nmp<Q> {
     /// Creates an NMP over the given backend.
     pub fn new(reservoir: Q) -> Self {
-        Nmp { reservoir, observed: 0 }
+        Nmp {
+            reservoir,
+            observed: 0,
+        }
     }
 
     /// Processes one observed packet.
@@ -55,12 +58,22 @@ impl<Q: QMax<SampledPacket, Minimal<u64>>> Nmp<Q> {
     /// call, avoiding a re-hash).
     pub fn observe_raw(&mut self, flow: FlowKey, packet_hash: u64) -> bool {
         self.observed += 1;
-        self.reservoir.insert(SampledPacket { flow, hash: packet_hash }, Minimal(packet_hash))
+        self.reservoir.insert(
+            SampledPacket {
+                flow,
+                hash: packet_hash,
+            },
+            Minimal(packet_hash),
+        )
     }
 
     /// The NMP's current report: its `q` minimal-hash packets.
     pub fn report(&mut self) -> Vec<SampledPacket> {
-        self.reservoir.query().into_iter().map(|(sp, _)| sp).collect()
+        self.reservoir
+            .query()
+            .into_iter()
+            .map(|(sp, _)| sp)
+            .collect()
     }
 
     /// Number of packets this NMP has observed.
@@ -95,7 +108,10 @@ impl TimedNmp {
     /// over windows of `window_ns` with slack `tau` and space-slack
     /// `gamma`.
     pub fn new(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
-        TimedNmp { reservoir: TimeSlackQMax::new(q, gamma, window_ns, tau), observed: 0 }
+        TimedNmp {
+            reservoir: TimeSlackQMax::new(q, gamma, window_ns, tau),
+            observed: 0,
+        }
     }
 
     /// Processes one observed packet (timestamps must be
@@ -104,7 +120,10 @@ impl TimedNmp {
         self.observed += 1;
         let hash = pkt.packet_id();
         self.reservoir.insert(
-            SampledPacket { flow: pkt.flow(), hash },
+            SampledPacket {
+                flow: pkt.flow(),
+                hash,
+            },
             Minimal(hash),
             pkt.ts_ns,
         )
@@ -112,7 +131,11 @@ impl TimedNmp {
 
     /// The NMP's report for the window ending at `now_ns`.
     pub fn report_at(&mut self, now_ns: u64) -> Vec<SampledPacket> {
-        self.reservoir.query_at(now_ns).into_iter().map(|(sp, _)| sp).collect()
+        self.reservoir
+            .query_at(now_ns)
+            .into_iter()
+            .map(|(sp, _)| sp)
+            .collect()
     }
 
     /// Number of packets observed.
@@ -178,7 +201,10 @@ impl Controller {
             let vq = (all[all.len() - 1].hash as f64 + 1.0) / (u64::MAX as f64 + 1.0);
             (self.q as f64 - 1.0) / vq
         };
-        GlobalSample { packets: all, total_estimate }
+        GlobalSample {
+            packets: all,
+            total_estimate,
+        }
     }
 
     /// Estimated per-flow packet counts derived from a merged sample:
@@ -193,7 +219,10 @@ impl Controller {
         } else {
             sample.total_estimate / sample.packets.len() as f64
         };
-        counts.into_iter().map(|(f, c)| (f, c as f64 * scale)).collect()
+        counts
+            .into_iter()
+            .map(|(f, c)| (f, c as f64 * scale))
+            .collect()
     }
 
     /// Lists the flows whose estimated frequency is at least
@@ -218,11 +247,7 @@ mod tests {
     use qmax_traces::gen::caida_like;
     use qmax_traces::rng::SplitMix64;
 
-    fn route_packets(
-        packets: &[Packet],
-        nmps: usize,
-        seed: u64,
-    ) -> Vec<Vec<Packet>> {
+    fn route_packets(packets: &[Packet], nmps: usize, seed: u64) -> Vec<Vec<Packet>> {
         // Each packet traverses 1-3 randomly chosen NMPs (duplicated
         // observations, like a real multi-hop path).
         let mut rng = SplitMix64::new(seed);
@@ -268,8 +293,9 @@ mod tests {
         let packets: Vec<Packet> = caida_like(3000, 5).collect();
         let per_nmp = route_packets(&packets, 3, 7);
         let q = 64;
-        let mut nmps: Vec<Nmp<AmortizedQMax<SampledPacket, Minimal<u64>>>> =
-            (0..3).map(|_| Nmp::new(AmortizedQMax::new(q, 0.5))).collect();
+        let mut nmps: Vec<Nmp<AmortizedQMax<SampledPacket, Minimal<u64>>>> = (0..3)
+            .map(|_| Nmp::new(AmortizedQMax::new(q, 0.5)))
+            .collect();
         for (nmp, pkts) in nmps.iter_mut().zip(&per_nmp) {
             for p in pkts {
                 nmp.observe(p);
@@ -303,7 +329,11 @@ mod tests {
         let ctl = Controller::new(q);
         let sample = ctl.merge(&[nmp.report()]);
         let rel = (sample.total_estimate - 50_000.0).abs() / 50_000.0;
-        assert!(rel < 0.15, "estimate {} rel err {rel}", sample.total_estimate);
+        assert!(
+            rel < 0.15,
+            "estimate {} rel err {rel}",
+            sample.total_estimate
+        );
     }
 
     #[test]
@@ -364,7 +394,11 @@ mod tests {
             .filter(|p| p.ts_ns + slack < horizon)
             .map(|p| p.packet_id())
             .collect();
-        let stale = sample.packets.iter().filter(|sp| old.contains(&sp.hash)).count();
+        let stale = sample
+            .packets
+            .iter()
+            .filter(|sp| old.contains(&sp.hash))
+            .count();
         assert_eq!(stale, 0, "{stale} expired packets in the timed sample");
         // And no duplicates despite double observation.
         let distinct: HashSet<u64> = sample.packets.iter().map(|sp| sp.hash).collect();
@@ -420,9 +454,11 @@ mod tests {
         // All sampled packets must come from (roughly) the last 5000.
         let report = nmp.report();
         assert!(!report.is_empty());
-        let old_window: HashSet<u64> =
-            packets[..24_000].iter().map(|p| p.packet_id()).collect();
-        let stale = report.iter().filter(|sp| old_window.contains(&sp.hash)).count();
+        let old_window: HashSet<u64> = packets[..24_000].iter().map(|p| p.packet_id()).collect();
+        let stale = report
+            .iter()
+            .filter(|sp| old_window.contains(&sp.hash))
+            .count();
         assert_eq!(stale, 0, "{stale} stale packets in the windowed sample");
     }
 }

@@ -53,7 +53,12 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
     /// Creates a PBA instance over the given reservoir backend.
     pub fn new(reservoir: Q, seed: u64) -> Self {
         let purge_at = (reservoir.q() * 8).max(1024);
-        Pba { reservoir, seed, agg: HashMap::new(), purge_at }
+        Pba {
+            reservoir,
+            seed,
+            agg: HashMap::new(),
+            purge_at,
+        }
     }
 
     /// Processes one arrival of `key` carrying `weight`.
@@ -62,7 +67,10 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
     ///
     /// Panics if `weight` is not positive and finite.
     pub fn observe(&mut self, key: u64, weight: f64) -> bool {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive and finite");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive and finite"
+        );
         let u = hash::to_unit_open(key, self.seed);
         let total = self.agg.entry(key).or_insert(0.0);
         *total += weight;
@@ -105,7 +113,11 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
             .map(|(key, priority)| {
                 let u = hash::to_unit_open(key, self.seed);
                 let weight = self.agg.get(&key).copied().unwrap_or(priority * u);
-                PbaSample { key, weight, priority }
+                PbaSample {
+                    key,
+                    weight,
+                    priority,
+                }
             })
             .collect();
         out.sort_by(|a, b| b.priority.total_cmp(&a.priority));
@@ -119,7 +131,11 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
     pub fn estimate_subset<F: Fn(u64) -> bool>(&mut self, subset: F) -> f64 {
         let sample = self.sample();
         if sample.len() < self.reservoir.q() {
-            return sample.iter().filter(|s| subset(s.key)).map(|s| s.weight).sum();
+            return sample
+                .iter()
+                .filter(|s| subset(s.key))
+                .map(|s| s.weight)
+                .sum();
         }
         let tau = sample.last().expect("non-empty").priority;
         sample
@@ -188,7 +204,10 @@ mod tests {
         let s = pba.sample();
         let sampled: std::collections::HashSet<u64> = s.iter().map(|s| s.key).collect();
         for key in 0..10u64 {
-            assert!(sampled.contains(&key), "heavy key {key} missing from sample");
+            assert!(
+                sampled.contains(&key),
+                "heavy key {key} missing from sample"
+            );
         }
     }
 

@@ -54,10 +54,14 @@ impl<Q: QMax<WeightedKey, OrderedF64>> PrioritySampling<Q> {
     ///
     /// Panics if `weight` is not positive and finite.
     pub fn observe(&mut self, key: u64, weight: f64) -> bool {
-        assert!(weight > 0.0 && weight.is_finite(), "weights must be positive and finite");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weights must be positive and finite"
+        );
         let u = hash::to_unit_open(key, self.seed);
         let priority = weight / u;
-        self.reservoir.insert(WeightedKey { key, weight }, OrderedF64(priority))
+        self.reservoir
+            .insert(WeightedKey { key, weight }, OrderedF64(priority))
     }
 
     /// The current priority sample: up to `q` keys with weights and
@@ -132,8 +136,7 @@ mod tests {
 
     #[test]
     fn backends_agree_on_the_sample() {
-        let streams: Vec<(u64, f64)> =
-            (0..5000u64).map(|k| (k, 1.0 + (k % 97) as f64)).collect();
+        let streams: Vec<(u64, f64)> = (0..5000u64).map(|k| (k, 1.0 + (k % 97) as f64)).collect();
         let mut heap = PrioritySampling::new(HeapQMax::new(50), 9);
         let mut skip = PrioritySampling::new(SkipListQMax::new(50), 9);
         let mut amort = PrioritySampling::new(AmortizedQMax::new(50, 0.25), 9);
@@ -199,8 +202,7 @@ mod tests {
         // the recent stream with no further changes.
         use qmax_core::BasicSlackQMax;
         let w = 4_000;
-        let mut ps =
-            PrioritySampling::new(BasicSlackQMax::new(64, 0.5, w, 0.25), 3);
+        let mut ps = PrioritySampling::new(BasicSlackQMax::new(64, 0.5, w, 0.25), 3);
         for key in 0..50_000u64 {
             ps.observe(key, 1.0 + (key % 11) as f64);
         }
@@ -216,9 +218,8 @@ mod tests {
         // priority-sampling estimator has ~1/sqrt(q) ≈ 12.5% standard
         // error; allow 4 sigma around the slack range.
         let est = ps.estimate_subset(|_| true);
-        let weight_of = |len: u64| -> f64 {
-            (50_000 - len..50_000).map(|k| 1.0 + (k % 11) as f64).sum()
-        };
+        let weight_of =
+            |len: u64| -> f64 { (50_000 - len..50_000).map(|k| 1.0 + (k % 11) as f64).sum() };
         let lo = weight_of((w as f64 * 0.75) as u64) * 0.5;
         let hi = weight_of(w as u64) * 1.5;
         assert!(

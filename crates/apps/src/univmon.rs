@@ -179,8 +179,7 @@ mod tests {
     fn top_heavy_hitter_is_found() {
         let stream = zipf_stream(60_000, 5000, 1);
         let truth = truth_counts(&stream);
-        let (&top_key, &top_count) =
-            truth.iter().max_by_key(|&(_, &c)| c).expect("non-empty");
+        let (&top_key, &top_count) = truth.iter().max_by_key(|&(_, &c)| c).expect("non-empty");
         let mut um = UnivMon::new(8, 5, 2048, 7, || DedupQMax::new(64, 0.5));
         for &k in &stream {
             um.observe(k);
@@ -250,8 +249,18 @@ mod tests {
             a.observe(k);
             b.observe(k);
         }
-        let ha: Vec<u64> = a.level_heavy_hitters(0).into_iter().take(5).map(|(k, _)| k).collect();
-        let hb: Vec<u64> = b.level_heavy_hitters(0).into_iter().take(5).map(|(k, _)| k).collect();
+        let ha: Vec<u64> = a
+            .level_heavy_hitters(0)
+            .into_iter()
+            .take(5)
+            .map(|(k, _)| k)
+            .collect();
+        let hb: Vec<u64> = b
+            .level_heavy_hitters(0)
+            .into_iter()
+            .take(5)
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(ha, hb);
     }
 

@@ -1,0 +1,79 @@
+//! Criterion microbenchmark: sharded-engine insert throughput as the
+//! shard count grows, on a Zipf flow stream and a CAIDA-like packet
+//! trace. Covers both halves of the hot path: the single-threaded
+//! batched insert (Ψ pre-filter amortized over a batch) and the
+//! multi-threaded driver (one worker per shard over bounded channels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmax_engine::{DriverConfig, QMax, ShardedQMax};
+use qmax_traces::gen::{caida_like, random_u64_stream};
+use qmax_traces::zipf::ZipfSampler;
+
+const STREAM: usize = 400_000;
+const Q: usize = 10_000;
+const BATCH: usize = 1024;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Zipf(1.0) flow ids over a million-flow universe with random ranks.
+fn zipf_stream(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut flows = ZipfSampler::new(1_000_000, 1.0, seed);
+    random_u64_stream(n, seed ^ 0x5EED)
+        .map(|v| (flows.sample() as u64, v))
+        .collect()
+}
+
+/// CAIDA-like packets ranked by frame length (the OVS hook's stream).
+fn caida_stream(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    caida_like(n, seed)
+        .map(|p| (p.flow().as_u64(), p.len as u64))
+        .collect()
+}
+
+fn traces() -> Vec<(&'static str, Vec<(u64, u64)>)> {
+    vec![
+        ("zipf", zipf_stream(STREAM, 7)),
+        ("caida", caida_stream(STREAM, 9)),
+    ]
+}
+
+fn bench_insert_batch(c: &mut Criterion) {
+    for (name, items) in traces() {
+        let mut group = c.benchmark_group(format!("sharded_insert_batch/{name}"));
+        group.throughput(Throughput::Elements(items.len() as u64));
+        group.sample_size(10);
+        for shards in SHARD_COUNTS {
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+                b.iter(|| {
+                    let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(Q, 0.25, s);
+                    for chunk in items.chunks(BATCH) {
+                        engine.insert_batch(chunk);
+                    }
+                    engine.len()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_threaded_driver(c: &mut Criterion) {
+    for (name, items) in traces() {
+        let mut group = c.benchmark_group(format!("sharded_threaded/{name}"));
+        group.throughput(Throughput::Elements(items.len() as u64));
+        group.sample_size(10);
+        for shards in SHARD_COUNTS {
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+                b.iter(|| {
+                    let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(Q, 0.25, s);
+                    let report =
+                        engine.run_threaded(items.iter().copied(), DriverConfig::default());
+                    report.items
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_insert_batch, bench_threaded_driver);
+criterion_main!(benches);

@@ -35,7 +35,9 @@ fn bench_datapath(c: &mut Criterion) {
         }
         b.iter(|| {
             let mut sw = Switch::new(8);
-            let mut hook = Hook { qm: AmortizedQMax::new(10_000, 0.25) };
+            let mut hook = Hook {
+                qm: AmortizedQMax::new(10_000, 0.25),
+            };
             for p in &packets {
                 sw.process(p);
                 hook.on_packet(p.flow(), p.packet_id(), p.len);

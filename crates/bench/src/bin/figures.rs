@@ -6,6 +6,7 @@
 //! experiments:
 //!   fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11
 //!   fig12 fig13 fig14 fig15 fig16 fig17 sec3
+//!   pmd-scaling sharded-scaling
 //!   ablate-deamortize ablate-select ablate-gamma ablate-window
 //!   all        (everything above, in order)
 //!
@@ -17,7 +18,7 @@
 //! Each experiment prints its series and mirrors them under
 //! `results/<id>.csv`.
 
-use qmax_bench::experiments::{ablate, apps, lrfu, micro, ovs, windows};
+use qmax_bench::experiments::{ablate, apps, lrfu, micro, ovs, sharded, windows};
 use qmax_bench::scale::Scale;
 
 fn main() {
@@ -39,13 +40,34 @@ fn main() {
         eprintln!("usage: figures <experiment|all> [--scale F] [--full]");
         eprintln!("experiments: fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11");
         eprintln!("             fig12 fig13 fig14 fig15 fig16 fig17 sec3");
+        eprintln!("             pmd-scaling sharded-scaling");
         eprintln!("             ablate-deamortize ablate-select ablate-gamma ablate-window");
         std::process::exit(2);
     }
     let all = [
-        "fig4", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sec3",
-        "pmd-scaling", "ablate-deamortize", "ablate-select", "ablate-gamma", "ablate-tail",
+        "fig4",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table2",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "sec3",
+        "pmd-scaling",
+        "sharded-scaling",
+        "ablate-deamortize",
+        "ablate-select",
+        "ablate-gamma",
+        "ablate-tail",
         "ablate-window",
     ];
     let list: Vec<&str> = if experiments.iter().any(|e| e == "all") {
@@ -74,6 +96,7 @@ fn main() {
             "fig16" => ovs::fig16(&scale),
             "fig17" => ovs::fig17(&scale),
             "pmd-scaling" => ovs::pmd_scaling(&scale),
+            "sharded-scaling" => sharded::sharded_scaling(&scale),
             "ablate-deamortize" => ablate::ablate_deamortize(&scale),
             "ablate-select" => ablate::ablate_select(&scale),
             "ablate-gamma" => ablate::ablate_gamma(&scale),

@@ -58,10 +58,7 @@ pub fn ablate_deamortize(scale: &Scale) {
 /// top part is partially ordered from previous compactions).
 pub fn ablate_select(scale: &Scale) {
     println!("# Ablation: selection algorithm (introselect vs median-of-medians)");
-    let mut rep = Report::new(
-        "ablate_select",
-        &["n", "input", "algorithm", "ns_per_elem"],
-    );
+    let mut rep = Report::new("ablate_select", &["n", "input", "algorithm", "ns_per_elem"]);
     let sizes = if scale.full {
         vec![100_000usize, 1_000_000, 10_000_000]
     } else {
@@ -81,8 +78,14 @@ pub fn ablate_select(scale: &Scale) {
             ("few-distinct", &few),
         ] {
             for (aname, f) in [
-                ("introselect", nth_smallest::<u64> as fn(&mut [u64], usize) -> &u64),
-                ("mom", mom_nth_smallest::<u64> as fn(&mut [u64], usize) -> &u64),
+                (
+                    "introselect",
+                    nth_smallest::<u64> as fn(&mut [u64], usize) -> &u64,
+                ),
+                (
+                    "mom",
+                    mom_nth_smallest::<u64> as fn(&mut [u64], usize) -> &u64,
+                ),
             ] {
                 let reps = 5;
                 let mut total = std::time::Duration::ZERO;
@@ -115,7 +118,10 @@ pub fn ablate_tail(scale: &Scale) {
     for &q in &[10_000usize, 1_000_000] {
         for (name, mut qm) in [
             ("amortized", Backend::QMax { gamma: 0.25 }.build_u64(q)),
-            ("deamortized", Backend::QMaxDeamortized { gamma: 0.25 }.build_u64(q)),
+            (
+                "deamortized",
+                Backend::QMaxDeamortized { gamma: 0.25 }.build_u64(q),
+            ),
         ] {
             let mut lat: Vec<u32> = Vec::with_capacity(n);
             for (i, &v) in stream.iter().enumerate() {
@@ -143,7 +149,10 @@ pub fn ablate_tail(scale: &Scale) {
 pub fn ablate_gamma(scale: &Scale) {
     println!("# Ablation: gamma trade-off, worst-case step budget");
     let _ = scale;
-    let mut rep = Report::new("ablate_gamma", &["q", "gamma", "space_slots", "step_budget"]);
+    let mut rep = Report::new(
+        "ablate_gamma",
+        &["q", "gamma", "space_slots", "step_budget"],
+    );
     for &q in &[10_000usize, 1_000_000] {
         for gamma in [0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
             let dqm: DeamortizedQMax<u32, u64> = DeamortizedQMax::new(q, gamma);

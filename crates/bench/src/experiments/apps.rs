@@ -63,7 +63,10 @@ pub fn fig8(scale: &Scale) {
         for (tname, trace) in &traces {
             // (a, b) Priority Sampling.
             for (label, backend) in [
-                ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+                (
+                    "heap",
+                    Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>,
+                ),
                 ("skiplist", Box::new(SkipListQMax::new(q))),
                 ("qmax(g=0.05)", Box::new(AmortizedQMax::new(q, 0.05))),
                 ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
@@ -141,7 +144,10 @@ pub fn sec3(scale: &Scale) {
     let base = start.elapsed().as_secs_f64();
     for &q in &scale.qs() {
         for (label, backend) in [
-            ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+            (
+                "heap",
+                Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>,
+            ),
             ("skiplist", Box::new(SkipListQMax::new(q))),
             ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
         ] {

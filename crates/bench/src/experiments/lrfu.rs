@@ -56,7 +56,11 @@ pub fn table2(scale: &Scale) {
     let trace = arc_like(n, 20 * q, 17);
     let mut rep = Report::new("table2", &["gamma", "policy", "hit_ratio"]);
     let base = hit_ratio(&mut HeapLrfu::new(q, c), &trace);
-    rep.row(&["-".into(), "q-sized LRFU".into(), format!("{:.1}%", base * 100.0)]);
+    rep.row(&[
+        "-".into(),
+        "q-sized LRFU".into(),
+        format!("{:.1}%", base * 100.0),
+    ]);
     for gamma in [0.1, 0.5, 1.0] {
         let ours = hit_ratio(&mut QMaxLrfu::new(q, gamma, c), &trace);
         let big = ((q as f64) * (1.0 + gamma)).ceil() as usize;

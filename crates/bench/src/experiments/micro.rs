@@ -2,8 +2,8 @@
 
 use crate::scale::Scale;
 use crate::{fmt, time_stream, Backend, Report};
-use qmax_core::{ExpDecayQMax, HeapQMax, QMax, SkipListQMax};
 use qmax_core::{AmortizedQMax, OrderedF64};
+use qmax_core::{ExpDecayQMax, HeapQMax, QMax, SkipListQMax};
 use qmax_traces::gen::random_u64_stream;
 use std::time::Instant;
 
@@ -36,11 +36,20 @@ pub fn table1(scale: &Scale) {
     let mut skip_mpps = Vec::new();
     for &q in &qs {
         heap_mpps.push(time_stream(Backend::Heap.build_u64(q).as_mut(), &stream));
-        skip_mpps.push(time_stream(Backend::SkipList.build_u64(q).as_mut(), &stream));
+        skip_mpps.push(time_stream(
+            Backend::SkipList.build_u64(q).as_mut(),
+            &stream,
+        ));
     }
     let mut rep = Report::new(
         "table1",
-        &["gamma", "min_vs_heap", "max_vs_heap", "min_vs_skip", "max_vs_skip"],
+        &[
+            "gamma",
+            "min_vs_heap",
+            "max_vs_heap",
+            "min_vs_skip",
+            "max_vs_skip",
+        ],
     );
     for gamma in scale.gammas() {
         let mut vs_heap: Vec<f64> = Vec::new();
@@ -94,7 +103,11 @@ pub fn fig6(scale: &Scale) {
     let seg = n / segments;
     let mut rep = Report::new("fig6", &["q", "structure", "segment", "mpps"]);
     for &q in &[10_000usize, 1_000_000] {
-        for b in [Backend::QMax { gamma: 0.1 }, Backend::Heap, Backend::SkipList] {
+        for b in [
+            Backend::QMax { gamma: 0.1 },
+            Backend::Heap,
+            Backend::SkipList,
+        ] {
             let mut qm = b.build_u64(q);
             for s in 0..segments {
                 let chunk = &stream[s * seg..(s + 1) * seg];
@@ -114,7 +127,9 @@ pub fn fig6(scale: &Scale) {
 pub fn fig7(scale: &Scale) {
     println!("# Figure 7: exponential-decay q-MAX throughput vs gamma (c=0.75)");
     let n = scale.stream(8_000_000);
-    let vals: Vec<f64> = random_u64_stream(n, 4).map(|v| (v % 100_000) as f64 + 1.0).collect();
+    let vals: Vec<f64> = random_u64_stream(n, 4)
+        .map(|v| (v % 100_000) as f64 + 1.0)
+        .collect();
     let c = 0.75;
     let mut rep = Report::new("fig7", &["q", "structure", "mpps"]);
     for &q in &scale.qs() {
@@ -133,14 +148,22 @@ pub fn fig7(scale: &Scale) {
         for (i, &v) in vals.iter().enumerate() {
             edh.insert(i as u32, v);
         }
-        rep.row(&[q.to_string(), "ed-heap".into(), fmt(crate::mpps(n, start.elapsed()))]);
+        rep.row(&[
+            q.to_string(),
+            "ed-heap".into(),
+            fmt(crate::mpps(n, start.elapsed())),
+        ]);
         let mut eds: ExpDecayQMax<SkipListQMax<u32, OrderedF64>> =
             ExpDecayQMax::new(SkipListQMax::new(q), c);
         let start = Instant::now();
         for (i, &v) in vals.iter().enumerate() {
             eds.insert(i as u32, v);
         }
-        rep.row(&[q.to_string(), "ed-skiplist".into(), fmt(crate::mpps(n, start.elapsed()))]);
+        rep.row(&[
+            q.to_string(),
+            "ed-skiplist".into(),
+            fmt(crate::mpps(n, start.elapsed())),
+        ]);
     }
     // Keep the compiler honest about the query path too.
     let mut ed = ExpDecayQMax::new(AmortizedQMax::new(16, 0.5), c);

@@ -9,4 +9,5 @@ pub mod apps;
 pub mod lrfu;
 pub mod micro;
 pub mod ovs;
+pub mod sharded;
 pub mod windows;

@@ -44,8 +44,7 @@ struct NwhhHook {
 impl MeasurementHook for NwhhHook {
     #[inline]
     fn on_packet(&mut self, flow: FlowKey, packet_id: u64, _len: u16) {
-        self.nmp
-            .observe_raw(flow, packet_id);
+        self.nmp.observe_raw(flow, packet_id);
     }
 }
 
@@ -68,7 +67,12 @@ fn run_reservoir(
     let mut sw = Switch::new(8);
     let mut hook = ReservoirHook { qm };
     let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
-    rep.row(&[q.to_string(), label.into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    rep.row(&[
+        q.to_string(),
+        label.into(),
+        fmt(r.achieved_gbps),
+        fmt(r.cost_ns_per_packet),
+    ]);
 }
 
 /// Figure 12: simulated-OVS throughput at 10G with minimal packets,
@@ -76,14 +80,36 @@ fn run_reservoir(
 pub fn fig12(scale: &Scale) {
     println!("# Figure 12: simulated OVS throughput at 10G/64B vs q");
     let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 51).collect();
-    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let rate = LineRate {
+        gbps: 10.0,
+        frame_bytes: 64,
+    };
     let mut rep = Report::new("fig12", &["q", "structure", "gbps", "ns_per_pkt"]);
     let mut sw = Switch::new(8);
     let r = evaluate_throughput(&mut sw, &mut NullHook, &packets, rate);
-    rep.row(&["-".into(), "vanilla".into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    rep.row(&[
+        "-".into(),
+        "vanilla".into(),
+        fmt(r.achieved_gbps),
+        fmt(r.cost_ns_per_packet),
+    ]);
     for &q in &qs_big(scale) {
-        run_reservoir(&mut rep, rate, &packets, q, "heap", Box::new(HeapQMax::new(q)));
-        run_reservoir(&mut rep, rate, &packets, q, "skiplist", Box::new(SkipListQMax::new(q)));
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "heap",
+            Box::new(HeapQMax::new(q)),
+        );
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "skiplist",
+            Box::new(SkipListQMax::new(q)),
+        );
         run_reservoir(
             &mut rep,
             rate,
@@ -99,12 +125,17 @@ pub fn fig12(scale: &Scale) {
 pub fn fig13(scale: &Scale) {
     println!("# Figure 13: simulated OVS throughput at 10G/64B, q-MAX vs gamma");
     let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 52).collect();
-    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let rate = LineRate {
+        gbps: 10.0,
+        frame_bytes: 64,
+    };
     let mut rep = Report::new("fig13", &["q", "gamma", "gbps", "ns_per_pkt"]);
     for &q in &qs_big(scale) {
         for gamma in [0.05, 0.1, 0.25, 0.5, 1.0] {
             let mut sw = Switch::new(8);
-            let mut hook = ReservoirHook { qm: Box::new(AmortizedQMax::new(q, gamma)) };
+            let mut hook = ReservoirHook {
+                qm: Box::new(AmortizedQMax::new(q, gamma)),
+            };
             let r = evaluate_throughput(&mut sw, &mut hook, &packets, rate);
             rep.row(&[
                 q.to_string(),
@@ -118,8 +149,11 @@ pub fn fig13(scale: &Scale) {
 
 fn fig14_17(scale: &Scale, id: &str, rate: LineRate, packets: &[Packet]) {
     let mut rep = Report::new(id, &["app", "q", "structure", "gbps", "ns_per_pkt"]);
-    let qs: Vec<usize> =
-        if scale.full { vec![1_000_000, 10_000_000] } else { vec![100_000, 1_000_000] };
+    let qs: Vec<usize> = if scale.full {
+        vec![1_000_000, 10_000_000]
+    } else {
+        vec![100_000, 1_000_000]
+    };
     let mut sw = Switch::new(8);
     let r = evaluate_throughput(&mut sw, &mut NullHook, packets, rate);
     rep.row(&[
@@ -131,12 +165,17 @@ fn fig14_17(scale: &Scale, id: &str, rate: LineRate, packets: &[Packet]) {
     ]);
     for &q in &qs {
         for (label, backend) in [
-            ("heap", Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>),
+            (
+                "heap",
+                Box::new(HeapQMax::new(q)) as Box<dyn QMax<WeightedKey, OrderedF64>>,
+            ),
             ("skiplist", Box::new(SkipListQMax::new(q))),
             ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
         ] {
             let mut sw = Switch::new(8);
-            let mut hook = PsHook { ps: PrioritySampling::new(backend, 1) };
+            let mut hook = PsHook {
+                ps: PrioritySampling::new(backend, 1),
+            };
             let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
             rep.row(&[
                 "priority-sampling".into(),
@@ -155,7 +194,9 @@ fn fig14_17(scale: &Scale, id: &str, rate: LineRate, packets: &[Packet]) {
             ("qmax(g=0.25)", Box::new(AmortizedQMax::new(q, 0.25))),
         ] {
             let mut sw = Switch::new(8);
-            let mut hook = NwhhHook { nmp: Nmp::new(backend) };
+            let mut hook = NwhhHook {
+                nmp: Nmp::new(backend),
+            };
             let r = evaluate_throughput(&mut sw, &mut hook, packets, rate);
             rep.row(&[
                 "network-wide-hh".into(),
@@ -173,7 +214,15 @@ fn fig14_17(scale: &Scale, id: &str, rate: LineRate, packets: &[Packet]) {
 pub fn fig14(scale: &Scale) {
     println!("# Figure 14: OVS application throughput at 10G/64B");
     let packets: Vec<Packet> = caida_like(scale.stream(3_000_000), 53).collect();
-    fig14_17(scale, "fig14", LineRate { gbps: 10.0, frame_bytes: 64 }, &packets);
+    fig14_17(
+        scale,
+        "fig14",
+        LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        },
+        &packets,
+    );
 }
 
 /// Figure 15: 40G with real (UNIV1-like) packet sizes, q-MAX vs γ.
@@ -181,13 +230,21 @@ pub fn fig15(scale: &Scale) {
     println!("# Figure 15: simulated OVS at 40G with real packet sizes, q-MAX vs gamma");
     let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 54).collect();
     let mean = mean_frame(&packets);
-    let rate = LineRate { gbps: 40.0, frame_bytes: mean };
-    println!("(mean frame size {mean}B -> {:.2} Mpps offered)", rate.offered_pps() / 1e6);
+    let rate = LineRate {
+        gbps: 40.0,
+        frame_bytes: mean,
+    };
+    println!(
+        "(mean frame size {mean}B -> {:.2} Mpps offered)",
+        rate.offered_pps() / 1e6
+    );
     let mut rep = Report::new("fig15", &["q", "gamma", "gbps", "ns_per_pkt"]);
     for &q in &qs_big(scale) {
         for gamma in [0.05, 0.25, 1.0] {
             let mut sw = Switch::new(8);
-            let mut hook = ReservoirHook { qm: Box::new(AmortizedQMax::new(q, gamma)) };
+            let mut hook = ReservoirHook {
+                qm: Box::new(AmortizedQMax::new(q, gamma)),
+            };
             let r = evaluate_throughput(&mut sw, &mut hook, &packets, rate);
             rep.row(&[
                 q.to_string(),
@@ -203,14 +260,36 @@ pub fn fig15(scale: &Scale) {
 pub fn fig16(scale: &Scale) {
     println!("# Figure 16: simulated OVS at 40G with real packet sizes vs q");
     let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 55).collect();
-    let rate = LineRate { gbps: 40.0, frame_bytes: mean_frame(&packets) };
+    let rate = LineRate {
+        gbps: 40.0,
+        frame_bytes: mean_frame(&packets),
+    };
     let mut rep = Report::new("fig16", &["q", "structure", "gbps", "ns_per_pkt"]);
     let mut sw = Switch::new(8);
     let r = evaluate_throughput(&mut sw, &mut NullHook, &packets, rate);
-    rep.row(&["-".into(), "vanilla".into(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+    rep.row(&[
+        "-".into(),
+        "vanilla".into(),
+        fmt(r.achieved_gbps),
+        fmt(r.cost_ns_per_packet),
+    ]);
     for &q in &qs_big(scale) {
-        run_reservoir(&mut rep, rate, &packets, q, "heap", Box::new(HeapQMax::new(q)));
-        run_reservoir(&mut rep, rate, &packets, q, "skiplist", Box::new(SkipListQMax::new(q)));
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "heap",
+            Box::new(HeapQMax::new(q)),
+        );
+        run_reservoir(
+            &mut rep,
+            rate,
+            &packets,
+            q,
+            "skiplist",
+            Box::new(SkipListQMax::new(q)),
+        );
         run_reservoir(
             &mut rep,
             rate,
@@ -227,7 +306,10 @@ pub fn fig16(scale: &Scale) {
 pub fn fig17(scale: &Scale) {
     println!("# Figure 17: OVS application throughput at 40G, real packet sizes");
     let packets: Vec<Packet> = univ1_like(scale.stream(3_000_000), 56).collect();
-    let rate = LineRate { gbps: 40.0, frame_bytes: mean_frame(&packets) };
+    let rate = LineRate {
+        gbps: 40.0,
+        frame_bytes: mean_frame(&packets),
+    };
     fig14_17(scale, "fig17", rate, &packets);
 }
 
@@ -243,7 +325,10 @@ pub fn pmd_scaling(scale: &Scale) {
     use qmax_ovs_sim::PmdPool;
     println!("# PMD scaling: pool throughput vs PMD count (q-MAX hook per PMD)");
     let packets: Vec<Packet> = caida_like(scale.stream(2_000_000), 57).collect();
-    let rate = LineRate { gbps: 40.0, frame_bytes: 64 };
+    let rate = LineRate {
+        gbps: 40.0,
+        frame_bytes: 64,
+    };
     let q = 1_000_000;
     let mut rep = Report::new("pmd_scaling", &["pmds", "gbps", "worst_ns_per_pkt"]);
     for n in [1usize, 2, 4, 8] {
@@ -251,6 +336,10 @@ pub fn pmd_scaling(scale: &Scale) {
             qm: Box::new(AmortizedQMax::new(q / n, 0.25)),
         });
         let r = pool.evaluate_throughput(&packets, rate);
-        rep.row(&[n.to_string(), fmt(r.achieved_gbps), fmt(r.cost_ns_per_packet)]);
+        rep.row(&[
+            n.to_string(),
+            fmt(r.achieved_gbps),
+            fmt(r.cost_ns_per_packet),
+        ]);
     }
 }

@@ -19,8 +19,7 @@ pub fn fig10(scale: &Scale) {
     for &q in &scale.qs() {
         let w = (4 * q).max(1_000_000);
         let mut interval: Box<dyn QMax<u32, u64>> = Box::new(AmortizedQMax::new(q, 0.1));
-        let mut sliding: Box<dyn QMax<u32, u64>> =
-            Box::new(BasicSlackQMax::new(q, 0.1, w, 1.0));
+        let mut sliding: Box<dyn QMax<u32, u64>> = Box::new(BasicSlackQMax::new(q, 0.1, w, 1.0));
         for (name, qm) in [("interval", &mut interval), ("sliding", &mut sliding)] {
             for s in 0..segments {
                 let chunk = &stream[s * seg..(s + 1) * seg];
@@ -86,10 +85,22 @@ pub fn ablate_window(scale: &Scale) {
     );
     for tau in [0.001, 0.01, 0.1] {
         let variants: Vec<(String, Box<dyn QMax<u32, u64>>)> = vec![
-            ("basic".into(), Box::new(BasicSlackQMax::new(q, 0.25, w, tau))),
-            ("hier-c2".into(), Box::new(HierSlackQMax::new(q, 0.25, w, tau, 2))),
-            ("hier-c3".into(), Box::new(HierSlackQMax::new(q, 0.25, w, tau, 3))),
-            ("lazy-c2".into(), Box::new(LazySlackQMax::new(q, 0.25, w, tau, 2))),
+            (
+                "basic".into(),
+                Box::new(BasicSlackQMax::new(q, 0.25, w, tau)),
+            ),
+            (
+                "hier-c2".into(),
+                Box::new(HierSlackQMax::new(q, 0.25, w, tau, 2)),
+            ),
+            (
+                "hier-c3".into(),
+                Box::new(HierSlackQMax::new(q, 0.25, w, tau, 3)),
+            ),
+            (
+                "lazy-c2".into(),
+                Box::new(LazySlackQMax::new(q, 0.25, w, tau, 2)),
+            ),
         ];
         for (name, mut sw) in variants {
             let start = Instant::now();

@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn backends_build_and_agree() {
-        let stream: Vec<u64> = (0..5000u64).map(|x| x.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let stream: Vec<u64> = (0..5000u64)
+            .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let mut results: Vec<Vec<u64>> = Vec::new();
         for b in [
             Backend::QMax { gamma: 0.5 },
@@ -164,11 +166,17 @@ mod tests {
         let s = Scale::default();
         assert_eq!(s.stream(1000), 1000);
         assert!(!s.qs().contains(&10_000_000));
-        let full = Scale { factor: 2.0, full: true };
+        let full = Scale {
+            factor: 2.0,
+            full: true,
+        };
         assert_eq!(full.stream(1000), 2000);
         assert!(full.qs().contains(&10_000_000));
         // Tiny factors are floored so experiments never degenerate.
-        let tiny = Scale { factor: 1e-9, full: false };
+        let tiny = Scale {
+            factor: 1e-9,
+            full: false,
+        };
         assert_eq!(tiny.stream(10_000_000), 1000);
     }
 

@@ -14,7 +14,10 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { factor: 1.0, full: false }
+        Scale {
+            factor: 1.0,
+            full: false,
+        }
     }
 }
 

@@ -46,7 +46,10 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
     pub fn new(q: usize, gamma: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         let cap = ((q as f64) * (1.0 + gamma)).ceil() as usize;
         let cap = cap.max(q + 1);
         AmortizedQMax {
@@ -127,7 +130,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for AmortizedQMax<I, V> {
         if self.buf.len() > self.q {
             self.compact();
         }
-        self.buf.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.buf
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {
@@ -273,9 +279,7 @@ mod tests {
     #[test]
     fn merge_equals_union_top_q() {
         let mut state = 19u64;
-        let mut next = move || {
-            splitmix(&mut state) % 1_000_000
-        };
+        let mut next = move || splitmix(&mut state) % 1_000_000;
         let q = 32;
         let left: Vec<u64> = (0..4000).map(|_| next()).collect();
         let right: Vec<u64> = (0..4000).map(|_| next()).collect();

@@ -107,7 +107,10 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
     pub fn new(q: usize, gamma: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         let g = ((q as f64) * gamma / 2.0).ceil() as usize;
         let g = g.max(1);
         let n = q + 2 * g;
@@ -160,9 +163,13 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
             Parity::InsertRight => (0, self.q + self.g, self.g, Direction::Ascending, self.g),
             // S1 = [g, n): descending selection puts the q largest at
             // [g, g+q); index g+q-1 holds the q-th largest of S1.
-            Parity::InsertLeft => {
-                (self.g, self.n, self.q - 1, Direction::Descending, self.g + self.q - 1)
-            }
+            Parity::InsertLeft => (
+                self.g,
+                self.n,
+                self.q - 1,
+                Direction::Descending,
+                self.g + self.q - 1,
+            ),
         };
         self.machine = Some(NthElementMachine::new(lo, hi, k, dir));
         self.boundary = boundary;
@@ -220,7 +227,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for DeamortizedQMax<I, V> {
                 self.begin_iteration();
             } else if len > self.q + self.g {
                 self.steps += 1;
-                let machine = self.machine.as_mut().expect("machine started when zone filled");
+                let machine = self
+                    .machine
+                    .as_mut()
+                    .expect("machine started when zone filled");
                 machine.step(&mut self.buf, self.budget);
                 if len == self.n {
                     debug_assert_eq!(self.steps, self.g);
@@ -232,7 +242,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for DeamortizedQMax<I, V> {
         }
         self.buf[self.s2_start + self.steps] = Entry::new(id, val);
         self.steps += 1;
-        let machine = self.machine.as_mut().expect("steady state always has a machine");
+        let machine = self
+            .machine
+            .as_mut()
+            .expect("steady state always has a machine");
         machine.step(&mut self.buf, self.budget);
         if self.steps == self.g {
             self.finish_iteration();
@@ -323,7 +336,12 @@ mod tests {
         }
         let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
         got.sort_unstable();
-        assert_eq!(got, top_q_reference(vals, q), "q={q} gamma={gamma} n={}", vals.len());
+        assert_eq!(
+            got,
+            top_q_reference(vals, q),
+            "q={q} gamma={gamma} n={}",
+            vals.len()
+        );
     }
 
     #[test]
@@ -418,7 +436,10 @@ mod tests {
         }
         assert!(qm.stats().filtered > 0);
         let t = qm.threshold().unwrap();
-        assert!(!qm.insert(0, t), "value equal to threshold must be rejected");
+        assert!(
+            !qm.insert(0, t),
+            "value equal to threshold must be rejected"
+        );
     }
 
     #[test]
@@ -458,7 +479,11 @@ mod tests {
 
     #[test]
     fn tiny_q_and_gamma() {
-        check_stream(&(0..2000u64).map(|x| x * 7 % 1000).collect::<Vec<_>>(), 1, 0.01);
+        check_stream(
+            &(0..2000u64).map(|x| x * 7 % 1000).collect::<Vec<_>>(),
+            1,
+            0.01,
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
     pub fn new(q: usize, gamma: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         let cap = (((q as f64) * (1.0 + gamma)).ceil() as usize).max(q + 1);
         DedupQMax {
             q,
@@ -86,7 +89,8 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
                 }
             }
         }
-        self.buf.extend(best.into_iter().map(|(id, val)| Entry::new(id, val)));
+        self.buf
+            .extend(best.into_iter().map(|(id, val)| Entry::new(id, val)));
         if self.buf.len() > self.q {
             let cut = self.buf.len() - self.q;
             nth_smallest(&mut self.buf, cut);
@@ -118,7 +122,10 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> QMax<I, V> for DedupQMax<I, V> {
 
     fn query(&mut self) -> Vec<(I, V)> {
         self.compact();
-        self.buf.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.buf
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {
@@ -197,8 +204,7 @@ mod tests {
         let mut expect: Vec<(u64, u64)> = truth.into_iter().collect();
         expect.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         expect.truncate(q);
-        let expect_keys: std::collections::HashSet<u64> =
-            expect.iter().map(|&(k, _)| k).collect();
+        let expect_keys: std::collections::HashSet<u64> = expect.iter().map(|&(k, _)| k).collect();
         let got_keys: std::collections::HashSet<u64> =
             d.query().into_iter().map(|(k, _)| k).collect();
         assert_eq!(got_keys, expect_keys);

@@ -145,11 +145,13 @@ mod tests {
 
     #[test]
     fn ordered_f64_total_order() {
-        let mut v = [OrderedF64(3.0),
+        let mut v = [
+            OrderedF64(3.0),
             OrderedF64(-1.0),
             OrderedF64(f64::INFINITY),
             OrderedF64(0.0),
-            OrderedF64(f64::NEG_INFINITY)];
+            OrderedF64(f64::NEG_INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0], OrderedF64(f64::NEG_INFINITY));
         assert_eq!(v[4], OrderedF64(f64::INFINITY));

@@ -47,7 +47,11 @@ impl<Q> ExpDecayQMax<Q> {
     /// Panics if `c` is not in `(0, 1]`.
     pub fn new(backend: Q, c: f64) -> Self {
         assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
-        ExpDecayQMax { backend, lambda: -c.ln(), time: 0 }
+        ExpDecayQMax {
+            backend,
+            lambda: -c.ln(),
+            time: 0,
+        }
     }
 
     /// The current logical time (number of arrivals so far).
@@ -80,7 +84,10 @@ impl<Q> ExpDecayQMax<Q> {
     where
         Q: QMax<I, OrderedF64>,
     {
-        assert!(val > 0.0 && val.is_finite(), "decayed values must be positive and finite");
+        assert!(
+            val > 0.0 && val.is_finite(),
+            "decayed values must be positive and finite"
+        );
         let transformed = val.ln() + self.time as f64 * self.lambda;
         self.time += 1;
         self.backend.insert(id, OrderedF64(transformed))
@@ -167,7 +174,10 @@ mod tests {
         }
         let ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
         assert_eq!(ids.len(), 4);
-        assert!(ids.iter().all(|&id| id >= 196), "stale item survived: {ids:?}");
+        assert!(
+            ids.iter().all(|&id| id >= 196),
+            "stale item survived: {ids:?}"
+        );
     }
 
     #[test]

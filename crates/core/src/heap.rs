@@ -21,7 +21,9 @@ impl<T: Ord> MinHeap<T> {
 
     /// Creates an empty heap with room for `cap` elements.
     pub fn with_capacity(cap: usize) -> Self {
-        MinHeap { data: Vec::with_capacity(cap) }
+        MinHeap {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of stored elements.
@@ -148,7 +150,10 @@ impl<I: Clone, V: Ord + Clone> HeapQMax<I, V> {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "q must be positive");
-        HeapQMax { q, heap: MinHeap::with_capacity(q) }
+        HeapQMax {
+            q,
+            heap: MinHeap::with_capacity(q),
+        }
     }
 }
 
@@ -167,7 +172,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HeapQMax<I, V> {
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
-        self.heap.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.heap
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {

@@ -24,7 +24,10 @@ pub struct IndexedMinHeap<I, V> {
 impl<I: Clone + Hash + Eq, V: Ord + Clone> IndexedMinHeap<I, V> {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        IndexedMinHeap { data: Vec::new(), pos: HashMap::new() }
+        IndexedMinHeap {
+            data: Vec::new(),
+            pos: HashMap::new(),
+        }
     }
 
     /// Number of stored keys.
@@ -162,7 +165,10 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> IndexedHeapQMax<I, V> {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "q must be positive");
-        IndexedHeapQMax { q, heap: IndexedMinHeap::new() }
+        IndexedHeapQMax {
+            q,
+            heap: IndexedMinHeap::new(),
+        }
     }
 }
 
@@ -189,7 +195,10 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> QMax<I, V> for IndexedHeapQMax<I, V> 
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
-        self.heap.iter().map(|(i, v)| (i.clone(), v.clone())).collect()
+        self.heap
+            .iter()
+            .map(|(i, v)| (i.clone(), v.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {

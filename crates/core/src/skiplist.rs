@@ -93,7 +93,11 @@ impl<T: Ord> SkipList<T> {
         let mut update = [NIL; MAX_LEVEL];
         let mut cur = NIL;
         for l in (0..self.level).rev() {
-            let mut next = if cur == NIL { self.head[l] } else { self.nodes[cur as usize].next[l] };
+            let mut next = if cur == NIL {
+                self.head[l]
+            } else {
+                self.nodes[cur as usize].next[l]
+            };
             while next != NIL && self.nodes[next as usize].value < value {
                 cur = next;
                 next = self.nodes[cur as usize].next[l];
@@ -116,7 +120,10 @@ impl<T: Ord> SkipList<T> {
                 i
             }
             None => {
-                self.nodes.push(Node { value, next: vec![NIL; height] });
+                self.nodes.push(Node {
+                    value,
+                    next: vec![NIL; height],
+                });
                 (self.nodes.len() - 1) as u32
             }
         };
@@ -147,7 +154,10 @@ impl<T: Ord> SkipList<T> {
         }
         let height = self.nodes[idx as usize].next.len();
         for l in 0..height {
-            debug_assert_eq!(self.head[l], idx, "minimum must lead every level it occupies");
+            debug_assert_eq!(
+                self.head[l], idx,
+                "minimum must lead every level it occupies"
+            );
             self.head[l] = self.nodes[idx as usize].next[l];
         }
         while self.level > 1 && self.head[self.level - 1] == NIL {
@@ -172,7 +182,11 @@ impl<T: Ord> SkipList<T> {
         let mut update = [NIL; MAX_LEVEL];
         let mut cur = NIL;
         for l in (0..self.level).rev() {
-            let mut next = if cur == NIL { self.head[l] } else { self.nodes[cur as usize].next[l] };
+            let mut next = if cur == NIL {
+                self.head[l]
+            } else {
+                self.nodes[cur as usize].next[l]
+            };
             while next != NIL && self.nodes[next as usize].value < *probe {
                 cur = next;
                 next = self.nodes[cur as usize].next[l];
@@ -180,7 +194,11 @@ impl<T: Ord> SkipList<T> {
             update[l] = cur;
         }
         // Scan the equal run at level 0 for the first matching element.
-        let mut target = if cur == NIL { self.head[0] } else { self.nodes[cur as usize].next[0] };
+        let mut target = if cur == NIL {
+            self.head[0]
+        } else {
+            self.nodes[cur as usize].next[0]
+        };
         while target != NIL {
             let v = &self.nodes[target as usize].value;
             if *v > *probe {
@@ -204,7 +222,11 @@ impl<T: Ord> SkipList<T> {
         #[allow(clippy::needless_range_loop)] // l indexes two arrays in lockstep
         for l in 0..height {
             let mut pred = update[l];
-            let mut next = if pred == NIL { self.head[l] } else { self.nodes[pred as usize].next[l] };
+            let mut next = if pred == NIL {
+                self.head[l]
+            } else {
+                self.nodes[pred as usize].next[l]
+            };
             while next != NIL && next != target {
                 debug_assert!(self.nodes[next as usize].value <= *probe);
                 pred = next;
@@ -237,7 +259,10 @@ impl<T: Ord> SkipList<T> {
 
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> SkipListIter<'_, T> {
-        SkipListIter { list: self, cur: self.head[0] }
+        SkipListIter {
+            list: self,
+            cur: self.head[0],
+        }
     }
 }
 
@@ -295,7 +320,10 @@ impl<I: Clone, V: Ord + Clone> SkipListQMax<I, V> {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "q must be positive");
-        SkipListQMax { q, list: SkipList::new() }
+        SkipListQMax {
+            q,
+            list: SkipList::new(),
+        }
     }
 }
 
@@ -315,7 +343,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for SkipListQMax<I, V> {
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
-        self.list.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.list
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {
@@ -366,7 +397,11 @@ impl<I: Clone + std::hash::Hash + Eq, V: Ord + Clone> KeyedSkipListQMax<I, V> {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "q must be positive");
-        KeyedSkipListQMax { q, list: SkipList::new(), live: std::collections::HashMap::new() }
+        KeyedSkipListQMax {
+            q,
+            list: SkipList::new(),
+            live: std::collections::HashMap::new(),
+        }
     }
 }
 
@@ -397,7 +432,10 @@ impl<I: Clone + std::hash::Hash + Eq, V: Ord + Clone> QMax<I, V> for KeyedSkipLi
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
-        self.list.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.list
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {

@@ -36,7 +36,10 @@ impl<I: Clone, V: Ord + Clone> SortedVecQMax<I, V> {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "q must be positive");
-        SortedVecQMax { q, data: Vec::with_capacity(q) }
+        SortedVecQMax {
+            q,
+            data: Vec::with_capacity(q),
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for SortedVecQMax<I, V> {
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
-        self.data.iter().map(|e| (e.id.clone(), e.val.clone())).collect()
+        self.data
+            .iter()
+            .map(|e| (e.id.clone(), e.val.clone()))
+            .collect()
     }
 
     fn reset(&mut self) {

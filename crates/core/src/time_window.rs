@@ -62,7 +62,9 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
         TimeSlackQMax {
             q,
             block_ns,
-            blocks: (0..n_blocks).map(|_| AmortizedQMax::new(q, gamma)).collect(),
+            blocks: (0..n_blocks)
+                .map(|_| AmortizedQMax::new(q, gamma))
+                .collect(),
             epochs: vec![u64::MAX; n_blocks],
             last_ts: 0,
         }
@@ -114,7 +116,9 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
                 continue;
             }
             scratch.extend(
-                block.candidates().map(|(id, val)| Entry::new(id.clone(), val.clone())),
+                block
+                    .candidates()
+                    .map(|(id, val)| Entry::new(id.clone(), val.clone())),
             );
         }
         if scratch.len() > self.q {
@@ -153,7 +157,10 @@ mod tests {
         w.insert(1u32, 5u64, 2_000);
         w.insert(2u32, 7u64, 2_100);
         let got: Vec<u64> = w.query_at(2_100).into_iter().map(|(_, v)| v).collect();
-        assert!(got.iter().all(|&v| v < 1_000_000), "expired item survived: {got:?}");
+        assert!(
+            got.iter().all(|&v| v < 1_000_000),
+            "expired item survived: {got:?}"
+        );
         assert_eq!(got.len(), 2);
     }
 
@@ -189,20 +196,22 @@ mod tests {
                 let w_eff = w.effective_window_ns();
                 let block = w.block_ns();
                 // Try every cutoff the slack permits.
-                let ok = (0..=block).step_by(1.max(block as usize / 50)).any(|slack| {
-                    let cutoff = ts.saturating_sub(w_eff - slack);
-                    // Window = epochs; compute by epoch arithmetic like
-                    // the structure does.
-                    let mut expect: Vec<u64> = all
-                        .iter()
-                        .filter(|&&(t, _)| t >= cutoff && t <= ts)
-                        .map(|&(_, v)| v)
-                        .collect();
-                    expect.sort_unstable_by(|a, b| b.cmp(a));
-                    expect.truncate(4);
-                    expect.sort_unstable();
-                    expect == got
-                });
+                let ok = (0..=block)
+                    .step_by(1.max(block as usize / 50))
+                    .any(|slack| {
+                        let cutoff = ts.saturating_sub(w_eff - slack);
+                        // Window = epochs; compute by epoch arithmetic like
+                        // the structure does.
+                        let mut expect: Vec<u64> = all
+                            .iter()
+                            .filter(|&&(t, _)| t >= cutoff && t <= ts)
+                            .map(|&(_, v)| v)
+                            .collect();
+                        expect.sort_unstable_by(|a, b| b.cmp(a));
+                        expect.truncate(4);
+                        expect.sort_unstable();
+                        expect == got
+                    });
                 // The exact cutoff is block-aligned; accept any
                 // block-aligned window in range.
                 let cur_epoch = ts / block;
@@ -232,7 +241,10 @@ mod tests {
             }
         }
         let got: Vec<u64> = w.query().into_iter().map(|(_, v)| v).collect();
-        assert!(got.iter().all(|&v| v >= 1900), "stale burst leaked: {got:?}");
+        assert!(
+            got.iter().all(|&v| v >= 1900),
+            "stale burst leaked: {got:?}"
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ fn collect_top_q<I: Clone, V: Ord + Clone>(
     // for ring blocks the buffer is at most q(1+γ) entries, and the
     // final top-q cut happens once at the very end of the query, so a
     // superset costs only a constant factor in merge size.
-    out.extend(block.candidates().map(|(id, val)| Entry::new(id.clone(), val.clone())));
+    out.extend(
+        block
+            .candidates()
+            .map(|(id, val)| Entry::new(id.clone(), val.clone())),
+    );
 }
 
 /// q-MAX over a `(W, τ)`-slack window — Algorithm 3 of the paper.
@@ -185,7 +189,10 @@ impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
     /// Panics if `newest > oldest` or `oldest >= n_blocks()`.
     pub fn query_partial(&mut self, newest: usize, oldest: usize) -> Vec<(I, V)> {
         assert!(newest <= oldest, "newest must not exceed oldest");
-        assert!(oldest < self.ring.n_blocks(), "oldest exceeds retained blocks");
+        assert!(
+            oldest < self.ring.n_blocks(),
+            "oldest exceeds retained blocks"
+        );
         let n = self.ring.n_blocks() as u64;
         let mut scratch = Vec::new();
         for ago in newest..=oldest {
@@ -245,10 +252,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for BasicSlackQMax<I, V> {
 }
 
 /// Cuts a candidate vector down to its `q` largest entries.
-fn top_q_entries<I: Clone, V: Ord + Clone>(
-    mut scratch: Vec<Entry<I, V>>,
-    q: usize,
-) -> Vec<(I, V)> {
+fn top_q_entries<I: Clone, V: Ord + Clone>(mut scratch: Vec<Entry<I, V>>, q: usize) -> Vec<(I, V)> {
     if scratch.len() > q {
         let cut = scratch.len() - q;
         nth_smallest(&mut scratch, cut);
@@ -310,7 +314,14 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
             sizes.push(size);
             rings.push(BlockRing::new(blocks, q, gamma));
         }
-        HierSlackQMax { q, base, branch, rings, sizes, count: 0 }
+        HierSlackQMax {
+            q,
+            base,
+            branch,
+            rings,
+            sizes,
+            count: 0,
+        }
     }
 
     /// The branching factor `b`.
@@ -388,7 +399,11 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
     }
 
     fn len(&self) -> usize {
-        self.rings.iter().flat_map(|r| r.blocks.iter()).map(|b| b.len()).sum()
+        self.rings
+            .iter()
+            .flat_map(|r| r.blocks.iter())
+            .map(|b| b.len())
+            .sum()
     }
 
     fn threshold(&self) -> Option<V> {
@@ -531,8 +546,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
                 // every layer, then pad the layers' item counters to
                 // keep block boundaries aligned with real stream
                 // positions.
-                let pad =
-                    self.hier.base_block() - summary.len().min(self.hier.base_block());
+                let pad = self.hier.base_block() - summary.len().min(self.hier.base_block());
                 for (id, val) in summary {
                     self.hier.insert(id, val);
                 }
@@ -556,7 +570,11 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
         collect_top_q(&self.front, &mut scratch);
         if let Some(pending) = &self.pending {
             // Deferred items are recent and still in the window.
-            scratch.extend(pending.iter().map(|(id, val)| Entry::new(id.clone(), val.clone())));
+            scratch.extend(
+                pending
+                    .iter()
+                    .map(|(id, val)| Entry::new(id.clone(), val.clone())),
+            );
         }
         for (id, val) in self.hier.query() {
             scratch.push(Entry::new(id, val));
@@ -579,9 +597,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
     }
 
     fn len(&self) -> usize {
-        self.front.len()
-            + self.hier.len()
-            + self.pending.as_ref().map_or(0, |p| p.len())
+        self.front.len() + self.hier.len() + self.pending.as_ref().map_or(0, |p| p.len())
     }
 
     fn threshold(&self) -> Option<V> {
@@ -685,7 +701,10 @@ mod tests {
         // 1..=3 (the three full ones).
         let got: Vec<u64> = sw.query_partial(1, 1).into_iter().map(|(_, v)| v).collect();
         // 1 block ago = the newest full block (values 3000..).
-        assert!(got.iter().all(|&v| v >= 3000), "wrong block isolated: {got:?}");
+        assert!(
+            got.iter().all(|&v| v >= 3000),
+            "wrong block isolated: {got:?}"
+        );
         let got: Vec<u64> = sw.query_partial(3, 3).into_iter().map(|(_, v)| v).collect();
         assert!(
             got.iter().all(|&v| (1000..2000).contains(&v)),
@@ -744,7 +763,7 @@ mod tests {
                 sw.insert(i as u32, v);
                 if i % 53 == 0 && vals.len() >= w_eff {
                     let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
-                    assert_slack_window_result(&vals, &mut got, q, w_eff - slack + 1, w_eff, );
+                    assert_slack_window_result(&vals, &mut got, q, w_eff - slack + 1, w_eff);
                 }
             }
         }
@@ -758,7 +777,10 @@ mod tests {
             sw.insert((i + 1) as u32, 1 + (i % 7));
         }
         let got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
-        assert!(got.iter().all(|&v| v < 999_999), "expired maximum survived: {got:?}");
+        assert!(
+            got.iter().all(|&v| v < 999_999),
+            "expired maximum survived: {got:?}"
+        );
     }
 
     #[test]

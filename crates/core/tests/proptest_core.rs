@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use qmax_core::heap::MinHeap;
 use qmax_core::skiplist::SkipList;
 use qmax_core::{
-    AmortizedQMax, DeamortizedQMax, ExpDecayQMax, HierSlackQMax, IndexedMinHeap,
-    KeyedSkipListQMax, Minimal, QMax, TimeSlackQMax,
+    AmortizedQMax, DeamortizedQMax, ExpDecayQMax, HierSlackQMax, IndexedMinHeap, KeyedSkipListQMax,
+    Minimal, QMax, TimeSlackQMax,
 };
 
 proptest! {

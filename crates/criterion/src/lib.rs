@@ -1,0 +1,305 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this crate re-implements the subset of criterion's API
+//! the workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], and
+//! [`Bencher::iter`].
+//!
+//! It is a *measuring* harness, not a statistics suite: each benchmark
+//! runs a warm-up iteration, then iterates until a wall-clock budget is
+//! exhausted (default 300 ms, override with `CRITERION_MEASURE_MS`) and
+//! reports the mean time per iteration plus throughput when configured.
+//! There is no outlier rejection, HTML report, or baseline comparison.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measure = self.measure;
+        run_one("", &id.into_benchmark_id(), None, measure, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (used only as a minimum iteration
+    /// count here; kept for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measure = self.criterion.measure;
+        run_one(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.throughput,
+            measure,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let measure = self.criterion.measure;
+        run_one(&self.name, &id, self.throughput, measure, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    measure: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        measure,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.label()
+    } else {
+        format!("{group}/{}", id.label())
+    };
+    if b.iters == 0 {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let thrpt = throughput
+        .map(|t| t.describe(ns_per_iter))
+        .unwrap_or_default();
+    println!(
+        "{label:<48} time: {:>12}/iter{thrpt}  ({} iters)",
+        format_ns(ns_per_iter),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures under a wall-clock budget.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: once as warm-up, then until the measurement
+    /// budget is spent, recording mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Work performed by one benchmark iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn describe(self, ns_per_iter: f64) -> String {
+        let (count, unit) = match self {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 * 1e9 / ns_per_iter;
+        if per_sec >= 1e9 {
+            format!("  thrpt: {:>9.3} G{unit}/s", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("  thrpt: {:>9.3} M{unit}/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("  thrpt: {:>9.3} K{unit}/s", per_sec / 1e3)
+        } else {
+            format!("  thrpt: {per_sec:>9.3} {unit}/s")
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{p}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Conversion of bare strings or [`BenchmarkId`]s into benchmark ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,264 @@
+//! Multi-threaded shard driver: one worker thread per shard, fed with
+//! pre-routed batches over bounded channels.
+//!
+//! This is the software analogue of the paper's per-PMD deployment: the
+//! producer plays the NIC's RSS stage (hash each id, append to the
+//! target shard's batch), workers play PMD threads (drain batches into
+//! their private reservoir), and nothing is shared between workers, so
+//! there is no locking on the per-item hot path.
+
+use crate::shard_key::ShardKey;
+use crate::sharded::ShardedQMax;
+use qmax_core::QMax;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ShardedQMax::run_threaded`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Items per batch handed to a worker (amortizes channel overhead;
+    /// the paper's shared-memory blocks play the same role).
+    pub batch_size: usize,
+    /// Bounded in-flight batches per worker before the producer blocks
+    /// (backpressure instead of unbounded queueing).
+    pub queue_depth: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            batch_size: 1024,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// What a threaded run did: per-shard load and aggregate timing.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Total items routed.
+    pub items: u64,
+    /// Wall-clock time from first route to last worker joining.
+    pub elapsed: Duration,
+    /// Items routed to each shard.
+    pub per_shard_items: Vec<u64>,
+    /// Items each shard's backend admitted (survived both the batched
+    /// pre-filter and the backend's own threshold check).
+    pub per_shard_admitted: Vec<u64>,
+}
+
+impl DriverReport {
+    /// Aggregate insert throughput in millions of items per second.
+    pub fn throughput_mips(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.items as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Load-balance quality: most-loaded shard relative to the mean
+    /// (1.0 = perfectly balanced; the pool's throughput is limited by
+    /// the most loaded worker, exactly as with PMD threads).
+    pub fn max_load_factor(&self) -> f64 {
+        let max = self.per_shard_items.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.items as f64 / self.per_shard_items.len().max(1) as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Drains a whole owned batch into one shard with a register-cached Ψ:
+/// the worker-side half of the batched hot path.
+fn drain_batch<I, V: Ord, B: QMax<I, V>>(shard: &mut B, batch: Vec<(I, V)>) -> u64 {
+    let mut admitted = 0u64;
+    let mut psi: Option<V> = shard.threshold();
+    for (id, val) in batch {
+        if let Some(t) = &psi {
+            if val <= *t {
+                continue;
+            }
+        }
+        if shard.insert(id, val) {
+            admitted += 1;
+            // Ψ can only have risen via an admitted insert.
+            psi = shard.threshold();
+        }
+    }
+    admitted
+}
+
+impl<I, V, B> ShardedQMax<I, V, B>
+where
+    I: ShardKey + Send,
+    V: Ord + Clone + Send,
+    B: QMax<I, V> + Send,
+{
+    /// Feeds `stream` through one worker thread per shard and returns a
+    /// load/timing report. The engine is fully usable (and queryable)
+    /// afterwards: shards move into the workers for the run and move
+    /// back when the stream is exhausted.
+    ///
+    /// The producer thread routes ids to shards ([`ShardKey`] hash) and
+    /// accumulates per-shard batches of `config.batch_size` items;
+    /// workers apply the same Ψ-cached batch drain as
+    /// [`ShardedQMax::insert_batch`]. Channels are bounded at
+    /// `config.queue_depth` batches, so a slow shard backpressures the
+    /// producer instead of buffering the stream.
+    pub fn run_threaded<S>(&mut self, stream: S, config: DriverConfig) -> DriverReport
+    where
+        S: Iterator<Item = (I, V)>,
+    {
+        let n = self.shard_count();
+        let batch_size = config.batch_size.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shards = self.take_shards();
+        let router = self.router();
+        let mut per_shard_items = vec![0u64; n];
+        let start = Instant::now();
+        let (returned, per_shard_admitted) = thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for mut shard in shards {
+                let (tx, rx) = mpsc::sync_channel::<Vec<(I, V)>>(queue_depth);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut admitted = 0u64;
+                    for batch in rx {
+                        admitted += drain_batch(&mut shard, batch);
+                    }
+                    (shard, admitted)
+                }));
+            }
+            let mut buffers: Vec<Vec<(I, V)>> =
+                (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+            for (id, val) in stream {
+                let s = router.route(&id);
+                per_shard_items[s] += 1;
+                buffers[s].push((id, val));
+                if buffers[s].len() >= batch_size {
+                    let full = std::mem::replace(&mut buffers[s], Vec::with_capacity(batch_size));
+                    senders[s].send(full).expect("shard worker exited early");
+                }
+            }
+            for (s, buffer) in buffers.into_iter().enumerate() {
+                if !buffer.is_empty() {
+                    senders[s].send(buffer).expect("shard worker exited early");
+                }
+            }
+            // Closing the channels ends each worker's drain loop.
+            drop(senders);
+            let mut returned = Vec::with_capacity(n);
+            let mut admitted = Vec::with_capacity(n);
+            for handle in handles {
+                let (shard, adm) = handle.join().expect("shard worker panicked");
+                returned.push(shard);
+                admitted.push(adm);
+            }
+            (returned, admitted)
+        });
+        let elapsed = start.elapsed();
+        self.restore_shards(returned);
+        DriverReport {
+            items: per_shard_items.iter().sum(),
+            elapsed,
+            per_shard_items,
+            per_shard_admitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedQMax;
+    use qmax_traces::gen::{caida_like, random_u64_stream};
+
+    fn sorted_vals(qm: &mut impl QMax<u64, u64>) -> Vec<u64> {
+        let mut v: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_inserts() {
+        let items: Vec<(u64, u64)> = random_u64_stream(60_000, 21)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let q = 128;
+        for shards in [1usize, 2, 4] {
+            let mut threaded: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
+            let report = threaded.run_threaded(items.iter().copied(), DriverConfig::default());
+            assert_eq!(report.items, items.len() as u64);
+            assert_eq!(report.per_shard_items.len(), shards);
+            let mut sequential: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
+            for &(id, v) in &items {
+                sequential.insert(id, v);
+            }
+            assert_eq!(
+                sorted_vals(&mut threaded),
+                sorted_vals(&mut sequential),
+                "threaded result diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_all_items() {
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(32, 0.5, 4);
+        let items: Vec<(u64, u64)> = caida_like(50_000, 8)
+            .map(|p| (p.flow().as_u64(), p.len as u64))
+            .collect();
+        let report = engine.run_threaded(items.into_iter(), DriverConfig::default());
+        assert_eq!(report.items, 50_000);
+        assert_eq!(report.per_shard_items.iter().sum::<u64>(), 50_000);
+        // Admission never exceeds load, and the engine stats agree.
+        for (adm, load) in report
+            .per_shard_admitted
+            .iter()
+            .zip(&report.per_shard_items)
+        {
+            assert!(adm <= load);
+        }
+        let agg = engine.aggregate_stats();
+        assert_eq!(agg.admitted, report.per_shard_admitted.iter().sum::<u64>());
+        assert!(report.throughput_mips() > 0.0);
+        assert!(report.max_load_factor() >= 1.0);
+    }
+
+    #[test]
+    fn engine_remains_usable_after_threaded_run() {
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(8, 0.5, 2);
+        let items: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i)).collect();
+        engine.run_threaded(items.into_iter(), DriverConfig::default());
+        // Post-run inserts land in the same structure.
+        engine.insert(999_999, 1_000_000);
+        let mut top = sorted_vals(&mut engine);
+        assert_eq!(top.pop(), Some(1_000_000));
+        assert_eq!(top.pop(), Some(9_999));
+    }
+
+    #[test]
+    fn tiny_batches_and_shallow_queues_still_agree() {
+        let items: Vec<(u64, u64)> = random_u64_stream(5_000, 33)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let q = 16;
+        let mut a: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 3);
+        a.run_threaded(
+            items.iter().copied(),
+            DriverConfig {
+                batch_size: 1,
+                queue_depth: 1,
+            },
+        );
+        let mut b: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 3);
+        b.insert_batch(&items);
+        assert_eq!(sorted_vals(&mut a), sorted_vals(&mut b));
+    }
+}

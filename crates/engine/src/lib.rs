@@ -1,0 +1,60 @@
+//! # Sharded, batch-insert q-MAX engine
+//!
+//! The paper's OVS integration (Section 6.6) runs **one measurement
+//! instance per PMD thread** and merges them at query time; that is what
+//! lets q-MAX ride a multi-queue NIC to 10G/40G line rate. This crate
+//! generalizes the pattern into a reusable engine:
+//!
+//! * [`ShardedQMax`] — `S` independent q-MAX shards (any [`QMax`]
+//!   backend, [`DeamortizedQMax`] by default). Item ids are
+//!   hash-partitioned over shards ([`ShardKey`]), so each shard sees a
+//!   disjoint sub-stream, exactly like RSS spreading flows over PMD
+//!   threads.
+//! * **Batched hot path** — [`ShardedQMax::insert_batch`] caches each
+//!   shard's admission threshold Ψ in a register and drops sub-threshold
+//!   items with a single compare, only paying the full insert (and the
+//!   threshold refresh) for admitted items. Since Ψ only rises, a cached
+//!   Ψ is always a safe under-approximation: the pre-filter never drops
+//!   an item the shard would have admitted.
+//! * **Merge on query** — each shard retains its local top-`q`; any
+//!   global top-`q` item is beaten by at most `q − 1` items globally, so
+//!   certainly by at most `q − 1` within its own shard. The union of the
+//!   `S` local top-`q` sets therefore contains the global top-`q`, which
+//!   a final `O(S·q)` selection ([`qmax_select::nth_smallest`]) extracts
+//!   exactly.
+//! * **Multi-threaded driver** — [`ShardedQMax::run_threaded`] spawns
+//!   one worker per shard (scoped `std` threads + bounded channels; no
+//!   external dependencies), routes a stream into per-shard batches, and
+//!   reports per-shard load and aggregate insert throughput.
+//! * **Observability** — per-shard [`DeamortizedStats`] roll up via
+//!   [`ShardedQMax::aggregate_stats`], so the worst-case-bound
+//!   invariants (`forced_completions == 0`, bounded `max_step_ops`)
+//!   remain checkable per shard in a sharded deployment.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qmax_engine::ShardedQMax;
+//! use qmax_core::QMax;
+//!
+//! // Track the global top-4 across 4 hash-partitioned shards.
+//! let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(4, 0.25, 4);
+//! let items: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i * 7 % 9973)).collect();
+//! engine.insert_batch(&items);
+//! let mut top: Vec<u64> = engine.query().into_iter().map(|(_, v)| v).collect();
+//! top.sort_unstable();
+//! assert_eq!(top, vec![9969, 9970, 9971, 9972]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod driver;
+mod shard_key;
+mod sharded;
+
+pub use driver::{DriverConfig, DriverReport};
+pub use shard_key::ShardKey;
+pub use sharded::ShardedQMax;
+
+pub use qmax_core::{DeamortizedQMax, DeamortizedStats, QMax};

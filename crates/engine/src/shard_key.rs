@@ -1,0 +1,57 @@
+//! Hashing item ids onto shards.
+
+use qmax_traces::FlowKey;
+
+/// Types usable as sharded item ids: anything that can contribute a
+/// 64-bit word to the shard hash.
+///
+/// The word does **not** need to be well mixed — the engine finalizes it
+/// with a seeded 64-bit mixer before reducing onto a shard index — but
+/// equal ids must produce equal words so all updates of one id land in
+/// the same shard (the sharded-reservoir analogue of RSS keeping a flow
+/// on one PMD thread).
+pub trait ShardKey {
+    /// A 64-bit word identifying this id; equal ids give equal words.
+    fn shard_hash(&self) -> u64;
+}
+
+macro_rules! impl_shard_key_int {
+    ($($t:ty),*) => {$(
+        impl ShardKey for $t {
+            #[inline]
+            fn shard_hash(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+impl_shard_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ShardKey for u128 {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        (*self as u64) ^ ((*self >> 64) as u64)
+    }
+}
+
+impl ShardKey for FlowKey {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        self.as_u64()
+    }
+}
+
+impl<T: ShardKey + ?Sized> ShardKey for &T {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        (**self).shard_hash()
+    }
+}
+
+impl<A: ShardKey, B: ShardKey> ShardKey for (A, B) {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        self.0.shard_hash() ^ self.1.shard_hash().rotate_left(29)
+    }
+}

@@ -1,0 +1,456 @@
+//! The sharded q-MAX reservoir.
+
+use crate::shard_key::ShardKey;
+use qmax_core::{DeamortizedQMax, DeamortizedStats, Entry, QMax};
+use qmax_select::nth_smallest;
+use qmax_traces::hash;
+use std::marker::PhantomData;
+
+/// Default seed mixed into shard hashing (any fixed constant works; it
+/// only decorrelates shard assignment from other uses of the same key
+/// hash, e.g. the RSS hash of the packet source).
+const DEFAULT_SEED: u64 = 0x51AD_ED01;
+
+/// A copyable id→shard mapping, usable while the shard backends are
+/// temporarily moved into worker threads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardRouter {
+    seed: u64,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// The shard for an id: a seeded 64-bit mix of the id's key word,
+    /// reduced by multiply-shift (unbiased for any shard count).
+    #[inline]
+    pub(crate) fn route<I: ShardKey>(&self, id: &I) -> usize {
+        let h = hash::hash64(id.shard_hash(), self.seed);
+        (((h as u128) * (self.shards as u128)) >> 64) as usize
+    }
+}
+
+/// `S` hash-partitioned q-MAX shards answering global top-`q` queries.
+///
+/// Each shard is an independent [`QMax`] backend configured with the
+/// *global* `q`: partitioning by id means a shard sees only a sub-stream,
+/// and retaining the local top-`q` of every sub-stream is exactly what
+/// makes the merged union a superset of the global top-`q` (at most
+/// `q − 1` items beat a global top-`q` item anywhere, so in particular
+/// within its own shard).
+///
+/// The structure itself implements [`QMax`], so it can stand wherever a
+/// single-instance backend does — including the cross-backend agreement
+/// tests, which assert its merged result equals [`qmax_core::HeapQMax`]'s
+/// value-for-value.
+///
+/// Construction:
+/// * [`ShardedQMax::new`] — `S` [`DeamortizedQMax`] shards (the paper's
+///   worst-case-constant-time structure).
+/// * [`ShardedQMax::with_backends`] — any homogeneous backend set built
+///   by a closure, e.g. `AmortizedQMax` or `HeapQMax` shards.
+#[derive(Debug)]
+pub struct ShardedQMax<I, V, B = DeamortizedQMax<I, V>> {
+    shards: Vec<B>,
+    /// Configured shard count `S`; equals `shards.len()` except while a
+    /// threaded run has temporarily moved the backends into workers.
+    stated_shards: usize,
+    q: usize,
+    seed: u64,
+    /// Items dropped by the batched pre-filter before reaching a shard.
+    prefiltered: u64,
+    _marker: ItemMarker<I, V>,
+}
+
+/// Variance-neutral marker tying the engine to its item types without
+/// owning them (a backend-generic engine stores only `B`s).
+type ItemMarker<I, V> = PhantomData<fn(I, V) -> (I, V)>;
+
+impl<I: Clone, V: Ord + Clone> ShardedQMax<I, V> {
+    /// Creates `shards` de-amortized shards, each tracking the global
+    /// top-`q` with space-slack `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
+    /// and finite.
+    pub fn new(q: usize, gamma: f64, shards: usize) -> Self {
+        Self::with_backends(q, shards, |_| DeamortizedQMax::new(q, gamma))
+    }
+
+    /// Per-shard de-amortized execution counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<DeamortizedStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Counters rolled up across shards: sums everywhere except
+    /// `max_step_ops`, which is the maximum over shards — the quantity
+    /// the worst-case `O(γ⁻¹)` bound constrains per arrival.
+    pub fn aggregate_stats(&self) -> DeamortizedStats {
+        let mut agg = DeamortizedStats::default();
+        for s in self.shards.iter().map(|s| s.stats()) {
+            agg.admitted += s.admitted;
+            agg.filtered += s.filtered;
+            agg.iterations += s.iterations;
+            agg.forced_completions += s.forced_completions;
+            agg.total_ops += s.total_ops;
+            agg.max_step_ops = agg.max_step_ops.max(s.max_step_ops);
+        }
+        agg
+    }
+}
+
+impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
+    /// Creates `shards` shards from `make_shard(shard_index)`.
+    ///
+    /// Every backend must be configured with the same global `q`
+    /// (asserted), otherwise the merge-on-query superset argument
+    /// breaks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, or a backend reports a
+    /// different `q`.
+    pub fn with_backends<F: FnMut(usize) -> B>(q: usize, shards: usize, mut make_shard: F) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(shards > 0, "need at least one shard");
+        let shards: Vec<B> = (0..shards).map(&mut make_shard).collect();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(
+                s.q(),
+                q,
+                "shard {i} configured with q={}, engine q={q}",
+                s.q()
+            );
+        }
+        let stated_shards = shards.len();
+        ShardedQMax {
+            shards,
+            stated_shards,
+            q,
+            seed: DEFAULT_SEED,
+            prefiltered: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Replaces the shard-assignment seed (rarely needed; distinct
+    /// engines sharing ids partition identically unless reseeded).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.stated_shards
+    }
+
+    /// Read access to the shard backends.
+    pub fn shards(&self) -> &[B] {
+        &self.shards
+    }
+
+    /// Items dropped by the batched pre-filter (cheap compare against a
+    /// cached Ψ) without touching a shard. Not counted in any shard's
+    /// own `filtered` statistic.
+    pub fn prefiltered(&self) -> u64 {
+        self.prefiltered
+    }
+
+    /// The shard an id routes to: a seeded 64-bit mix of the id's key
+    /// word, reduced by multiply-shift (unbiased for any shard count).
+    #[inline]
+    pub fn shard_of(&self, id: &I) -> usize
+    where
+        I: ShardKey,
+    {
+        self.router().route(id)
+    }
+
+    /// The id→shard mapping as a standalone copyable value.
+    pub(crate) fn router(&self) -> ShardRouter {
+        ShardRouter {
+            seed: self.seed,
+            shards: self.shards.len().max(self.stated_shards),
+        }
+    }
+
+    /// Moves the shard backends out (for worker threads); the engine is
+    /// not queryable until [`Self::restore_shards`] puts them back.
+    pub(crate) fn take_shards(&mut self) -> Vec<B> {
+        std::mem::take(&mut self.shards)
+    }
+
+    /// Puts backends taken by [`Self::take_shards`] back in shard order.
+    pub(crate) fn restore_shards(&mut self, shards: Vec<B>) {
+        debug_assert_eq!(shards.len(), self.stated_shards);
+        self.shards = shards;
+    }
+
+    /// Batched hot path: inserts a batch, pre-filtering against each
+    /// shard's cached admission threshold Ψ before touching the shard.
+    ///
+    /// Ψ is monotone non-decreasing, so the cache (refreshed only after
+    /// an admitted insert, the only event that can raise it) is always a
+    /// safe under-approximation — the pre-filter drops exactly the items
+    /// the shard itself would have filtered, at the cost of one compare
+    /// instead of a backend call. Returns the number of admitted items.
+    pub fn insert_batch(&mut self, items: &[(I, V)]) -> usize
+    where
+        I: ShardKey + Clone,
+        V: Ord + Clone,
+    {
+        let mut psi: Vec<Option<V>> = self.shards.iter().map(|s| s.threshold()).collect();
+        let mut admitted = 0usize;
+        for (id, val) in items {
+            let s = self.shard_of(id);
+            if let Some(t) = &psi[s] {
+                if val <= t {
+                    self.prefiltered += 1;
+                    continue;
+                }
+            }
+            if self.shards[s].insert(id.clone(), val.clone()) {
+                admitted += 1;
+                psi[s] = self.shards[s].threshold();
+            }
+        }
+        admitted
+    }
+}
+
+impl<I: ShardKey, V: Ord + Clone, B: QMax<I, V>> QMax<I, V> for ShardedQMax<I, V, B> {
+    fn insert(&mut self, id: I, val: V) -> bool {
+        let s = self.shard_of(&id);
+        self.shards[s].insert(id, val)
+    }
+
+    fn query(&mut self) -> Vec<(I, V)> {
+        let mut merged: Vec<Entry<I, V>> = Vec::with_capacity(self.shards.len() * self.q);
+        for shard in &mut self.shards {
+            merged.extend(
+                shard
+                    .query()
+                    .into_iter()
+                    .map(|(id, val)| Entry::new(id, val)),
+            );
+        }
+        if merged.len() > self.q {
+            // Global top-q from the S·q candidates: select so the q
+            // largest occupy the suffix, then keep only that suffix.
+            let cut = merged.len() - self.q;
+            nth_smallest(&mut merged, cut);
+            merged.drain(..cut);
+        }
+        merged.into_iter().map(|e| (e.id, e.val)).collect()
+    }
+
+    fn reset(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+        self.prefiltered = 0;
+    }
+
+    fn q(&self) -> usize {
+        self.q
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// The global admission threshold: the *minimum* over shard
+    /// thresholds. A value at or below it is at or below its own
+    /// shard's Ψ, so it would be filtered wherever it routes; `None`
+    /// until every shard has established a threshold.
+    fn threshold(&self) -> Option<V> {
+        let mut min: Option<V> = None;
+        for shard in &self.shards {
+            let t = shard.threshold()?;
+            min = Some(match min {
+                Some(m) if m <= t => m,
+                _ => t,
+            });
+        }
+        min
+    }
+
+    fn name(&self) -> &'static str {
+        "qmax-sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmax_core::HeapQMax;
+    use qmax_traces::gen::random_u64_stream;
+
+    fn top_q_reference(vals: &[u64], q: usize) -> Vec<u64> {
+        let mut s = vals.to_vec();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s.truncate(q);
+        s.sort_unstable();
+        s
+    }
+
+    fn sorted_vals(qm: &mut impl QMax<u64, u64>) -> Vec<u64> {
+        let mut v: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_reference_across_shard_counts() {
+        let vals: Vec<u64> = random_u64_stream(40_000, 3).collect();
+        for q in [1usize, 16, 500] {
+            let expect = top_q_reference(&vals, q);
+            for shards in [1usize, 2, 4, 8] {
+                let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
+                for (i, &v) in vals.iter().enumerate() {
+                    engine.insert(i as u64, v);
+                }
+                assert_eq!(sorted_vals(&mut engine), expect, "q={q} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_equals_singleton_inserts() {
+        let vals: Vec<u64> = random_u64_stream(30_000, 5).collect();
+        let items: Vec<(u64, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect();
+        let q = 64;
+        let mut batched: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 4);
+        let mut single: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 4);
+        for chunk in items.chunks(777) {
+            batched.insert_batch(chunk);
+        }
+        for (id, v) in &items {
+            single.insert(*id, *v);
+        }
+        assert_eq!(sorted_vals(&mut batched), sorted_vals(&mut single));
+        // The pre-filter must shed the bulk of a long random stream.
+        assert!(
+            batched.prefiltered() > items.len() as u64 / 2,
+            "pre-filter inactive"
+        );
+    }
+
+    #[test]
+    fn pre_filter_never_loses_an_admissible_item() {
+        // Ascending stream: every item beats the current threshold, so
+        // nothing may be pre-filtered and the final top-q is exact.
+        let q = 32;
+        let items: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, 4);
+        for chunk in items.chunks(512) {
+            engine.insert_batch(chunk);
+        }
+        let expect: Vec<u64> = (20_000 - q as u64..20_000).collect();
+        assert_eq!(sorted_vals(&mut engine), expect);
+    }
+
+    #[test]
+    fn agrees_with_heap_backend_shards() {
+        let vals: Vec<u64> = random_u64_stream(25_000, 9).collect();
+        let q = 100;
+        let mut engine: ShardedQMax<u64, u64, HeapQMax<u64, u64>> =
+            ShardedQMax::with_backends(q, 3, |_| HeapQMax::new(q));
+        for (i, &v) in vals.iter().enumerate() {
+            engine.insert(i as u64, v);
+        }
+        assert_eq!(sorted_vals(&mut engine), top_q_reference(&vals, q));
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        let engine: ShardedQMax<u64, u64> = ShardedQMax::new(8, 0.5, 5);
+        for id in 0..10_000u64 {
+            let s = engine.shard_of(&id);
+            assert!(s < 5);
+            assert_eq!(s, engine.shard_of(&id), "routing not deterministic");
+        }
+    }
+
+    #[test]
+    fn shards_see_disjoint_balanced_slices() {
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(4, 0.5, 4);
+        let n = 40_000u64;
+        for id in 0..n {
+            engine.insert(id, hash::mix64(id));
+        }
+        let stats = engine.shard_stats();
+        let total: u64 = stats.iter().map(|s| s.admitted + s.filtered).sum();
+        assert_eq!(total, n, "arrival accounting leak across shards");
+        for (i, s) in stats.iter().enumerate() {
+            let seen = s.admitted + s.filtered;
+            assert!(
+                seen > n / 8 && seen < n / 2,
+                "shard {i} saw {seen} of {n}: partition badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_is_min_over_shards() {
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(4, 0.25, 3);
+        assert_eq!(engine.threshold(), None);
+        for id in 0..50_000u64 {
+            engine.insert(id, hash::mix64(id) % 100_000);
+        }
+        let global = engine.threshold().expect("threshold after 50k inserts");
+        let per_shard: Vec<u64> = engine
+            .shards()
+            .iter()
+            .map(|s| s.threshold().expect("shard threshold"))
+            .collect();
+        assert_eq!(global, per_shard.iter().copied().min().unwrap());
+        // Safety: a value at the global threshold is never admitted.
+        assert!(!engine.insert(u64::MAX, global));
+    }
+
+    #[test]
+    fn reset_clears_every_shard() {
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(4, 0.5, 4);
+        for id in 0..5_000u64 {
+            engine.insert(id, id);
+        }
+        engine.reset();
+        assert!(engine.is_empty());
+        assert_eq!(engine.threshold(), None);
+        assert_eq!(engine.prefiltered(), 0);
+        for id in 0..100u64 {
+            engine.insert(id, id);
+        }
+        assert_eq!(engine.query().len(), 4);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_backend() {
+        let vals: Vec<u64> = random_u64_stream(10_000, 11).collect();
+        let q = 50;
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.3, 1);
+        let mut plain = DeamortizedQMax::new(q, 0.3);
+        for (i, &v) in vals.iter().enumerate() {
+            engine.insert(i as u64, v);
+            plain.insert(i as u64, v);
+        }
+        let mut a = sorted_vals(&mut engine);
+        let mut b: Vec<u64> = plain.query().into_iter().map(|(_, v)| v).collect();
+        b.sort_unstable();
+        a.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 0 configured with q=3")]
+    fn mismatched_shard_q_is_rejected() {
+        let _: ShardedQMax<u64, u64, HeapQMax<u64, u64>> =
+            ShardedQMax::with_backends(5, 2, |_| HeapQMax::new(3));
+    }
+}

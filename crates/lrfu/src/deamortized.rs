@@ -43,7 +43,10 @@ enum Phase<K> {
     /// Copying registry slots `next..snap_len` into the snapshot.
     Refresh { next: usize },
     /// Selecting the `evict`-th smallest snapshot score.
-    Select { machine: NthElementMachine<Entry<K, OrderedF64>>, evict: usize },
+    Select {
+        machine: NthElementMachine<Entry<K, OrderedF64>>,
+        evict: usize,
+    },
     /// Evicting snapshot slots `next..evict` (skipping bumped keys).
     Evict { next: usize, evict: usize },
 }
@@ -90,7 +93,10 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
     /// is outside `(0, 1)`.
     pub fn new(q: usize, gamma: f64, c: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         let g = (((q as f64) * gamma / 2.0).ceil() as usize).max(3);
         // The pipeline must finish within g misses: refresh copies
         // q + 2g slots, selection costs WORK_BOUND_FACTOR * (q + 2g)
@@ -225,7 +231,13 @@ impl<K: Clone + Hash + Eq> Cache<K> for DeamortizedLrfu<K> {
         }
         let idx = self.keys.len();
         self.keys.push(key.clone());
-        self.map.insert(key, Info { idx, w: self.score.access(t) });
+        self.map.insert(
+            key,
+            Info {
+                idx,
+                w: self.score.access(t),
+            },
+        );
         self.advance();
         false
     }
@@ -297,11 +309,13 @@ mod tests {
             let w = reference.entry(key).or_insert(f64::NEG_INFINITY);
             *w = ds.bump(*w, t);
             if t % 501 == 0 {
-                let mut scored: Vec<(u64, f64)> =
-                    reference.iter().map(|(&k, &w)| (k, w)).collect();
+                let mut scored: Vec<(u64, f64)> = reference.iter().map(|(&k, &w)| (k, w)).collect();
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 for &(k, _) in scored.iter().take(q) {
-                    assert!(cache.map.contains_key(&k), "top-{q} key {k} evicted at t={t}");
+                    assert!(
+                        cache.map.contains_key(&k),
+                        "top-{q} key {k} evicted at t={t}"
+                    );
                 }
             }
         }

@@ -28,7 +28,12 @@ impl<K: Clone + Hash + Eq> HeapLrfu<K> {
     /// Panics if `q == 0` or `c` outside `(0, 1)`.
     pub fn new(q: usize, c: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        HeapLrfu { q, score: DecayScore::new(c), heap: IndexedMinHeap::new(), time: 0 }
+        HeapLrfu {
+            q,
+            score: DecayScore::new(c),
+            heap: IndexedMinHeap::new(),
+            time: 0,
+        }
     }
 }
 

@@ -49,7 +49,10 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     /// is outside `(0, 1)`.
     pub fn new(q: usize, gamma: f64, c: f64) -> Self {
         assert!(q > 0, "q must be positive");
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         let cap = (((q as f64) * (1.0 + gamma)).ceil() as usize).max(q + 1);
         QMaxLrfu {
             q,
@@ -85,8 +88,11 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
                 }
             }
         }
-        self.buf
-            .extend(merged.into_iter().map(|(k, w)| Entry::new(k, OrderedF64(w))));
+        self.buf.extend(
+            merged
+                .into_iter()
+                .map(|(k, w)| Entry::new(k, OrderedF64(w))),
+        );
         if self.buf.len() > self.q {
             let cut = self.buf.len() - self.q;
             nth_smallest(&mut self.buf, cut);
@@ -164,7 +170,11 @@ mod tests {
         }
         let (_, hi) = c.capacity_bounds();
         assert!(c.len() <= hi, "population {} above {hi}", c.len());
-        assert!(c.len() >= 100, "population {} below q after warm-up", c.len());
+        assert!(
+            c.len() >= 100,
+            "population {} below q after warm-up",
+            c.len()
+        );
         assert!(c.maintenance_passes() > 0);
     }
 
@@ -185,8 +195,7 @@ mod tests {
             let w = reference.entry(key).or_insert(f64::NEG_INFINITY);
             *w = ds.bump(*w, t);
             if t % 997 == 0 {
-                let mut scored: Vec<(u64, f64)> =
-                    reference.iter().map(|(&k, &w)| (k, w)).collect();
+                let mut scored: Vec<(u64, f64)> = reference.iter().map(|(&k, &w)| (k, w)).collect();
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 for &(k, _) in scored.iter().take(q) {
                     assert!(

@@ -126,7 +126,10 @@ mod tests {
         let bumped = ds.bump(old, 100_000_000);
         assert!(bumped.is_finite());
         assert!(bumped >= recent);
-        assert!(bumped - recent < 1e-6, "ancient history should be negligible");
+        assert!(
+            bumped - recent < 1e-6,
+            "ancient history should be negligible"
+        );
     }
 
     #[test]
@@ -137,7 +140,11 @@ mod tests {
         for &t in &times {
             incremental = ds.bump(incremental, t);
         }
-        let direct: f64 = times.iter().map(|&t| (ds.access(t)).exp()).sum::<f64>().ln();
+        let direct: f64 = times
+            .iter()
+            .map(|&t| (ds.access(t)).exp())
+            .sum::<f64>()
+            .ln();
         assert!((incremental - direct).abs() < 1e-9);
     }
 }

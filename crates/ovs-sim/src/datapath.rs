@@ -33,7 +33,12 @@ impl Emc {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "EMC must have entries");
         let n = entries.next_power_of_two();
-        Emc { mask: n - 1, slots: vec![[None, None]; n], hits: 0, misses: 0 }
+        Emc {
+            mask: n - 1,
+            slots: vec![[None, None]; n],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     #[inline]
@@ -123,8 +128,16 @@ impl Megaflow {
     /// Creates a classifier over the given subtable masks (probed in
     /// the given order).
     pub fn new(masks: Vec<FlowMask>) -> Self {
-        let tables = masks.iter().map(|_| std::collections::HashMap::new()).collect();
-        Megaflow { masks, tables, hits: 0, misses: 0 }
+        let tables = masks
+            .iter()
+            .map(|_| std::collections::HashMap::new())
+            .collect();
+        Megaflow {
+            masks,
+            tables,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn masked_key(mask: &FlowMask, flow: &FlowKey) -> u64 {
@@ -197,8 +210,16 @@ impl Switch {
         Switch {
             emc: Emc::new(8192),
             megaflow: Megaflow::new(vec![
-                FlowMask { src_prefix: 24, dst_prefix: 24, match_l4: false },
-                FlowMask { src_prefix: 32, dst_prefix: 32, match_l4: true },
+                FlowMask {
+                    src_prefix: 24,
+                    dst_prefix: 24,
+                    match_l4: false,
+                },
+                FlowMask {
+                    src_prefix: 32,
+                    dst_prefix: 32,
+                    match_l4: true,
+                },
             ]),
             ports,
             stats: SwitchStats::default(),
@@ -209,7 +230,9 @@ impl Switch {
     /// 5-tuple onto an output port — a stand-in for the OpenFlow
     /// pipeline's final action).
     fn decide(&self, flow: &FlowKey) -> Action {
-        Action { out_port: (flow.as_u64() % self.ports as u64) as u16 }
+        Action {
+            out_port: (flow.as_u64() % self.ports as u64) as u16,
+        }
     }
 
     /// Processes one packet through the datapath and returns its
@@ -279,7 +302,10 @@ mod tests {
             .iter()
             .filter(|&&i| emc.lookup(&pkts[i].flow()).is_some())
             .count();
-        assert_eq!(present, 1, "exactly one older flow survives in the 2-way bucket");
+        assert_eq!(
+            present, 1,
+            "exactly one older flow survives in the 2-way bucket"
+        );
     }
 
     #[test]
@@ -289,12 +315,27 @@ mod tests {
             dst_prefix: 0,
             match_l4: false,
         }]);
-        let base = FlowKey { src_ip: 0x0A000001, dst_ip: 1, src_port: 1, dst_port: 2, proto: 6 };
+        let base = FlowKey {
+            src_ip: 0x0A000001,
+            dst_ip: 1,
+            src_port: 1,
+            dst_port: 2,
+            proto: 6,
+        };
         mf.install(0, &base, Action { out_port: 9 });
         // Any flow in the same /24 matches.
-        let sibling = FlowKey { src_ip: 0x0A0000FF, dst_ip: 77, src_port: 5, dst_port: 6, proto: 17 };
+        let sibling = FlowKey {
+            src_ip: 0x0A0000FF,
+            dst_ip: 77,
+            src_port: 5,
+            dst_port: 6,
+            proto: 17,
+        };
         assert_eq!(mf.lookup(&sibling), Some(Action { out_port: 9 }));
-        let stranger = FlowKey { src_ip: 0x0B000001, ..sibling };
+        let stranger = FlowKey {
+            src_ip: 0x0B000001,
+            ..sibling
+        };
         assert_eq!(mf.lookup(&stranger), None);
     }
 
@@ -309,10 +350,18 @@ mod tests {
         }
         let st = sw.stats();
         assert_eq!(st.packets, 20_000);
-        assert_eq!(st.upcalls as usize, flows.len(), "one upcall per distinct flow");
+        assert_eq!(
+            st.upcalls as usize,
+            flows.len(),
+            "one upcall per distinct flow"
+        );
         assert_eq!(st.emc_hits + st.megaflow_hits + st.upcalls, st.packets);
         // The fast path must dominate on a skewed trace.
-        assert!(st.emc_hits > st.packets / 2, "EMC hits {} too low", st.emc_hits);
+        assert!(
+            st.emc_hits > st.packets / 2,
+            "EMC hits {} too low",
+            st.emc_hits
+        );
     }
 
     #[test]
@@ -341,10 +390,24 @@ mod tests {
         // A /24 wildcard subtable probed before an exact one wins for
         // flows both would match.
         let mut mf = Megaflow::new(vec![
-            FlowMask { src_prefix: 24, dst_prefix: 0, match_l4: false },
-            FlowMask { src_prefix: 32, dst_prefix: 32, match_l4: true },
+            FlowMask {
+                src_prefix: 24,
+                dst_prefix: 0,
+                match_l4: false,
+            },
+            FlowMask {
+                src_prefix: 32,
+                dst_prefix: 32,
+                match_l4: true,
+            },
         ]);
-        let flow = FlowKey { src_ip: 0x0A000001, dst_ip: 7, src_port: 1, dst_port: 2, proto: 6 };
+        let flow = FlowKey {
+            src_ip: 0x0A000001,
+            dst_ip: 7,
+            src_port: 1,
+            dst_port: 2,
+            proto: 6,
+        };
         mf.install(0, &flow, Action { out_port: 10 });
         mf.install(1, &flow, Action { out_port: 20 });
         assert_eq!(mf.lookup(&flow), Some(Action { out_port: 10 }));

@@ -37,9 +37,9 @@ mod topology;
 
 pub use datapath::{Action, Emc, FlowMask, Megaflow, Switch, SwitchStats};
 pub use linerate::{evaluate_throughput, LineRate, NullHook, ThroughputReport};
-pub use pmd::PmdPool;
-pub use topology::{LeafSpine, Path};
+pub use pmd::{PmdPool, ShardedQMaxPool};
 use qmax_traces::FlowKey;
+pub use topology::{LeafSpine, Path};
 
 /// Per-packet measurement callback: receives what the paper's modified
 /// OVS records for each packet (source flow, packet id, byte length).

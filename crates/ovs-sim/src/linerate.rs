@@ -87,14 +87,15 @@ pub fn evaluate_throughput<H: MeasurementHook>(
     let cost_ns = elapsed.as_nanos() as f64 / packets.len() as f64;
     let budget = rate.budget_ns();
     let offered = rate.offered_pps();
-    let achieved_pps = if cost_ns <= budget { offered } else { offered * budget / cost_ns };
+    let achieved_pps = if cost_ns <= budget {
+        offered
+    } else {
+        offered * budget / cost_ns
+    };
     ThroughputReport {
         offered_mpps: offered / 1e6,
         achieved_mpps: achieved_pps / 1e6,
-        achieved_gbps: achieved_pps
-            * 8.0
-            * (rate.frame_bytes + WIRE_OVERHEAD_BYTES) as f64
-            / 1e9,
+        achieved_gbps: achieved_pps * 8.0 * (rate.frame_bytes + WIRE_OVERHEAD_BYTES) as f64 / 1e9,
         cost_ns_per_packet: cost_ns,
         budget_utilization: cost_ns / budget,
     }
@@ -108,11 +109,17 @@ mod tests {
     #[test]
     fn classic_line_rates_are_reproduced() {
         // 10G at 64B frames = 14.88 Mpps, the textbook number.
-        let r = LineRate { gbps: 10.0, frame_bytes: 64 };
+        let r = LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        };
         assert!((r.offered_pps() / 1e6 - 14.88).abs() < 0.01);
         assert!((r.budget_ns() - 67.2).abs() < 0.1);
         // 40G at 64B = 59.52 Mpps.
-        let r40 = LineRate { gbps: 40.0, frame_bytes: 64 };
+        let r40 = LineRate {
+            gbps: 40.0,
+            frame_bytes: 64,
+        };
         assert!((r40.offered_pps() / 1e6 - 59.52).abs() < 0.05);
     }
 
@@ -125,7 +132,10 @@ mod tests {
             &mut sw,
             &mut hook,
             &pkts,
-            LineRate { gbps: 10.0, frame_bytes: 64 },
+            LineRate {
+                gbps: 10.0,
+                frame_bytes: 64,
+            },
         );
         assert!(rep.achieved_mpps <= rep.offered_mpps + 1e-9);
         assert!(rep.cost_ns_per_packet > 0.0);
@@ -146,7 +156,10 @@ mod tests {
             }
         }
         let pkts: Vec<_> = caida_like(20_000, 2).collect();
-        let rate = LineRate { gbps: 40.0, frame_bytes: 64 };
+        let rate = LineRate {
+            gbps: 40.0,
+            frame_bytes: 64,
+        };
         let mut sw1 = Switch::new(4);
         let rep_null = evaluate_throughput(&mut sw1, &mut NullHook, &pkts, rate);
         let mut sw2 = Switch::new(4);
@@ -158,16 +171,28 @@ mod tests {
             rep_busy.achieved_mpps,
             rep_null.achieved_mpps
         );
-        assert!(rep_busy.budget_utilization > 1.0, "busy hook must blow the 40G budget");
+        assert!(
+            rep_busy.budget_utilization > 1.0,
+            "busy hook must blow the 40G budget"
+        );
     }
 
     #[test]
     fn budget_scales_inversely_with_rate() {
-        let r10 = LineRate { gbps: 10.0, frame_bytes: 64 };
-        let r40 = LineRate { gbps: 40.0, frame_bytes: 64 };
+        let r10 = LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        };
+        let r40 = LineRate {
+            gbps: 40.0,
+            frame_bytes: 64,
+        };
         assert!((r10.budget_ns() / r40.budget_ns() - 4.0).abs() < 1e-9);
         // Bigger frames buy more time per packet.
-        let big = LineRate { gbps: 10.0, frame_bytes: 1500 };
+        let big = LineRate {
+            gbps: 10.0,
+            frame_bytes: 1500,
+        };
         assert!(big.budget_ns() > 10.0 * r10.budget_ns());
     }
 
@@ -175,7 +200,10 @@ mod tests {
     fn report_is_internally_consistent() {
         let mut sw = Switch::new(2);
         let pkts: Vec<_> = caida_like(30_000, 4).collect();
-        let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+        let rate = LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        };
         let rep = evaluate_throughput(&mut sw, &mut NullHook, &pkts, rate);
         // achieved_gbps reconstructs from achieved_mpps.
         let gbps = rep.achieved_mpps * 1e6 * 8.0 * (64 + 20) as f64 / 1e9;
@@ -194,7 +222,10 @@ mod tests {
             &mut sw,
             &mut NullHook,
             &[],
-            LineRate { gbps: 10.0, frame_bytes: 64 },
+            LineRate {
+                gbps: 10.0,
+                frame_bytes: 64,
+            },
         );
     }
 }

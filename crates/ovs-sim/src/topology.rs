@@ -45,7 +45,10 @@ impl LeafSpine {
     ///
     /// Panics if either count is zero.
     pub fn new(leaves: usize, spines: usize) -> Self {
-        assert!(leaves > 0 && spines > 0, "need at least one leaf and one spine");
+        assert!(
+            leaves > 0 && spines > 0,
+            "need at least one leaf and one spine"
+        );
         LeafSpine {
             leaves: (0..leaves).map(|_| Switch::new(48)).collect(),
             spines: (0..spines).map(|_| Switch::new(48)).collect(),
@@ -91,7 +94,11 @@ impl LeafSpine {
             h.on_packet(flow, id, pkt.len);
         }
         if ingress == egress {
-            return Path { ingress, spine: None, egress };
+            return Path {
+                ingress,
+                spine: None,
+                egress,
+            };
         }
         let spine = self.spine_of(pkt);
         self.spines[spine].process(pkt);
@@ -104,7 +111,11 @@ impl LeafSpine {
         if let Some(h) = hooks.get_mut(egress) {
             h.on_packet(flow, id, pkt.len);
         }
-        Path { ingress, spine: Some(spine), egress }
+        Path {
+            ingress,
+            spine: Some(spine),
+            egress,
+        }
     }
 
     /// Packets forwarded per switch (`[leaves..., spines...]`).

@@ -1,0 +1,111 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this crate re-implements the subset of proptest's API the
+//! workspace's property tests use: the [`proptest!`] macro, range /
+//! `any::<T>()` / tuple / `prop::collection::vec` strategies,
+//! [`ProptestConfig`] case counts, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with its case index and
+//!   seed; re-running is fully deterministic, so the failure reproduces
+//!   exactly without a persistence file.
+//! * **No regression persistence.** `*.proptest-regressions` files are
+//!   neither read nor written.
+//! * Generation is a simple deterministic splitmix64 stream seeded from
+//!   the test name and case index, so every `cargo test` run explores
+//!   the same cases (override the count with `PROPTEST_CASES`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `proptest::prelude::prop` module shorthand.
+    pub mod prop {
+        pub use crate::arbitrary;
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] test body.
+///
+/// Unlike real proptest (which records the failure and shrinks), this
+/// panics immediately; the harness prints the failing case's seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples its strategies for the
+/// configured number of cases and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = __cfg.effective_cases();
+            for __case in 0..__cases {
+                let __seed = $crate::test_runner::case_seed(stringify!($name), __case);
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                let ($($arg,)+) = (
+                    $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                );
+                let __guard = $crate::test_runner::CasePanicContext::new(
+                    stringify!($name), __case, __seed,
+                );
+                $body
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,113 @@
+//! Deterministic case generation and failure reporting.
+
+/// Per-suite configuration; only the fields this workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, overridable with the `PROPTEST_CASES`
+    /// environment variable (mirroring real proptest).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 generator driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift (Lemire) keeps bias negligible.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Stable seed for `(test name, case index)`: FNV-1a over the name mixed
+/// with the index, so each test explores its own deterministic stream.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Prints which case was running if the test body panics, so failures
+/// are reproducible without shrinking or persistence files.
+pub struct CasePanicContext {
+    armed: bool,
+    test_name: &'static str,
+    case: u32,
+    seed: u64,
+}
+
+impl CasePanicContext {
+    /// Arms the context for one case execution.
+    pub fn new(test_name: &'static str, case: u32, seed: u64) -> Self {
+        CasePanicContext {
+            armed: true,
+            test_name,
+            case,
+            seed,
+        }
+    }
+
+    /// Marks the case as having completed successfully.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest case failed: test `{}`, case {} (seed {:#x}); \
+                 re-running the test reproduces it deterministically",
+                self.test_name, self.case, self.seed
+            );
+        }
+    }
+}

@@ -38,7 +38,9 @@ mod partition;
 mod quickselect;
 mod topk;
 
-pub use machine::{Direction, MachineStatus, NthElementMachine, PartitionMachine, WORK_BOUND_FACTOR};
+pub use machine::{
+    Direction, MachineStatus, NthElementMachine, PartitionMachine, WORK_BOUND_FACTOR,
+};
 pub use partition::{insertion_sort, median_of_five, partition3};
 pub use quickselect::{mom_nth_smallest, nth_largest, nth_smallest};
 pub use topk::{top_k_indices, top_k_suffix};

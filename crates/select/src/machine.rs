@@ -72,7 +72,12 @@ enum Phase<T> {
     /// A child frame is selecting the median of the packed medians.
     AwaitPivot,
     /// Three-way partition around `pivot` in progress.
-    Partition { lt: usize, i: usize, gt: usize, pivot: T },
+    Partition {
+        lt: usize,
+        i: usize,
+        gt: usize,
+        pivot: T,
+    },
 }
 
 #[derive(Debug)]
@@ -121,7 +126,12 @@ impl<T: Ord + Clone> NthElementMachine<T> {
         assert!(lo < hi, "empty selection range [{lo}, {hi})");
         assert!(k < hi - lo, "selection index {k} out of range {}", hi - lo);
         NthElementMachine {
-            frames: vec![Frame { lo, hi, target: lo + k, phase: Phase::Start }],
+            frames: vec![Frame {
+                lo,
+                hi,
+                target: lo + k,
+                phase: Phase::Start,
+            }],
             dir,
             result: None,
             total_ops: 0,
@@ -211,7 +221,10 @@ impl<T: Ord + Clone> NthElementMachine<T> {
                 if hi - lo <= SMALL {
                     frame.phase = Phase::SmallSort { i: lo + 1 };
                 } else {
-                    frame.phase = Phase::Medians { next_group: lo, packed: 0 };
+                    frame.phase = Phase::Medians {
+                        next_group: lo,
+                        packed: 0,
+                    };
                 }
                 outcome = Outcome::Continue;
             }
@@ -370,7 +383,16 @@ impl<T: Ord> PartitionMachine<T> {
     /// Creates a partition machine for `buf[lo..hi]` around `pivot`.
     pub fn new(lo: usize, hi: usize, pivot: T, dir: Direction) -> Self {
         assert!(lo <= hi, "invalid partition range [{lo}, {hi})");
-        PartitionMachine { lo, hi, lt: lo, i: lo, gt: hi, pivot, dir, total_ops: 0 }
+        PartitionMachine {
+            lo,
+            hi,
+            lt: lo,
+            i: lo,
+            gt: hi,
+            pivot,
+            dir,
+            total_ops: 0,
+        }
     }
 
     /// The configured `[lo, hi)` range.
@@ -529,7 +551,9 @@ mod tests {
     fn machine_ignores_buffer_outside_range() {
         let mut state = 5u64;
         let n = 500;
-        let mut v: Vec<u32> = (0..n + 50).map(|_| (splitmix(&mut state) % 1000) as u32).collect();
+        let mut v: Vec<u32> = (0..n + 50)
+            .map(|_| (splitmix(&mut state) % 1000) as u32)
+            .collect();
         let frozen_prefix: Vec<u32> = v[..25].to_vec();
         let mut expect: Vec<u32> = v[25..25 + n].to_vec();
         expect.sort_unstable();

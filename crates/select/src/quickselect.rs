@@ -18,7 +18,11 @@ const SMALL: usize = 24;
 ///
 /// Panics if `k >= buf.len()`.
 pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
-    assert!(k < buf.len(), "selection index {k} out of range {}", buf.len());
+    assert!(
+        k < buf.len(),
+        "selection index {k} out of range {}",
+        buf.len()
+    );
     let n = buf.len();
     // 2 * log2(n) pivot rounds before falling back to MoM pivots.
     let mut depth_budget = 2 * (usize::BITS - n.leading_zeros()) as usize + 2;
@@ -36,7 +40,9 @@ pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
             mom_pivot(buf, lo, hi)
         } else {
             depth_budget -= 1;
-            rng_state = rng_state.wrapping_mul(0xD120_0000_0000_1001).wrapping_add(1);
+            rng_state = rng_state
+                .wrapping_mul(0xD120_0000_0000_1001)
+                .wrapping_add(1);
             let r = (rng_state >> 33) as usize;
             // Median of three pseudo-random probes.
             let a = lo + r % (hi - lo);
@@ -109,7 +115,11 @@ fn mom_pivot<T: Ord>(buf: &mut [T], lo: usize, hi: usize) -> usize {
 ///
 /// Same contract as [`nth_smallest`].
 pub fn mom_nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
-    assert!(k < buf.len(), "selection index {k} out of range {}", buf.len());
+    assert!(
+        k < buf.len(),
+        "selection index {k} out of range {}",
+        buf.len()
+    );
     let mut lo = 0usize;
     let mut hi = buf.len();
     let target = k;
@@ -168,7 +178,9 @@ mod tests {
     fn selects_on_random_data() {
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for n in [1usize, 2, 5, 24, 25, 100, 1000] {
@@ -190,8 +202,10 @@ mod tests {
                 check_select(&mut desc, k);
                 let mut eq = vec![7u32; n];
                 check_select(&mut eq, k);
-                let mut organ: Vec<u32> =
-                    (0..n as u32 / 2).chain((0..n as u32 / 2 + 1).rev()).take(n).collect();
+                let mut organ: Vec<u32> = (0..n as u32 / 2)
+                    .chain((0..n as u32 / 2 + 1).rev())
+                    .take(n)
+                    .collect();
                 check_select(&mut organ, k);
             }
         }
@@ -201,7 +215,9 @@ mod tests {
     fn mom_matches_sorted() {
         let mut state = 999u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for n in [1usize, 30, 128, 777] {

@@ -86,9 +86,15 @@ fn cmd_stats() -> io::Result<()> {
     println!("distinct flows : {}", flows.len());
     println!("duration       : {:.3} s", span_ns as f64 / 1e9);
     if span_ns > 0 {
-        println!("mean rate      : {:.3} Mpps", packets.len() as f64 / span_ns as f64 * 1e3);
+        println!(
+            "mean rate      : {:.3} Mpps",
+            packets.len() as f64 / span_ns as f64 * 1e3
+        );
     }
-    println!("mean pkt size  : {:.1} B", bytes as f64 / packets.len() as f64);
+    println!(
+        "mean pkt size  : {:.1} B",
+        bytes as f64 / packets.len() as f64
+    );
     println!(
         "top-10 flows   : {:.1}% of packets",
         top10 as f64 / packets.len() as f64 * 100.0
@@ -111,7 +117,10 @@ fn cmd_topflows(args: &[String]) -> io::Result<()> {
     let mut ranked: Vec<(Packet, u64)> = flows.into_values().collect();
     ranked.sort_unstable_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
     ranked.truncate(q);
-    println!("{:<18} {:<18} {:>7} {:>7} {:>5} {:>14}", "src", "dst", "sport", "dport", "prot", "bytes");
+    println!(
+        "{:<18} {:<18} {:>7} {:>7} {:>5} {:>14}",
+        "src", "dst", "sport", "dport", "prot", "bytes"
+    );
     for (p, bytes) in ranked {
         println!(
             "{:<18} {:<18} {:>7} {:>7} {:>5} {:>14}",
@@ -127,5 +136,11 @@ fn cmd_topflows(args: &[String]) -> io::Result<()> {
 }
 
 fn fmt_ip(ip: u32) -> String {
-    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 255, (ip >> 8) & 255, ip & 255)
+    format!(
+        "{}.{}.{}.{}",
+        ip >> 24,
+        (ip >> 16) & 255,
+        (ip >> 8) & 255,
+        ip & 255
+    )
 }

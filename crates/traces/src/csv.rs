@@ -65,7 +65,16 @@ pub fn read_packets<R: BufRead>(r: R) -> io::Result<Vec<Packet>> {
         let proto = parse_field(next("proto")?, "proto", lineno)?;
         let len = parse_field(next("len")?, "len", lineno)?;
         let ts_ns = parse_field(next("ts_ns")?, "ts_ns", lineno)?;
-        out.push(Packet { src_ip, dst_ip, src_port, dst_port, proto, len, ts_ns, seq });
+        out.push(Packet {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+            len,
+            ts_ns,
+            seq,
+        });
         seq += 1;
     }
     Ok(out)

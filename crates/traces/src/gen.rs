@@ -108,7 +108,16 @@ impl Iterator for TraceIter {
         self.ts_ns += gap;
         let seq = self.produced as u64;
         self.produced += 1;
-        Some(Packet { src_ip, dst_ip, src_port, dst_port, proto, len, ts_ns: self.ts_ns, seq })
+        Some(Packet {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+            len,
+            ts_ns: self.ts_ns,
+            seq,
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -123,7 +132,14 @@ impl ExactSizeIterator for TraceIter {}
 pub fn from_spec(spec: TraceSpec) -> TraceIter {
     let flows = ZipfSampler::new(spec.flows.max(1), spec.alpha, spec.seed ^ 0xABCD);
     let rng = SplitMix64::new(spec.seed);
-    TraceIter { spec, flows, rng, produced: 0, ts_ns: 0, burst: None }
+    TraceIter {
+        spec,
+        flows,
+        rng,
+        produced: 0,
+        ts_ns: 0,
+        burst: None,
+    }
 }
 
 /// A CAIDA-like ISP backbone trace: many flows, Zipf(1.1) popularity,
@@ -183,12 +199,7 @@ pub fn random_u64_stream(n: usize, seed: u64) -> impl Iterator<Item = u64> {
 ///
 /// `burst_every_ns` controls burst spacing; each burst lasts about 2%
 /// of that interval and carries `burst_factor`× the background rate.
-pub fn bursty_like(
-    packets: usize,
-    burst_every_ns: u64,
-    burst_factor: u64,
-    seed: u64,
-) -> TraceIter {
+pub fn bursty_like(packets: usize, burst_every_ns: u64, burst_factor: u64, seed: u64) -> TraceIter {
     // Reuse the backbone generator but overwrite timing with a bursty
     // clock: the caller gets packets whose inter-arrival gap shrinks by
     // `burst_factor` inside burst windows.
@@ -308,9 +319,18 @@ mod tests {
 
     #[test]
     fn univ1_like_has_fewer_flows_than_caida() {
-        let caida_flows = caida_like(20_000, 3).map(|p| p.flow()).collect::<std::collections::HashSet<_>>().len();
-        let univ_flows = univ1_like(20_000, 3).map(|p| p.flow()).collect::<std::collections::HashSet<_>>().len();
-        assert!(univ_flows * 2 < caida_flows, "univ={univ_flows} caida={caida_flows}");
+        let caida_flows = caida_like(20_000, 3)
+            .map(|p| p.flow())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let univ_flows = univ1_like(20_000, 3)
+            .map(|p| p.flow())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(
+            univ_flows * 2 < caida_flows,
+            "univ={univ_flows} caida={caida_flows}"
+        );
     }
 
     #[test]
@@ -326,7 +346,10 @@ mod tests {
     fn random_stream_is_uniformish() {
         let vals: Vec<u64> = random_u64_stream(10_000, 9).collect();
         let above = vals.iter().filter(|&&v| v > u64::MAX / 2).count();
-        assert!((above as i64 - 5000).abs() < 300, "above-median count {above}");
+        assert!(
+            (above as i64 - 5000).abs() < 300,
+            "above-median count {above}"
+        );
     }
 
     #[test]
@@ -345,7 +368,10 @@ mod tests {
         }
         let mean = trace.len() as u64 / n_slices as u64;
         let peak = *counts.iter().max().unwrap();
-        assert!(peak > 5 * mean, "no burst visible: peak {peak} vs mean {mean}");
+        assert!(
+            peak > 5 * mean,
+            "no burst visible: peak {peak} vs mean {mean}"
+        );
     }
 
     #[test]

@@ -69,9 +69,7 @@ impl FlowKey {
     /// Folds the 5-tuple into a single well-mixed 64-bit word.
     pub fn as_u64(&self) -> u64 {
         let a = ((self.src_ip as u64) << 32) | self.dst_ip as u64;
-        let b = ((self.src_port as u64) << 48)
-            | ((self.dst_port as u64) << 32)
-            | self.proto as u64;
+        let b = ((self.src_port as u64) << 48) | ((self.dst_port as u64) << 32) | self.proto as u64;
         hash::mix64(a ^ hash::mix64(b))
     }
 }

@@ -29,7 +29,10 @@ impl ZipfSampler {
     pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
         assert!(n > 0, "support must be non-empty");
         assert!(n <= u32::MAX as usize, "support too large");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
         let weights: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-alpha)).collect();
         Self::from_weights(&weights, seed)
     }
@@ -77,7 +80,11 @@ impl ZipfSampler {
             prob[i as usize] = u64::MAX;
             alias[i as usize] = i;
         }
-        ZipfSampler { prob, alias, rng: SplitMix64::new(seed) }
+        ZipfSampler {
+            prob,
+            alias,
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Support size.
@@ -136,7 +143,10 @@ mod tests {
         // Monotone decreasing in expectation: compare decile sums.
         let head: u32 = counts[..100].iter().sum();
         let tail: u32 = counts[900..].iter().sum();
-        assert!(head > 10 * tail, "head {head} not dominant over tail {tail}");
+        assert!(
+            head > 10 * tail,
+            "head {head} not dominant over tail {tail}"
+        );
     }
 
     #[test]

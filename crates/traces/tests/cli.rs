@@ -13,7 +13,11 @@ fn gen_then_stats_roundtrip() {
         .args(["gen", "caida16", "2000", "7"])
         .output()
         .expect("run gen");
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     let csv = gen.stdout;
     assert!(csv.starts_with(b"src_ip,"), "missing header");
 
@@ -33,7 +37,10 @@ fn gen_then_stats_roundtrip() {
 
 #[test]
 fn topflows_lists_requested_count() {
-    let gen = trace_tools().args(["gen", "univ1", "3000", "3"]).output().unwrap();
+    let gen = trace_tools()
+        .args(["gen", "univ1", "3000", "3"])
+        .output()
+        .unwrap();
     let mut top = trace_tools()
         .args(["topflows", "5"])
         .stdin(Stdio::piped())
@@ -49,7 +56,10 @@ fn topflows_lists_requested_count() {
 
 #[test]
 fn unknown_profile_fails_cleanly() {
-    let out = trace_tools().args(["gen", "nonsense", "10"]).output().unwrap();
+    let out = trace_tools()
+        .args(["gen", "nonsense", "10"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
 }

@@ -12,7 +12,10 @@ fn main() {
     let q = 10_000;
     let c = 0.75;
     let trace = arc_like(2_000_000, 200_000, 5);
-    println!("trace: {} requests over a 200k-key working set", trace.len());
+    println!(
+        "trace: {} requests over a 200k-key working set",
+        trace.len()
+    );
     println!("cache: q = {q}, LRFU decay c = {c}\n");
     println!("{:<34} {:>9} {:>12}", "policy", "hit%", "Mreq/s");
 

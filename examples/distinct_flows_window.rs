@@ -20,7 +20,10 @@ fn main() {
     let mut window: VecDeque<u64> = VecDeque::new();
 
     println!("estimating distinct flows over the last {w} packets (q = {q})\n");
-    println!("{:>10} {:>12} {:>12} {:>8}", "packet#", "estimate", "true", "err");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "packet#", "estimate", "true", "err"
+    );
     for (i, p) in packets.iter().enumerate() {
         let key = p.flow().as_u64();
         cd.observe(key);

@@ -37,7 +37,12 @@ fn main() {
     println!("busiest 100 us slices (mean slice = {:.0} bytes):", mean);
     println!("{:>12} {:>14} {:>8}", "t (us)", "bytes", "x mean");
     for &(i, bytes) in slices.iter().take(8) {
-        println!("{:>12} {:>14.0} {:>7.1}x", i * slice_ns / 1_000, bytes, bytes / mean);
+        println!(
+            "{:>12} {:>14.0} {:>7.1}x",
+            i * slice_ns / 1_000,
+            bytes,
+            bytes / mean
+        );
     }
 
     // The bursts sit at multiples of the burst period — verify the

@@ -38,7 +38,9 @@ fn main() {
     // NMP hook.
     let mut fabric = LeafSpine::new(leaves, spines);
     let mut hooks: Vec<NmpHook> = (0..leaves + spines)
-        .map(|_| NmpHook { nmp: Nmp::new(AmortizedQMax::new(q, 0.25)) })
+        .map(|_| NmpHook {
+            nmp: Nmp::new(AmortizedQMax::new(q, 0.25)),
+        })
         .collect();
     for p in &packets {
         fabric.route(p, &mut hooks);
@@ -51,8 +53,7 @@ fn main() {
         fabric.total_hops()
     );
 
-    let reports: Vec<Vec<SampledPacket>> =
-        hooks.iter_mut().map(|h| h.nmp.report()).collect();
+    let reports: Vec<Vec<SampledPacket>> = hooks.iter_mut().map(|h| h.nmp.report()).collect();
     let controller = Controller::new(q);
     let sample = controller.merge(&reports);
     println!(
@@ -64,7 +65,10 @@ fn main() {
 
     let hh = controller.heavy_hitters(&sample, 0.01);
     println!("\nflows above 1% of traffic:");
-    println!("{:<22} {:>12} {:>12} {:>8}", "flow", "estimated", "true", "err");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "flow", "estimated", "true", "err"
+    );
     for (flow, est) in hh.iter().take(10) {
         let t = truth.get(&flow.as_u64()).copied().unwrap_or(0);
         let err = (est - t as f64).abs() / t.max(1) as f64;

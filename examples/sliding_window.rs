@@ -14,7 +14,10 @@ fn main() {
     let tau = 0.01;
     let n = 20_000_000;
     println!("stream: {n} random values; window W = {w}, slack tau = {tau}, q = {q}\n");
-    println!("{:<14} {:>10} {:>12} {:>14}", "variant", "Mupd/s", "query (ms)", "stored items");
+    println!(
+        "{:<14} {:>10} {:>12} {:>14}",
+        "variant", "Mupd/s", "query (ms)", "stored items"
+    );
 
     run("basic", BasicSlackQMax::new(q, 0.25, w, tau), n);
     run("hier (c=2)", HierSlackQMax::new(q, 0.25, w, tau, 2), n);

@@ -29,7 +29,10 @@ impl<Q: QMax<qmax_apps::WeightedKey, OrderedF64>> MeasurementHook for SamplingHo
 
 fn main() {
     let q = 1_000_000;
-    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let rate = LineRate {
+        gbps: 10.0,
+        frame_bytes: 64,
+    };
     let packets: Vec<_> = caida_like(3_000_000, 11).collect();
     println!(
         "10G line rate at 64B frames: {:.2} Mpps, {:.1} ns/packet budget",
@@ -37,7 +40,10 @@ fn main() {
         rate.budget_ns()
     );
     println!("q = {q}, trace = {} packets\n", packets.len());
-    println!("{:<26} {:>10} {:>12} {:>10}", "hook", "ns/pkt", "achieved", "of line");
+    println!(
+        "{:<26} {:>10} {:>12} {:>10}",
+        "hook", "ns/pkt", "achieved", "of line"
+    );
 
     report("vanilla (no measurement)", {
         let mut sw = Switch::new(8);
@@ -53,7 +59,10 @@ fn main() {
     });
     report("priority-sampling/heap", {
         let mut sw = Switch::new(8);
-        let mut hook = SamplingHook { ps: PrioritySampling::new(HeapQMax::new(q), 1), label: "heap" };
+        let mut hook = SamplingHook {
+            ps: PrioritySampling::new(HeapQMax::new(q), 1),
+            label: "heap",
+        };
         evaluate_throughput(&mut sw, &mut hook, &packets, rate)
     });
     report("priority-sampling/skiplist", {

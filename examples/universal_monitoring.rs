@@ -31,7 +31,11 @@ fn main() {
     for &k in &keys {
         um.observe(k);
     }
-    println!("trace: {} packets, {} distinct flows", keys.len(), truth.len());
+    println!(
+        "trace: {} packets, {} distinct flows",
+        keys.len(),
+        truth.len()
+    );
     println!(
         "sketch: {} levels x (5 x 4096 CountSketch + 128-entry q-MAX tracker)\n",
         um.levels()
@@ -40,7 +44,10 @@ fn main() {
     println!("top flows (level-0 heavy hitters):");
     println!("{:<20} {:>10} {:>10}", "flow", "estimate", "true");
     for (key, est) in um.level_heavy_hitters(0).into_iter().take(8) {
-        println!("{key:<20x} {est:>10.0} {:>10}", truth.get(&key).copied().unwrap_or(0));
+        println!(
+            "{key:<20x} {est:>10.0} {:>10}",
+            truth.get(&key).copied().unwrap_or(0)
+        );
     }
 
     let est_entropy = um.estimate_entropy();

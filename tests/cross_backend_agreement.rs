@@ -2,9 +2,8 @@
 //! set on the same workload — random numbers and realistic packet
 //! traces alike.
 
-use qmax_core::{
-    AmortizedQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax, SortedVecQMax,
-};
+use qmax_core::{AmortizedQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax, SortedVecQMax};
+use qmax_engine::ShardedQMax;
 use qmax_traces::gen::{caida_like, random_u64_stream, univ1_like};
 
 fn top_vals(qm: &mut dyn QMax<u32, u64>) -> Vec<u64> {
@@ -23,6 +22,11 @@ fn check_agreement(stream: &[u64], q: usize) {
         Box::new(SkipListQMax::new(q)),
         Box::new(SortedVecQMax::new(q)),
     ];
+    // The sharded engine must agree with the single-shard backends:
+    // merge-on-query makes partitioning invisible to the caller.
+    for shards in [1usize, 2, 4] {
+        backends.push(Box::new(ShardedQMax::<u32, u64>::new(q, 0.25, shards)));
+    }
     for qm in &mut backends {
         for (i, &v) in stream.iter().enumerate() {
             qm.insert(i as u32, v);

@@ -3,9 +3,10 @@
 //! degenerate value distributions, and extreme parameters.
 
 use qmax_core::{
-    AmortizedQMax, BasicSlackQMax, DedupQMax, DeamortizedQMax, HeapQMax, HierSlackQMax,
+    AmortizedQMax, BasicSlackQMax, DeamortizedQMax, DedupQMax, HeapQMax, HierSlackQMax,
     IndexedHeapQMax, KeyedSkipListQMax, LazySlackQMax, QMax, SkipListQMax, SortedVecQMax,
 };
+use qmax_engine::ShardedQMax;
 use qmax_lrfu::{Cache, DeamortizedLrfu, HeapLrfu, QMaxLrfu, ScanLrfu};
 
 fn all_backends(q: usize) -> Vec<Box<dyn QMax<u32, u64>>> {
@@ -21,6 +22,8 @@ fn all_backends(q: usize) -> Vec<Box<dyn QMax<u32, u64>>> {
         Box::new(BasicSlackQMax::new(q, 0.5, 1000, 0.25)),
         Box::new(HierSlackQMax::new(q, 0.5, 1000, 0.25, 2)),
         Box::new(LazySlackQMax::new(q, 0.5, 1000, 0.25, 2)),
+        Box::new(ShardedQMax::<u32, u64>::new(q, 0.5, 1)),
+        Box::new(ShardedQMax::<u32, u64>::new(q, 0.5, 4)),
     ]
 }
 
@@ -105,6 +108,7 @@ fn monotone_decreasing_values_keep_the_head() {
         Box::new(SortedVecQMax::new(3)),
         Box::new(IndexedHeapQMax::new(3)),
         Box::new(KeyedSkipListQMax::new(3)),
+        Box::new(ShardedQMax::<u32, u64>::new(3, 0.5, 2)),
     ];
     for mut qm in backends {
         for (i, v) in (0u64..2000).rev().enumerate() {
@@ -126,6 +130,43 @@ fn extreme_values_do_not_wrap() {
         let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
         got.sort_unstable();
         assert_eq!(got, vec![u64::MAX - 1, u64::MAX], "{}", qm.name());
+    }
+}
+
+#[test]
+fn threshold_is_monotone_on_ascending_streams() {
+    // On an ascending stream every item is admitted, so the admission
+    // threshold Ψ must rise monotonically once q items have arrived.
+    // Window structures are excluded: expiry legitimately lowers Ψ.
+    let backends: Vec<Box<dyn QMax<u32, u64>>> = vec![
+        Box::new(AmortizedQMax::new(8, 0.5)),
+        Box::new(DeamortizedQMax::new(8, 0.5)),
+        Box::new(DedupQMax::new(8, 0.5)),
+        Box::new(HeapQMax::new(8)),
+        Box::new(SkipListQMax::new(8)),
+        Box::new(SortedVecQMax::new(8)),
+        Box::new(IndexedHeapQMax::new(8)),
+        Box::new(KeyedSkipListQMax::new(8)),
+        Box::new(ShardedQMax::<u32, u64>::new(8, 0.5, 1)),
+        Box::new(ShardedQMax::<u32, u64>::new(8, 0.5, 4)),
+    ];
+    for mut qm in backends {
+        let mut last: Option<u64> = None;
+        for v in 0u64..3000 {
+            qm.insert(v as u32, v);
+            let t = qm.threshold();
+            if let (Some(prev), Some(now)) = (last, t) {
+                assert!(
+                    now >= prev,
+                    "{}: Ψ fell from {prev} to {now} at v={v}",
+                    qm.name()
+                );
+            }
+            if t.is_some() {
+                last = t;
+            }
+        }
+        assert!(last.is_some(), "{} never reported a threshold", qm.name());
     }
 }
 

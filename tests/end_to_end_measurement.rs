@@ -38,7 +38,10 @@ fn switch_pipeline_feeds_network_wide_controller() {
             distinct: CountDistinct::new(AmortizedQMax::new(512, 0.5), 5),
         })
         .collect();
-    let rate = LineRate { gbps: 10.0, frame_bytes: 64 };
+    let rate = LineRate {
+        gbps: 10.0,
+        frame_bytes: 64,
+    };
     let mut sw0 = Switch::new(4);
     let mut sw1 = Switch::new(4);
     let third = packets.len() / 3;
@@ -47,14 +50,17 @@ fn switch_pipeline_feeds_network_wide_controller() {
     assert!(r0.achieved_mpps > 0.0 && r1.achieved_mpps > 0.0);
 
     // Controller merges the two switches' samples.
-    let reports: Vec<Vec<SampledPacket>> =
-        stacks.iter_mut().map(|s| s.nmp.report()).collect();
+    let reports: Vec<Vec<SampledPacket>> = stacks.iter_mut().map(|s| s.nmp.report()).collect();
     let controller = Controller::new(q);
     let sample = controller.merge(&reports);
     // Every packet was observed at least once; the estimate must track
     // the distinct packet count.
     let rel = (sample.total_estimate - packets.len() as f64).abs() / packets.len() as f64;
-    assert!(rel < 0.2, "total estimate {} rel err {rel}", sample.total_estimate);
+    assert!(
+        rel < 0.2,
+        "total estimate {} rel err {rel}",
+        sample.total_estimate
+    );
 
     // Heavy hitters from the merged sample vs ground truth.
     let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -90,18 +96,26 @@ fn priority_sampling_estimates_byte_volumes_through_the_switch() {
             self.ps.observe(packet_id, len as f64);
         }
     }
-    let mut hook = PsHook { ps: PrioritySampling::new(AmortizedQMax::new(4_000, 0.5), 2) };
+    let mut hook = PsHook {
+        ps: PrioritySampling::new(AmortizedQMax::new(4_000, 0.5), 2),
+    };
     let mut sw = Switch::new(4);
     evaluate_throughput(
         &mut sw,
         &mut hook,
         &packets,
-        LineRate { gbps: 10.0, frame_bytes: 64 },
+        LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        },
     );
     let est = hook.ps.estimate_subset(|_| true);
     let truth: f64 = packets.iter().map(|p| p.len as f64).sum();
     let rel = (est - truth).abs() / truth;
-    assert!(rel < 0.1, "byte-volume estimate {est} vs {truth} (rel {rel})");
+    assert!(
+        rel < 0.1,
+        "byte-volume estimate {est} vs {truth} (rel {rel})"
+    );
     // The switch itself must have forwarded everything exactly once.
     assert_eq!(sw.stats().packets as usize, packets.len());
 }
@@ -118,7 +132,10 @@ fn distinct_flows_via_hook_matches_truth() {
         &mut sw,
         &mut stack,
         &packets,
-        LineRate { gbps: 10.0, frame_bytes: 64 },
+        LineRate {
+            gbps: 10.0,
+            frame_bytes: 64,
+        },
     );
     let truth = packets
         .iter()

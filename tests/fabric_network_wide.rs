@@ -29,7 +29,9 @@ fn run_fabric(
 ) -> (Vec<Vec<SampledPacket>>, u64) {
     let mut fabric = LeafSpine::new(leaves, spines);
     let mut hooks: Vec<NmpHook> = (0..instrumented)
-        .map(|_| NmpHook { nmp: Nmp::new(AmortizedQMax::new(q, 0.5)) })
+        .map(|_| NmpHook {
+            nmp: Nmp::new(AmortizedQMax::new(q, 0.5)),
+        })
         .collect();
     for p in packets {
         fabric.route(p, &mut hooks);
@@ -43,7 +45,10 @@ fn full_instrumentation_counts_every_packet_once() {
     let packets: Vec<Packet> = caida_like(100_000, 5).collect();
     let q = 2_000;
     let (reports, hops) = run_fabric(&packets, 4, 2, q, 6);
-    assert!(hops > packets.len() as u64, "fabric produced no multi-hop paths");
+    assert!(
+        hops > packets.len() as u64,
+        "fabric produced no multi-hop paths"
+    );
     let ctl = Controller::new(q);
     let sample = ctl.merge(&reports);
     // No duplicate packets despite multi-switch observation.
@@ -70,7 +75,11 @@ fn partial_deployment_estimates_its_coverage() {
     let ctl = Controller::new(q);
     let sample = ctl.merge(&reports);
     let rel = (sample.total_estimate - packets.len() as f64).abs() / packets.len() as f64;
-    assert!(rel < 0.15, "leaf-only estimate {} (rel {rel})", sample.total_estimate);
+    assert!(
+        rel < 0.15,
+        "leaf-only estimate {} (rel {rel})",
+        sample.total_estimate
+    );
 }
 
 #[test]

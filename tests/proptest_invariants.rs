@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use qmax_core::{
-    AmortizedQMax, BasicSlackQMax, DedupQMax, DeamortizedQMax, HeapQMax, QMax, SkipListQMax,
+    AmortizedQMax, BasicSlackQMax, DeamortizedQMax, DedupQMax, HeapQMax, QMax, SkipListQMax,
 };
 use qmax_select::{nth_smallest, Direction, MachineStatus, NthElementMachine};
 use std::collections::HashMap;
@@ -175,6 +175,67 @@ proptest! {
             let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
             got.sort_unstable();
             prop_assert_eq!(got, reference_top_q(chunk, q));
+        }
+    }
+}
+
+// The worst-case guarantees get a deeper sweep: these are the paper's
+// headline de-amortization claims, so run them at 256 cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// De-amortization contract: no insert sequence ever forces a
+    /// blocking completion of the background selection, and no single
+    /// insert performs more than the per-step operation budget
+    /// `⌈WORK_BOUND_FACTOR·(q+g)/g⌉ + WORK_BOUND_FACTOR` (the
+    /// structure's published worst-case O(γ⁻¹) bound), plus one
+    /// indivisible selection step of at most 32 ops — the same slack
+    /// the structure's own unit test documents.
+    #[test]
+    fn deamortized_work_bound_holds(
+        vals in prop::collection::vec(any::<u64>(), 1..3000),
+        q in 1usize..64,
+        gamma_pct in 3usize..250,
+    ) {
+        let gamma = gamma_pct as f64 / 100.0;
+        let mut qm = DeamortizedQMax::new(q, gamma);
+        for (i, &v) in vals.iter().enumerate() {
+            qm.insert(i as u32, v);
+        }
+        let stats = qm.stats();
+        prop_assert_eq!(
+            stats.forced_completions, 0,
+            "q={} gamma={} forced a blocking completion", q, gamma
+        );
+        prop_assert!(
+            stats.max_step_ops <= qm.step_budget() as u64 + 32,
+            "q={} gamma={}: max_step_ops {} exceeds budget {}",
+            q, gamma, stats.max_step_ops, qm.step_budget()
+        );
+    }
+
+    /// The suspendable selection machine agrees with the standard
+    /// library's `select_nth_unstable` on duplicate-heavy slices: the
+    /// k-th element matches and the slice is three-way partitioned.
+    #[test]
+    fn machine_matches_std_select_nth(
+        mut vals in prop::collection::vec(0u32..16, 1..600),
+        k_seed in any::<u64>(),
+        budget in 1usize..128,
+    ) {
+        let n = vals.len();
+        let k = (k_seed as usize) % n;
+        let mut by_std = vals.clone();
+        let (_, &mut expect, _) = by_std.select_nth_unstable(k);
+        let mut m = NthElementMachine::new(0, n, k, Direction::Ascending);
+        while m.step(&mut vals, budget) == MachineStatus::InProgress {}
+        prop_assert_eq!(m.result_index(), Some(k));
+        prop_assert_eq!(vals[k], expect, "order statistic diverged at k={}", k);
+        for &v in &vals[..k] {
+            prop_assert!(v <= vals[k]);
+        }
+        for &v in &vals[k + 1..] {
+            prop_assert!(v >= vals[k]);
         }
     }
 }

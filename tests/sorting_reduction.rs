@@ -9,8 +9,12 @@ use qmax_traces::rng::SplitMix64;
 /// Sorts `input` descending using only a q-MAX: query the top-q,
 /// remove them from consideration by re-feeding the rest, repeat.
 fn sort_desc_via_qmax(input: &[u64], q: usize) -> Vec<u64> {
-    let mut remaining: Vec<(u32, u64)> =
-        input.iter().copied().enumerate().map(|(i, v)| (i as u32, v)).collect();
+    let mut remaining: Vec<(u32, u64)> = input
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (i as u32, v))
+        .collect();
     let mut out = Vec::with_capacity(input.len());
     while !remaining.is_empty() {
         let mut qm = DeamortizedQMax::new(q, 0.5);
@@ -19,8 +23,7 @@ fn sort_desc_via_qmax(input: &[u64], q: usize) -> Vec<u64> {
         }
         let mut batch = qm.query();
         batch.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let taken: std::collections::HashSet<u32> =
-            batch.iter().map(|&(id, _)| id).collect();
+        let taken: std::collections::HashSet<u32> = batch.iter().map(|&(id, _)| id).collect();
         out.extend(batch.iter().map(|&(_, v)| v));
         remaining.retain(|&(id, _)| !taken.contains(&id));
     }

@@ -46,9 +46,8 @@ fn windowed_sample_tracks_the_traffic_shift() {
     // Window = last quarter of the trace's duration.
     let window_ns = horizon / 4;
     let mut windowed = TimedNmp::new(q, 0.5, window_ns, 0.25);
-    let mut interval = Nmp::<AmortizedQMax<SampledPacket, Minimal<u64>>>::new(
-        AmortizedQMax::new(q, 0.5),
-    );
+    let mut interval =
+        Nmp::<AmortizedQMax<SampledPacket, Minimal<u64>>>::new(AmortizedQMax::new(q, 0.5));
     for p in &packets {
         windowed.observe(p);
         interval.observe(p);
@@ -60,7 +59,10 @@ fn windowed_sample_tracks_the_traffic_shift() {
     let wsample = ctl.merge(&[windowed.report_at(horizon)]);
     let whh = ctl.heavy_hitters(&wsample, 0.2);
     assert!(!whh.is_empty(), "no windowed heavy hitter found");
-    assert_eq!(whh[0].0, flow_b, "windowed view must rank the new flow first");
+    assert_eq!(
+        whh[0].0, flow_b,
+        "windowed view must rank the new flow first"
+    );
     assert!(
         !whh.iter().any(|(f, _)| *f == flow_a),
         "expired heavy hitter still reported in the windowed view"
@@ -70,12 +72,21 @@ fn windowed_sample_tracks_the_traffic_shift() {
     let isample = ctl.merge(&[interval.report()]);
     let ihh = ctl.heavy_hitters(&isample, 0.15);
     let iflows: Vec<FlowKey> = ihh.iter().map(|&(f, _)| f).collect();
-    assert!(iflows.contains(&flow_a), "interval view lost the old heavy hitter");
-    assert!(iflows.contains(&flow_b), "interval view missed the new heavy hitter");
+    assert!(
+        iflows.contains(&flow_a),
+        "interval view lost the old heavy hitter"
+    );
+    assert!(
+        iflows.contains(&flow_b),
+        "interval view missed the new heavy hitter"
+    );
 
     // Windowed total estimate ~ packets within the window, not the
     // whole trace.
-    let in_window = packets.iter().filter(|p| p.ts_ns + window_ns >= horizon).count() as f64;
+    let in_window = packets
+        .iter()
+        .filter(|p| p.ts_ns + window_ns >= horizon)
+        .count() as f64;
     let rel = (wsample.total_estimate - in_window).abs() / in_window;
     assert!(
         rel < 0.35,

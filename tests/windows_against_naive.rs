@@ -14,7 +14,11 @@ struct NaiveWindow {
 
 impl NaiveWindow {
     fn new(q: usize, w: usize) -> Self {
-        NaiveWindow { w, q, items: VecDeque::new() }
+        NaiveWindow {
+            w,
+            q,
+            items: VecDeque::new(),
+        }
     }
 
     fn insert(&mut self, v: u64) {
@@ -116,4 +120,3 @@ fn lazy_window_keeps_the_maximum_alive() {
         }
     }
 }
-
