@@ -10,4 +10,5 @@ pub mod lrfu;
 pub mod micro;
 pub mod ovs;
 pub mod sharded;
+pub mod soa;
 pub mod windows;

@@ -1,7 +1,7 @@
 //! Amortized-constant-time q-MAX (Algorithm 1 with lazy compaction).
 
 use crate::entry::Entry;
-use crate::traits::QMax;
+use crate::traits::{BatchInsert, QMax};
 use qmax_select::nth_smallest;
 
 /// q-MAX with **amortized** `O(1)` update time and `⌈q(1+γ)⌉` space.
@@ -112,6 +112,7 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
 }
 
 impl<I: Clone, V: Ord + Clone> QMax<I, V> for AmortizedQMax<I, V> {
+    #[inline]
     fn insert(&mut self, id: I, val: V) -> bool {
         if let Some(t) = &self.threshold {
             if val <= *t {
@@ -145,16 +146,28 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for AmortizedQMax<I, V> {
         self.q
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.buf.len()
     }
 
+    #[inline]
     fn threshold(&self) -> Option<V> {
         self.threshold.clone()
     }
 
     fn name(&self) -> &'static str {
         "qmax-amortized"
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for AmortizedQMax<I, V> {
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut admitted = 0;
+        for (id, val) in items {
+            admitted += usize::from(self.insert(id.clone(), val.clone()));
+        }
+        admitted
     }
 }
 

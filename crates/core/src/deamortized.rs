@@ -2,7 +2,7 @@
 //! compaction).
 
 use crate::entry::Entry;
-use crate::traits::QMax;
+use crate::traits::{BatchInsert, QMax};
 use qmax_select::{nth_smallest, Direction, NthElementMachine, WORK_BOUND_FACTOR};
 
 /// Counters describing the de-amortized execution; used by the ablation
@@ -209,6 +209,7 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
 }
 
 impl<I: Clone, V: Ord + Clone> QMax<I, V> for DeamortizedQMax<I, V> {
+    #[inline]
     fn insert(&mut self, id: I, val: V) -> bool {
         if let Some(t) = &self.threshold {
             if val <= *t {
@@ -292,6 +293,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for DeamortizedQMax<I, V> {
         self.q
     }
 
+    #[inline]
     fn len(&self) -> usize {
         if self.filling {
             self.buf.len()
@@ -300,12 +302,23 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for DeamortizedQMax<I, V> {
         }
     }
 
+    #[inline]
     fn threshold(&self) -> Option<V> {
         self.threshold.clone()
     }
 
     fn name(&self) -> &'static str {
         "qmax-deamortized"
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for DeamortizedQMax<I, V> {
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut admitted = 0;
+        for (id, val) in items {
+            admitted += usize::from(self.insert(id.clone(), val.clone()));
+        }
+        admitted
     }
 }
 

@@ -1,7 +1,7 @@
 //! A from-scratch binary min-heap and the heap-based q-MAX baseline.
 
 use crate::entry::Entry;
-use crate::traits::QMax;
+use crate::traits::{BatchInsert, QMax};
 
 /// A binary min-heap (smallest element at the root).
 ///
@@ -200,6 +200,16 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HeapQMax<I, V> {
 
     fn name(&self) -> &'static str {
         "heap"
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for HeapQMax<I, V> {
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut admitted = 0;
+        for (id, val) in items {
+            admitted += usize::from(self.insert(id.clone(), val.clone()));
+        }
+        admitted
     }
 }
 

@@ -18,6 +18,10 @@
 //!   into `O(γ⁻¹)`-operation steps interleaved with arrivals using the
 //!   suspendable selection machine from [`qmax_select`], yielding an
 //!   `O(γ⁻¹)` **worst-case** update time.
+//! * [`SoaAmortizedQMax`], [`SoaDeamortizedQMax`] — structure-of-arrays
+//!   twins of the two variants above for `Copy` primitive ids/values:
+//!   split `vals`/`ids` lanes, a branchless chunked Ψ-filter for
+//!   [`BatchInsert::insert_batch`], and value-only selection kernels.
 //! * [`HeapQMax`], [`SkipListQMax`], [`SortedVecQMax`] — the classical
 //!   `O(log q)` (or worse) baselines the paper compares against, built
 //!   from scratch on our own [`heap::MinHeap`] and [`skiplist::SkipList`].
@@ -53,6 +57,7 @@ mod exp_decay;
 pub mod heap;
 pub mod indexed_heap;
 pub mod skiplist;
+mod soa;
 mod sorted_vec;
 mod time_window;
 mod traits;
@@ -66,7 +71,8 @@ pub use exp_decay::ExpDecayQMax;
 pub use heap::HeapQMax;
 pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};
 pub use skiplist::{KeyedSkipListQMax, SkipListQMax};
+pub use soa::{SoaAmortizedQMax, SoaDeamortizedQMax};
 pub use sorted_vec::SortedVecQMax;
 pub use time_window::TimeSlackQMax;
-pub use traits::QMax;
+pub use traits::{BatchInsert, QMax};
 pub use window::{BasicSlackQMax, HierSlackQMax, LazySlackQMax};

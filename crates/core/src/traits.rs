@@ -49,6 +49,23 @@ pub trait QMax<I, V> {
     fn name(&self) -> &'static str;
 }
 
+/// Bulk insertion for [`QMax`] structures.
+///
+/// `insert_batch` is semantically identical to inserting the items one by
+/// one in order — same admissions, same final state — but lets an
+/// implementation amortize per-call overhead and use cache-friendly
+/// kernels over the whole slice. The structure-of-arrays backends
+/// ([`crate::SoaAmortizedQMax`], [`crate::SoaDeamortizedQMax`]) exploit
+/// this with a branchless chunked Ψ-filter; the generic impls simply
+/// loop.
+pub trait BatchInsert<I, V>: QMax<I, V> {
+    /// Offers every item of `items` to the structure, in order.
+    ///
+    /// Returns the number of items admitted into the candidate set (the
+    /// rest were dropped by the admission filter).
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize;
+}
+
 impl<I, V, Q: QMax<I, V> + ?Sized> QMax<I, V> for Box<Q> {
     fn insert(&mut self, id: I, val: V) -> bool {
         (**self).insert(id, val)
@@ -76,5 +93,11 @@ impl<I, V, Q: QMax<I, V> + ?Sized> QMax<I, V> for Box<Q> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+impl<I, V, Q: BatchInsert<I, V> + ?Sized> BatchInsert<I, V> for Box<Q> {
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        (**self).insert_batch(items)
     }
 }

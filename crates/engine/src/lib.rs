@@ -10,12 +10,20 @@
 //!   hash-partitioned over shards ([`ShardKey`]), so each shard sees a
 //!   disjoint sub-stream, exactly like RSS spreading flows over PMD
 //!   threads.
-//! * **Batched hot path** — [`ShardedQMax::insert_batch`] caches each
-//!   shard's admission threshold Ψ in a register and drops sub-threshold
-//!   items with a single compare, only paying the full insert (and the
-//!   threshold refresh) for admitted items. Since Ψ only rises, a cached
-//!   Ψ is always a safe under-approximation: the pre-filter never drops
-//!   an item the shard would have admitted.
+//! * **Batched hot path** — [`ShardedQMax::insert_batch`] snapshots each
+//!   shard's admission threshold Ψ once per call and drops sub-threshold
+//!   items with a single compare, routing the survivors into per-shard
+//!   runs handed to each backend as one [`BatchInsert`] batch. Since Ψ
+//!   only rises, the snapshot is always a safe under-approximation: the
+//!   pre-filter never drops an item the shard would have admitted, and
+//!   the shard re-checks its exact Ψ internally.
+//! * **Structure-of-arrays shards** — [`ShardedQMax::new_soa`] (and
+//!   `new_soa_amortized`) build shards from the split-lane
+//!   [`qmax_core::SoaDeamortizedQMax`] /
+//!   [`qmax_core::SoaAmortizedQMax`] backends: branchless batch
+//!   admission and value-only selection kernels for `Copy` primitive
+//!   ids/values, the hot-loop constant the paper's throughput argument
+//!   rests on.
 //! * **Merge on query** — each shard retains its local top-`q`; any
 //!   global top-`q` item is beaten by at most `q − 1` items globally, so
 //!   certainly by at most `q − 1` within its own shard. The union of the
@@ -57,4 +65,6 @@ pub use driver::{DriverConfig, DriverReport};
 pub use shard_key::ShardKey;
 pub use sharded::ShardedQMax;
 
-pub use qmax_core::{DeamortizedQMax, DeamortizedStats, QMax};
+pub use qmax_core::{
+    BatchInsert, DeamortizedQMax, DeamortizedStats, QMax, SoaAmortizedQMax, SoaDeamortizedQMax,
+};

@@ -1,7 +1,10 @@
 //! The sharded q-MAX reservoir.
 
 use crate::shard_key::ShardKey;
-use qmax_core::{DeamortizedQMax, DeamortizedStats, Entry, QMax};
+use qmax_core::{
+    BatchInsert, DeamortizedQMax, DeamortizedStats, Entry, QMax, SoaAmortizedQMax,
+    SoaDeamortizedQMax,
+};
 use qmax_select::nth_smallest;
 use qmax_traces::hash;
 use std::marker::PhantomData;
@@ -190,32 +193,106 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
     /// Batched hot path: inserts a batch, pre-filtering against each
     /// shard's cached admission threshold Ψ before touching the shard.
     ///
-    /// Ψ is monotone non-decreasing, so the cache (refreshed only after
-    /// an admitted insert, the only event that can raise it) is always a
-    /// safe under-approximation — the pre-filter drops exactly the items
-    /// the shard itself would have filtered, at the cost of one compare
-    /// instead of a backend call. Returns the number of admitted items.
+    /// The Ψ load is hoisted out of the per-item loop: each shard's
+    /// threshold is read **once per call**, and the routing loop only
+    /// compares against that snapshot. Ψ can rise mid-batch (a shard
+    /// compaction), but re-reading it per item buys nothing for
+    /// correctness — the snapshot is a safe under-approximation (Ψ is
+    /// monotone non-decreasing, so the pre-filter drops only items the
+    /// shard itself would have filtered) and every shard re-checks its
+    /// own exact, current Ψ inside [`BatchInsert::insert_batch`]. The
+    /// next call picks up whatever the compactions raised.
+    ///
+    /// Survivors are routed into per-shard runs and handed to each
+    /// backend as one contiguous batch, so a structure-of-arrays backend
+    /// (see [`ShardedQMax::new_soa`]) can run its branchless filter over
+    /// the whole run. Returns the number of admitted items.
     pub fn insert_batch(&mut self, items: &[(I, V)]) -> usize
     where
         I: ShardKey + Clone,
         V: Ord + Clone,
+        B: BatchInsert<I, V>,
     {
-        let mut psi: Vec<Option<V>> = self.shards.iter().map(|s| s.threshold()).collect();
-        let mut admitted = 0usize;
+        if self.shards.len() == 1 {
+            // Single shard: routing and pre-filtering are pure overhead;
+            // the backend's own admission filter sees the batch whole.
+            return self.shards[0].insert_batch(items);
+        }
+        let router = self.router();
+        let psi: Vec<Option<V>> = self.shards.iter().map(|s| s.threshold()).collect();
+        let mut runs: Vec<Vec<(I, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (id, val) in items {
-            let s = self.shard_of(id);
+            let s = router.route(id);
             if let Some(t) = &psi[s] {
                 if val <= t {
                     self.prefiltered += 1;
                     continue;
                 }
             }
-            if self.shards[s].insert(id.clone(), val.clone()) {
-                admitted += 1;
-                psi[s] = self.shards[s].threshold();
+            runs[s].push((id.clone(), val.clone()));
+        }
+        let mut admitted = 0usize;
+        for (s, run) in runs.iter().enumerate() {
+            if !run.is_empty() {
+                admitted += self.shards[s].insert_batch(run);
             }
         }
         admitted
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaDeamortizedQMax<I, V>> {
+    /// Creates `shards` structure-of-arrays de-amortized shards
+    /// ([`SoaDeamortizedQMax`]) tracking the global top-`q` with
+    /// space-slack `gamma`.
+    ///
+    /// Behaviorally identical to [`ShardedQMax::new`]; the difference is
+    /// the per-shard layout — split `vals`/`ids` lanes with a branchless
+    /// batch admission filter and value-only selection kernels — which
+    /// pays off for `Copy` primitive ids/values on the
+    /// [`ShardedQMax::insert_batch`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
+    /// and finite.
+    pub fn new_soa(q: usize, gamma: f64, shards: usize) -> Self {
+        Self::with_backends(q, shards, |_| SoaDeamortizedQMax::new(q, gamma))
+    }
+
+    /// Per-shard de-amortized execution counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<DeamortizedStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Counters rolled up across shards: sums everywhere except
+    /// `max_step_ops`, which is the maximum over shards.
+    pub fn aggregate_stats(&self) -> DeamortizedStats {
+        let mut agg = DeamortizedStats::default();
+        for s in self.shards.iter().map(|s| s.stats()) {
+            agg.admitted += s.admitted;
+            agg.filtered += s.filtered;
+            agg.iterations += s.iterations;
+            agg.forced_completions += s.forced_completions;
+            agg.total_ops += s.total_ops;
+            agg.max_step_ops = agg.max_step_ops.max(s.max_step_ops);
+        }
+        agg
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
+    /// Creates `shards` structure-of-arrays amortized shards
+    /// ([`SoaAmortizedQMax`]): the lazily-compacted variant with the
+    /// same split-lane layout and branchless batch filter as
+    /// [`ShardedQMax::new_soa`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
+    /// and finite.
+    pub fn new_soa_amortized(q: usize, gamma: f64, shards: usize) -> Self {
+        Self::with_backends(q, shards, |_| SoaAmortizedQMax::new(q, gamma))
     }
 }
 
@@ -278,6 +355,14 @@ impl<I: ShardKey, V: Ord + Clone, B: QMax<I, V>> QMax<I, V> for ShardedQMax<I, V
 
     fn name(&self) -> &'static str {
         "qmax-sharded"
+    }
+}
+
+impl<I: ShardKey + Clone, V: Ord + Clone, B: BatchInsert<I, V>> BatchInsert<I, V>
+    for ShardedQMax<I, V, B>
+{
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        ShardedQMax::insert_batch(self, items)
     }
 }
 
@@ -452,5 +537,87 @@ mod tests {
     fn mismatched_shard_q_is_rejected() {
         let _: ShardedQMax<u64, u64, HeapQMax<u64, u64>> =
             ShardedQMax::with_backends(5, 2, |_| HeapQMax::new(3));
+    }
+
+    #[test]
+    fn soa_backend_matches_aos_backend() {
+        let vals: Vec<u64> = random_u64_stream(30_000, 13).collect();
+        let items: Vec<(u64, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect();
+        for q in [1usize, 64, 300] {
+            for shards in [1usize, 4] {
+                let mut aos: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, shards);
+                let mut soa = ShardedQMax::new_soa(q, 0.5, shards);
+                for chunk in items.chunks(1024) {
+                    aos.insert_batch(chunk);
+                    soa.insert_batch(chunk);
+                }
+                assert_eq!(
+                    sorted_vals(&mut aos),
+                    sorted_vals(&mut soa),
+                    "q={q} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_amortized_backend_matches_reference() {
+        let vals: Vec<u64> = random_u64_stream(25_000, 17).collect();
+        let items: Vec<(u64, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect();
+        let q = 128;
+        let mut engine = ShardedQMax::new_soa_amortized(q, 0.5, 4);
+        for chunk in items.chunks(777) {
+            engine.insert_batch(chunk);
+        }
+        assert_eq!(sorted_vals(&mut engine), top_q_reference(&vals, q));
+    }
+
+    #[test]
+    fn soa_shard_stats_roll_up() {
+        let mut engine = ShardedQMax::new_soa(16, 0.5, 4);
+        let items: Vec<(u64, u64)> = (0..40_000u64).map(|i| (i, hash::mix64(i))).collect();
+        for chunk in items.chunks(512) {
+            engine.insert_batch(chunk);
+        }
+        let agg = engine.aggregate_stats();
+        assert_eq!(agg.forced_completions, 0);
+        // Every item was either pre-filtered by the engine or accounted
+        // for by exactly one shard.
+        assert_eq!(
+            agg.admitted + agg.filtered + engine.prefiltered(),
+            items.len() as u64
+        );
+        assert_eq!(engine.shard_stats().len(), 4);
+    }
+
+    #[test]
+    fn batch_prefilter_stays_active_with_hoisted_psi() {
+        // A long skewed-ish stream must still be shed mostly by the
+        // per-call Ψ snapshot even though it is no longer refreshed per
+        // admitted item.
+        let vals: Vec<u64> = random_u64_stream(30_000, 5).collect();
+        let items: Vec<(u64, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64, v))
+            .collect();
+        let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(64, 0.5, 4);
+        for chunk in items.chunks(777) {
+            engine.insert_batch(chunk);
+        }
+        assert!(
+            engine.prefiltered() > items.len() as u64 / 2,
+            "pre-filter inactive: {} of {}",
+            engine.prefiltered(),
+            items.len()
+        );
     }
 }

@@ -22,6 +22,10 @@
 //!   within `s` steps.
 //! * [`PartitionMachine`] — a suspendable three-way partition around a
 //!   fixed pivot value.
+//! * [`paired_nth_smallest`] / [`PairedNthElementMachine`] —
+//!   structure-of-arrays variants that select on a dense value lane and
+//!   mirror the permutation into a parallel id lane, so pivot scans
+//!   stream over 8-byte elements instead of 16-byte structs.
 //! * low-level helpers: [`partition3`], [`insertion_sort`],
 //!   [`median_of_five`].
 //!
@@ -36,6 +40,7 @@
 mod machine;
 mod partition;
 mod quickselect;
+mod soa;
 mod topk;
 
 pub use machine::{
@@ -43,4 +48,7 @@ pub use machine::{
 };
 pub use partition::{insertion_sort, median_of_five, partition3};
 pub use quickselect::{mom_nth_smallest, nth_largest, nth_smallest};
+pub use soa::{
+    paired_insertion_sort, paired_nth_smallest, paired_partition3, PairedNthElementMachine,
+};
 pub use topk::{top_k_indices, top_k_suffix};

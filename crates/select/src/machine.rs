@@ -52,7 +52,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn cmp<T: Ord>(self, a: &T, b: &T) -> Ordering {
+    pub(crate) fn cmp<T: Ord>(self, a: &T, b: &T) -> Ordering {
         match self {
             Direction::Ascending => a.cmp(b),
             Direction::Descending => b.cmp(a),
@@ -171,6 +171,7 @@ impl<T: Ord + Clone> NthElementMachine<T> {
     /// # Panics
     ///
     /// Panics if `buf` is shorter than the machine's configured range.
+    #[inline]
     pub fn step(&mut self, buf: &mut [T], budget: usize) -> MachineStatus {
         if self.result.is_some() {
             return MachineStatus::Finished;

@@ -1,0 +1,729 @@
+//! Structure-of-arrays (value-lane) selection kernels.
+//!
+//! The generic kernels in this crate move whole `Entry`-like structs
+//! through every compare and swap: for the common `(u64, u64)` item that
+//! is a 16-byte element, so a pivot scan touches one element per half
+//! cache line and every swap moves 32 bytes. When the values and ids
+//! live in two *parallel arrays* (the SoA fast path in `qmax-core`),
+//! the pivot scan can instead stream over the dense value lane — 8-byte
+//! loads, twice the elements per cache line — and mirror each exchange
+//! into the id lane. The kernels here do exactly that: they partition
+//! and select on `vals` while applying the identical permutation to
+//! `ids`, so `(vals[i], ids[i])` pairs stay intact throughout.
+//!
+//! All kernels require `V: Copy` (pivots are held by value), which is
+//! precisely the primitive-lane case the fast path targets; ids are
+//! only ever swapped, so `I` is unconstrained.
+//!
+//! * [`paired_nth_smallest`] — introselect over `(vals, ids)`: expected
+//!   linear with a median-of-medians fallback, same contract as
+//!   [`crate::nth_smallest`].
+//! * [`PairedNthElementMachine`] — the suspendable bounded-work
+//!   counterpart of [`crate::NthElementMachine`]. It performs the same
+//!   elementary operations with the same unit costs, so the
+//!   [`crate::WORK_BOUND_FACTOR`] work bound applies unchanged and the
+//!   de-amortized q-MAX budget arithmetic carries over verbatim.
+//! * low-level helpers: [`paired_partition3`], [`paired_insertion_sort`].
+
+use crate::machine::{Direction, MachineStatus};
+use core::cmp::Ordering;
+
+/// Ranges of at most this many elements are solved by direct insertion
+/// sort rather than recursive selection (matches the AoS kernels).
+const SMALL: usize = 24;
+
+/// Swaps index `a` with index `b` in both lanes.
+#[inline(always)]
+fn swap2<V, I>(vals: &mut [V], ids: &mut [I], a: usize, b: usize) {
+    vals.swap(a, b);
+    ids.swap(a, b);
+}
+
+/// Sorts `vals[lo..hi]` ascending by insertion sort, mirroring every
+/// exchange into `ids` so value/id pairs stay aligned.
+pub fn paired_insertion_sort<V: Ord, I>(vals: &mut [V], ids: &mut [I], lo: usize, hi: usize) {
+    for i in lo + 1..hi {
+        let mut j = i;
+        while j > lo && vals[j - 1] > vals[j] {
+            swap2(vals, ids, j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Direction-aware paired insertion sort (used by the machine).
+fn paired_insertion_sort_dir<V: Ord, I>(
+    vals: &mut [V],
+    ids: &mut [I],
+    lo: usize,
+    hi: usize,
+    dir: Direction,
+) {
+    for i in lo + 1..hi {
+        let mut j = i;
+        while j > lo && dir.cmp(&vals[j - 1], &vals[j]) == Ordering::Greater {
+            swap2(vals, ids, j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Three-way (Dutch national flag) partition of `vals[lo..hi]` around
+/// the pivot **value**, with the permutation applied to `ids` as well.
+///
+/// On return `(lt, gt)`:
+/// * `vals[lo..lt]` contains values `< pivot`,
+/// * `vals[lt..gt]` contains values `== pivot`,
+/// * `vals[gt..hi]` contains values `> pivot`,
+///
+/// and `ids[i]` still identifies `vals[i]` everywhere.
+pub fn paired_partition3<V: Ord, I>(
+    vals: &mut [V],
+    ids: &mut [I],
+    lo: usize,
+    hi: usize,
+    pivot: &V,
+) -> (usize, usize) {
+    let mut lt = lo;
+    let mut i = lo;
+    let mut gt = hi;
+    while i < gt {
+        match vals[i].cmp(pivot) {
+            Ordering::Less => {
+                swap2(vals, ids, lt, i);
+                lt += 1;
+                i += 1;
+            }
+            Ordering::Greater => {
+                gt -= 1;
+                swap2(vals, ids, i, gt);
+            }
+            Ordering::Equal => i += 1,
+        }
+    }
+    (lt, gt)
+}
+
+fn median3_index<V: Ord>(vals: &[V], a: usize, b: usize, c: usize) -> usize {
+    let (x, y, z) = (&vals[a], &vals[b], &vals[c]);
+    if (x <= y) == (y <= z) {
+        b
+    } else if (y <= x) == (x <= z) {
+        a
+    } else {
+        c
+    }
+}
+
+/// Rearranges the parallel arrays so that the `k`-th smallest value
+/// (0-based) is at index `k`, everything before it is `<=` it, and
+/// everything after is `>=` it — with `ids` carried through the same
+/// permutation, so each `(vals[i], ids[i])` pair is one of the input
+/// pairs.
+///
+/// This is the value-lane counterpart of [`crate::nth_smallest`]
+/// (introselect: pseudo-random pivots with a median-of-medians fallback,
+/// worst-case linear).
+///
+/// # Panics
+///
+/// Panics if the lanes differ in length or `k` is out of range.
+pub fn paired_nth_smallest<V: Ord + Copy, I>(vals: &mut [V], ids: &mut [I], k: usize) {
+    assert_eq!(
+        vals.len(),
+        ids.len(),
+        "value/id lanes differ: {} vs {}",
+        vals.len(),
+        ids.len()
+    );
+    assert!(
+        k < vals.len(),
+        "selection index {k} out of range {}",
+        vals.len()
+    );
+    paired_select(vals, ids, 0, vals.len(), k);
+}
+
+/// Introselect on the absolute range `[lo, hi)`; `target` is absolute.
+fn paired_select<V: Ord + Copy, I>(
+    vals: &mut [V],
+    ids: &mut [I],
+    mut lo: usize,
+    mut hi: usize,
+    target: usize,
+) {
+    let n = hi - lo;
+    // 2 * log2(n) pivot rounds before falling back to MoM pivots.
+    let mut depth_budget = 2 * (usize::BITS - n.leading_zeros()) as usize + 2;
+    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (n as u64);
+    loop {
+        if hi - lo <= SMALL {
+            paired_insertion_sort(vals, ids, lo, hi);
+            return;
+        }
+        let pivot = if depth_budget == 0 {
+            vals[paired_mom_pivot(vals, ids, lo, hi)]
+        } else {
+            depth_budget -= 1;
+            rng_state = rng_state
+                .wrapping_mul(0xD120_0000_0000_1001)
+                .wrapping_add(1);
+            let r = (rng_state >> 33) as usize;
+            // Median of three pseudo-random probes.
+            let a = lo + r % (hi - lo);
+            let b = lo + (r / (hi - lo)) % (hi - lo);
+            let c = lo + (hi - lo) / 2;
+            vals[median3_index(vals, a, b, c)]
+        };
+        // V: Copy lets the pivot ride in a register, so no clone-free
+        // slice-splitting tricks are needed here, unlike the AoS kernel.
+        let (eq_lo, eq_hi) = paired_partition3(vals, ids, lo, hi, &pivot);
+        if target < eq_lo {
+            hi = eq_lo;
+        } else if target >= eq_hi {
+            lo = eq_hi;
+        } else {
+            return;
+        }
+    }
+}
+
+/// BFPRT median-of-medians pivot for `vals[lo..hi]`; returns its index.
+fn paired_mom_pivot<V: Ord + Copy, I>(
+    vals: &mut [V],
+    ids: &mut [I],
+    lo: usize,
+    hi: usize,
+) -> usize {
+    let mut ngroups = 0usize;
+    let mut g = lo;
+    while g < hi {
+        let len = (hi - g).min(5);
+        paired_insertion_sort(vals, ids, g, g + len);
+        let median = g + (len - 1) / 2;
+        swap2(vals, ids, lo + ngroups, median);
+        ngroups += 1;
+        g += len;
+    }
+    let mid = (ngroups - 1) / 2;
+    paired_select(vals, ids, lo, lo + ngroups, lo + mid);
+    lo + mid
+}
+
+/// Control state of one paired selection frame.
+#[derive(Debug)]
+enum Phase<V> {
+    /// Frame freshly (re-)entered; dispatch on range size.
+    Start,
+    /// Insertion-sorting a small range; `i` is the next element to place.
+    SmallSort { i: usize },
+    /// Packing group-of-5 medians to the front of the range.
+    Medians { next_group: usize, packed: usize },
+    /// A child frame is selecting the median of the packed medians.
+    AwaitPivot,
+    /// Three-way partition around `pivot` in progress.
+    Partition {
+        lt: usize,
+        i: usize,
+        gt: usize,
+        pivot: V,
+    },
+}
+
+#[derive(Debug)]
+struct Frame<V> {
+    lo: usize,
+    hi: usize,
+    /// Absolute index at which the sought order statistic must land.
+    target: usize,
+    phase: Phase<V>,
+}
+
+/// The suspendable, bounded-work counterpart of
+/// [`crate::NthElementMachine`] operating on parallel value/id lanes.
+///
+/// The machine holds only indices and (Copy) pivot values — never a
+/// borrow of either lane — so, exactly like the AoS machine, the caller
+/// may mutate the buffers *outside* the configured `[lo, hi)` range
+/// between steps. The id lane is passed to every [`step`](Self::step)
+/// call and receives the same permutation as the value lane; since the
+/// machine never stores ids, each call may even use a different id type
+/// (in practice callers fix one).
+///
+/// Elementary-operation accounting matches [`crate::NthElementMachine`]
+/// unit for unit, so the [`crate::WORK_BOUND_FACTOR`]` * n` total-work
+/// bound — and therefore the de-amortized q-MAX per-arrival budget —
+/// holds unchanged.
+///
+/// ```
+/// use qmax_select::{Direction, MachineStatus, PairedNthElementMachine};
+/// let mut vals = vec![5u64, 1, 9, 3, 7, 2, 8, 0, 6, 4, 11, 13, 12, 15, 14,
+///                     21, 20, 23, 22, 25, 24, 27, 26, 29, 28, 31, 30];
+/// let mut ids: Vec<u32> = (0..vals.len() as u32).collect();
+/// let mut m = PairedNthElementMachine::new(0, vals.len(), 4, Direction::Ascending);
+/// while m.step(&mut vals, &mut ids, 8) == MachineStatus::InProgress {}
+/// assert_eq!(vals[4], 4);
+/// assert_eq!(ids[4], 9); // the id that arrived with value 4
+/// ```
+#[derive(Debug)]
+pub struct PairedNthElementMachine<V> {
+    frames: Vec<Frame<V>>,
+    dir: Direction,
+    result: Option<usize>,
+    total_ops: u64,
+    max_step_ops: u64,
+}
+
+impl<V: Ord + Copy> PairedNthElementMachine<V> {
+    /// Creates a machine that will place the `k`-th value (0-based) of
+    /// `vals[lo..hi]` — in `dir` order — at index `lo + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or `k` is out of range.
+    pub fn new(lo: usize, hi: usize, k: usize, dir: Direction) -> Self {
+        assert!(lo < hi, "empty selection range [{lo}, {hi})");
+        assert!(k < hi - lo, "selection index {k} out of range {}", hi - lo);
+        PairedNthElementMachine {
+            frames: vec![Frame {
+                lo,
+                hi,
+                target: lo + k,
+                phase: Phase::Start,
+            }],
+            dir,
+            result: None,
+            total_ops: 0,
+            max_step_ops: 0,
+        }
+    }
+
+    /// Whether the selection has completed.
+    pub fn is_finished(&self) -> bool {
+        self.result.is_some()
+    }
+
+    /// Absolute index of the selected element once finished.
+    pub fn result_index(&self) -> Option<usize> {
+        self.result
+    }
+
+    /// Total elementary operations performed so far.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Largest number of elementary operations performed by a single
+    /// [`step`](Self::step) call (may exceed the budget by the cost of
+    /// one indivisible unit, a bounded constant).
+    pub fn max_step_ops(&self) -> u64 {
+        self.max_step_ops
+    }
+
+    /// Runs at most ~`budget` elementary operations of the selection.
+    ///
+    /// Same contract as [`crate::NthElementMachine::step`]: a step never
+    /// stops mid-unit, so the actual work may exceed `budget` by a small
+    /// constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lane is shorter than the machine's range.
+    #[inline]
+    pub fn step<I>(&mut self, vals: &mut [V], ids: &mut [I], budget: usize) -> MachineStatus {
+        if self.result.is_some() {
+            return MachineStatus::Finished;
+        }
+        let mut rem = budget as i64;
+        let step_start = self.total_ops;
+        while rem > 0 && self.result.is_none() {
+            rem -= self.advance_unit(vals, ids, rem as u64) as i64;
+        }
+        let used = self.total_ops - step_start;
+        if used > self.max_step_ops {
+            self.max_step_ops = used;
+        }
+        if self.result.is_some() {
+            MachineStatus::Finished
+        } else {
+            MachineStatus::InProgress
+        }
+    }
+
+    /// Runs the machine to completion and returns the index of the
+    /// selected element.
+    pub fn run_to_completion<I>(&mut self, vals: &mut [V], ids: &mut [I]) -> usize {
+        while self.result.is_none() {
+            self.advance_unit(vals, ids, u64::MAX / 4);
+        }
+        self.result.expect("machine just finished")
+    }
+
+    /// Executes one unit of work of at most ~`max_cost` operations;
+    /// returns its operation cost. Mirrors the AoS machine's unit costs
+    /// exactly.
+    fn advance_unit<I>(&mut self, vals: &mut [V], ids: &mut [I], max_cost: u64) -> u64 {
+        let dir = self.dir;
+        let fidx = self.frames.len() - 1;
+        let frame = &mut self.frames[fidx];
+        assert!(
+            frame.hi <= vals.len() && frame.hi <= ids.len(),
+            "lanes shorter than machine range"
+        );
+        let (lo, hi, target) = (frame.lo, frame.hi, frame.target);
+        let cost: u64;
+        enum Outcome {
+            Continue,
+            FrameDone,
+            PushChild { clo: usize, chi: usize, ck: usize },
+        }
+        let outcome;
+        match &mut frame.phase {
+            Phase::Start => {
+                cost = 1;
+                if hi - lo <= SMALL {
+                    frame.phase = Phase::SmallSort { i: lo + 1 };
+                } else {
+                    frame.phase = Phase::Medians {
+                        next_group: lo,
+                        packed: 0,
+                    };
+                }
+                outcome = Outcome::Continue;
+            }
+            Phase::SmallSort { i } => {
+                if *i >= hi {
+                    outcome = Outcome::FrameDone;
+                    cost = 1;
+                } else {
+                    let mut j = *i;
+                    let mut moved = 1u64;
+                    while j > lo && dir.cmp(&vals[j - 1], &vals[j]) == Ordering::Greater {
+                        swap2(vals, ids, j - 1, j);
+                        j -= 1;
+                        moved += 1;
+                    }
+                    *i += 1;
+                    cost = moved;
+                    outcome = Outcome::Continue;
+                }
+            }
+            Phase::Medians { next_group, packed } => {
+                if *next_group >= hi {
+                    let ngroups = *packed;
+                    debug_assert!(ngroups >= 1);
+                    frame.phase = Phase::AwaitPivot;
+                    outcome = Outcome::PushChild {
+                        clo: lo,
+                        chi: lo + ngroups,
+                        ck: (ngroups - 1) / 2,
+                    };
+                    cost = 1;
+                } else {
+                    let g = *next_group;
+                    let len = (hi - g).min(5);
+                    paired_insertion_sort_dir(vals, ids, g, g + len, dir);
+                    let median = g + (len - 1) / 2;
+                    swap2(vals, ids, lo + *packed, median);
+                    *packed += 1;
+                    *next_group += len;
+                    cost = 12;
+                    outcome = Outcome::Continue;
+                }
+            }
+            Phase::AwaitPivot => {
+                unreachable!("AwaitPivot frames are resumed only via child completion")
+            }
+            Phase::Partition { lt, i, gt, pivot } => {
+                if *i < *gt {
+                    // The machine's hot path: a whole budget's worth of
+                    // elements in one tight loop over the value lane.
+                    let mut c = 0u64;
+                    while *i < *gt && c < max_cost {
+                        match dir.cmp(&vals[*i], pivot) {
+                            Ordering::Less => {
+                                swap2(vals, ids, *lt, *i);
+                                *lt += 1;
+                                *i += 1;
+                            }
+                            Ordering::Greater => {
+                                *gt -= 1;
+                                swap2(vals, ids, *i, *gt);
+                            }
+                            Ordering::Equal => *i += 1,
+                        }
+                        c += 2;
+                    }
+                    cost = c;
+                    outcome = Outcome::Continue;
+                } else {
+                    let (plo, phi) = (*lt, *gt);
+                    cost = 1;
+                    if target < plo {
+                        frame.hi = plo;
+                        frame.phase = Phase::Start;
+                        outcome = Outcome::Continue;
+                    } else if target >= phi {
+                        frame.lo = phi;
+                        frame.phase = Phase::Start;
+                        outcome = Outcome::Continue;
+                    } else {
+                        outcome = Outcome::FrameDone;
+                    }
+                }
+            }
+        }
+        self.total_ops += cost;
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::PushChild { clo, chi, ck } => {
+                self.frames.push(Frame {
+                    lo: clo,
+                    hi: chi,
+                    target: clo + ck,
+                    phase: Phase::Start,
+                });
+            }
+            Outcome::FrameDone => {
+                let done = self.frames.pop().expect("frame stack non-empty");
+                let t = done.target;
+                match self.frames.last_mut() {
+                    None => self.result = Some(t),
+                    Some(parent) => {
+                        let Phase::AwaitPivot = parent.phase else {
+                            unreachable!("parent of a completed frame must await its pivot")
+                        };
+                        let (plo, phi) = (parent.lo, parent.hi);
+                        parent.phase = Phase::Partition {
+                            lt: plo,
+                            i: plo,
+                            gt: phi,
+                            pivot: vals[t],
+                        };
+                    }
+                }
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::WORK_BOUND_FACTOR;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Checks every pair `(vals[i], ids[i])` is an input pair: the id
+    /// lane followed the exact permutation of the value lane.
+    fn assert_pairs_intact(vals: &[u64], ids: &[u32], original: &[u64]) {
+        for (i, (&v, &id)) in vals.iter().zip(ids).enumerate() {
+            assert_eq!(
+                v, original[id as usize],
+                "pair broken at {i}: value {v} carries id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn paired_select_matches_std_and_keeps_pairs() {
+        let mut state = 7u64;
+        for n in [1usize, 5, 24, 25, 100, 1000] {
+            let base: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 97).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for k in [0, n / 2, n - 1] {
+                let mut vals = base.clone();
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                paired_nth_smallest(&mut vals, &mut ids, k);
+                assert_eq!(vals[k], sorted[k], "n={n} k={k}");
+                assert!(vals[..k].iter().all(|v| *v <= vals[k]));
+                assert!(vals[k + 1..].iter().all(|v| *v >= vals[k]));
+                assert_pairs_intact(&vals, &ids, &base);
+            }
+        }
+    }
+
+    #[test]
+    fn paired_select_adversarial_patterns() {
+        for n in [50usize, 200, 1001] {
+            let patterns: Vec<Vec<u64>> = vec![
+                (0..n as u64).collect(),
+                (0..n as u64).rev().collect(),
+                vec![7; n],
+                (0..n as u64).map(|x| x % 3).collect(),
+            ];
+            for base in patterns {
+                for k in [0, n / 2, n - 1] {
+                    let mut vals = base.clone();
+                    let mut ids: Vec<u32> = (0..n as u32).collect();
+                    paired_nth_smallest(&mut vals, &mut ids, k);
+                    let mut sorted = base.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(vals[k], sorted[k]);
+                    assert_pairs_intact(&vals, &ids, &base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_partition3_partitions_both_lanes() {
+        let mut state = 9u64;
+        let n = 300;
+        let base: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 10).collect();
+        let mut vals = base.clone();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let (lt, gt) = paired_partition3(&mut vals, &mut ids, 10, 290, &5);
+        assert!(vals[10..lt].iter().all(|&x| x < 5));
+        assert!(vals[lt..gt].iter().all(|&x| x == 5));
+        assert!(vals[gt..290].iter().all(|&x| x > 5));
+        assert_pairs_intact(&vals, &ids, &base);
+        // Outside the range untouched.
+        assert_eq!(&vals[..10], &base[..10]);
+        assert_eq!(&vals[290..], &base[290..]);
+    }
+
+    fn run_machine(
+        vals: &mut [u64],
+        ids: &mut [u32],
+        k: usize,
+        dir: Direction,
+        budget: usize,
+    ) -> usize {
+        let mut m = PairedNthElementMachine::new(0, vals.len(), k, dir);
+        let mut guard = 0usize;
+        while m.step(vals, ids, budget) == MachineStatus::InProgress {
+            guard += 1;
+            assert!(guard < 100_000_000, "machine failed to terminate");
+        }
+        m.result_index().unwrap()
+    }
+
+    #[test]
+    fn machine_ascending_selects_kth_smallest() {
+        let mut state = 11u64;
+        for n in [1usize, 5, 24, 25, 100, 1000] {
+            let base: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 61).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for k in [0, n / 2, n - 1] {
+                let mut vals = base.clone();
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                let idx = run_machine(&mut vals, &mut ids, k, Direction::Ascending, 16);
+                assert_eq!(idx, k);
+                assert_eq!(vals[k], sorted[k]);
+                assert!(vals[..k].iter().all(|v| *v <= vals[k]));
+                assert!(vals[k + 1..].iter().all(|v| *v >= vals[k]));
+                assert_pairs_intact(&vals, &ids, &base);
+            }
+        }
+    }
+
+    #[test]
+    fn machine_descending_selects_kth_largest() {
+        let mut state = 42u64;
+        for n in [3usize, 50, 333] {
+            let base: Vec<u64> = (0..n).map(|_| splitmix(&mut state) % 31).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for k in [0, n / 2, n - 1] {
+                let mut vals = base.clone();
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                run_machine(&mut vals, &mut ids, k, Direction::Descending, 7);
+                assert_eq!(vals[k], sorted[k]);
+                assert!(vals[..k].iter().all(|v| *v >= vals[k]));
+                assert!(vals[k + 1..].iter().all(|v| *v <= vals[k]));
+                assert_pairs_intact(&vals, &ids, &base);
+            }
+        }
+    }
+
+    #[test]
+    fn machine_stays_within_work_bound() {
+        for n in [100usize, 1000, 5000] {
+            let patterns: Vec<Vec<u64>> = vec![
+                (0..n as u64).collect(),
+                (0..n as u64).rev().collect(),
+                vec![3; n],
+                (0..n as u64).map(|x| x % 2).collect(),
+            ];
+            for base in patterns {
+                let mut vals = base.clone();
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                let mut m = PairedNthElementMachine::new(0, n, n / 2, Direction::Ascending);
+                m.run_to_completion(&mut vals, &mut ids);
+                assert!(
+                    m.total_ops() <= (WORK_BOUND_FACTOR * n + WORK_BOUND_FACTOR) as u64,
+                    "ops {} exceed bound for n={n}",
+                    m.total_ops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_budget_respected_up_to_unit_cost() {
+        let mut state = 3u64;
+        let n = 2000;
+        let mut vals: Vec<u64> = (0..n).map(|_| splitmix(&mut state)).collect();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut m = PairedNthElementMachine::new(0, n, 100, Direction::Ascending);
+        while m.step(&mut vals, &mut ids, 10) == MachineStatus::InProgress {}
+        assert!(m.max_step_ops() <= 10 + SMALL as u64 + 2);
+    }
+
+    #[test]
+    fn machine_ignores_lanes_outside_range() {
+        let mut state = 5u64;
+        let n = 500;
+        let base: Vec<u64> = (0..n + 50).map(|_| splitmix(&mut state) % 1000).collect();
+        let mut vals = base.clone();
+        let mut ids: Vec<u32> = (0..(n + 50) as u32).collect();
+        let mut expect: Vec<u64> = base[25..25 + n].to_vec();
+        expect.sort_unstable();
+        let mut m = PairedNthElementMachine::new(25, 25 + n, 77, Direction::Ascending);
+        let mut tick = 0u64;
+        while m.step(&mut vals, &mut ids, 5) == MachineStatus::InProgress {
+            // Mutate both lanes outside [25, 525) between steps.
+            vals[(tick % 25) as usize] = tick;
+            ids[525 + (tick % 25) as usize] = tick as u32;
+            tick += 1;
+        }
+        assert_eq!(vals[25 + 77], expect[77]);
+    }
+
+    #[test]
+    fn finished_machine_steps_are_noops() {
+        let mut vals: Vec<u64> = (0..200).rev().collect();
+        let mut ids: Vec<u32> = (0..200).collect();
+        let mut m = PairedNthElementMachine::new(0, 200, 50, Direction::Ascending);
+        m.run_to_completion(&mut vals, &mut ids);
+        let ops = m.total_ops();
+        let snapshot = vals.clone();
+        assert_eq!(m.step(&mut vals, &mut ids, 1000), MachineStatus::Finished);
+        assert_eq!(m.total_ops(), ops);
+        assert_eq!(vals, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty selection range")]
+    fn empty_range_panics() {
+        let _ = PairedNthElementMachine::<u64>::new(3, 3, 0, Direction::Ascending);
+    }
+
+    #[test]
+    #[should_panic(expected = "value/id lanes differ")]
+    fn mismatched_lanes_panic() {
+        let mut vals = vec![1u64, 2, 3];
+        let mut ids = vec![0u32, 1];
+        paired_nth_smallest(&mut vals, &mut ids, 1);
+    }
+}
