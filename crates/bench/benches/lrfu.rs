@@ -1,8 +1,10 @@
 //! Criterion microbenchmark: LRFU request cost per policy (behind
-//! Figure 9).
+//! Figure 9), including the structure-of-arrays log-buffer backends.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use qmax_lrfu::{Cache, DeamortizedLrfu, HeapLrfu, QMaxLrfu, ScanLrfu};
+use qmax_lrfu::{
+    Cache, DeamortizedLrfu, HeapLrfu, QMaxLrfu, ScanLrfu, SoaDeamortizedLrfu, SoaQMaxLrfu,
+};
 use qmax_traces::gen::arc_like;
 
 fn bench_lrfu(c: &mut Criterion) {
@@ -30,9 +32,37 @@ fn bench_lrfu(c: &mut Criterion) {
             cache.len()
         })
     });
+    group.bench_function("qmax_g0.25_soa", |b| {
+        b.iter(|| {
+            let mut cache = SoaQMaxLrfu::new_soa(q, 0.25, decay);
+            for &k in &trace {
+                cache.request(k);
+            }
+            cache.len()
+        })
+    });
+    group.bench_function("qmax_g0.25_soa_batch", |b| {
+        b.iter(|| {
+            let mut cache = SoaQMaxLrfu::new_soa(q, 0.25, decay);
+            let mut hits = 0;
+            for chunk in trace.chunks(1024) {
+                hits += cache.request_batch(chunk);
+            }
+            hits
+        })
+    });
     group.bench_function("qmax_wc_g0.25", |b| {
         b.iter(|| {
             let mut cache = DeamortizedLrfu::new(q, 0.25, decay);
+            for &k in &trace {
+                cache.request(k);
+            }
+            cache.len()
+        })
+    });
+    group.bench_function("qmax_wc_g0.25_soa", |b| {
+        b.iter(|| {
+            let mut cache = SoaDeamortizedLrfu::new_soa(q, 0.25, decay);
             for &k in &trace {
                 cache.request(k);
             }

@@ -1,8 +1,12 @@
 //! Criterion microbenchmark: slack-window variants (update and query
-//! costs behind Figures 10-11).
+//! costs behind Figures 10-11), with each variant measured on both the
+//! array-of-structs and structure-of-arrays block backends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmax_core::{BasicSlackQMax, HierSlackQMax, LazySlackQMax, QMax};
+use qmax_core::{
+    BasicSlackQMax, BatchInsert, HierSlackQMax, LazySlackQMax, QMax, SoaBasicSlackQMax,
+    SoaHierSlackQMax, SoaLazySlackQMax,
+};
 use qmax_traces::gen::random_u64_stream;
 
 fn bench_window_updates(c: &mut Criterion) {
@@ -37,6 +41,40 @@ fn bench_window_updates(c: &mut Criterion) {
             let mut sw = LazySlackQMax::new(q, 0.25, w, tau, 2);
             for (i, &v) in stream.iter().enumerate() {
                 sw.insert(i as u32, v);
+            }
+            sw.len()
+        })
+    });
+    // SoA backends take the same stream through the batched kernel —
+    // the configuration the engine's shard loop uses.
+    let items: Vec<(u32, u64)> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+    group.bench_function("basic_soa_batch", |b| {
+        b.iter(|| {
+            let mut sw = SoaBasicSlackQMax::new_soa(q, 0.25, w, tau);
+            for chunk in items.chunks(1024) {
+                sw.insert_batch(chunk);
+            }
+            sw.len()
+        })
+    });
+    group.bench_function("hier_c2_soa_batch", |b| {
+        b.iter(|| {
+            let mut sw = SoaHierSlackQMax::new_soa(q, 0.25, w, tau, 2);
+            for chunk in items.chunks(1024) {
+                sw.insert_batch(chunk);
+            }
+            sw.len()
+        })
+    });
+    group.bench_function("lazy_c2_soa_batch", |b| {
+        b.iter(|| {
+            let mut sw = SoaLazySlackQMax::new_soa(q, 0.25, w, tau, 2);
+            for chunk in items.chunks(1024) {
+                sw.insert_batch(chunk);
             }
             sw.len()
         })

@@ -1,9 +1,16 @@
-//! Sliding-window experiments: Figures 10–11 and the window ablation.
+//! Sliding-window experiments: Figures 10–11, the window ablation, and
+//! the AoS-vs-SoA backend comparison for windowed and LRFU workloads.
 
 use crate::scale::Scale;
 use crate::{fmt, mpps, Report};
-use qmax_core::{AmortizedQMax, BasicSlackQMax, HierSlackQMax, LazySlackQMax, QMax};
-use qmax_traces::gen::random_u64_stream;
+use qmax_core::{
+    AmortizedQMax, BasicSlackQMax, BatchInsert, HierSlackQMax, LazySlackQMax, QMax,
+    SoaBasicSlackQMax, SoaHierSlackQMax, SoaLazySlackQMax,
+};
+use qmax_lrfu::{QMaxLrfu, SoaQMaxLrfu};
+use qmax_traces::gen::{arc_like, random_u64_stream};
+use qmax_traces::zipf::ZipfSampler;
+use std::io::Write;
 use std::time::Instant;
 
 /// Figure 10: interval q-MAX vs sliding-window q-MAX throughput over
@@ -124,5 +131,203 @@ pub fn ablate_window(scale: &Scale) {
                 sw.len().to_string(),
             ]);
         }
+    }
+}
+
+const BATCH: usize = 1024;
+
+/// Times the windowed batch path and returns `(mips, sorted top-q)`.
+fn time_window_batch<S>(sw: &mut S, items: &[(u64, u64)]) -> (f64, Vec<u64>)
+where
+    S: BatchInsert<u64, u64> + QMax<u64, u64>,
+{
+    let start = Instant::now();
+    for chunk in items.chunks(BATCH) {
+        sw.insert_batch(chunk);
+    }
+    let mips = mpps(items.len(), start.elapsed());
+    let mut vals: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+    vals.sort_unstable();
+    (mips, vals)
+}
+
+/// One measured row, kept for the JSON mirror.
+struct BackendRow {
+    variant: String,
+    tau: String,
+    aos_mips: f64,
+    soa_mips: f64,
+}
+
+/// AoS-vs-SoA backend comparison on the windowed and LRFU hot loops.
+///
+/// Every slack-window algorithm and the q-MAX LRFU are generic over
+/// their interval backend; this experiment measures what the
+/// structure-of-arrays backend buys them on a Zipf-skewed stream fed
+/// through the batched insert path, asserting along the way that the
+/// layouts produce identical top-q value multisets (windows) and
+/// identical hit counts (LRFU). Series mirror to
+/// `results/windows_backend_compare.csv` and `BENCH_windows.json`.
+pub fn windows_backend(scale: &Scale) {
+    println!("# Windowed/LRFU q-MAX: AoS vs SoA block backends (batched inserts)");
+    let n = scale.stream(4_000_000);
+    let q = 10_000;
+    let gamma = 0.25;
+    let w = (n / 4).max(4 * q);
+    let mut flows = ZipfSampler::new(1_000_000, 1.0, 11);
+    let stream: Vec<(u64, u64)> = random_u64_stream(n, 11 ^ 0x5EED)
+        .map(|v| (flows.sample() as u64, v))
+        .collect();
+    let mut rep = Report::new(
+        "windows_backend_compare",
+        &["variant", "tau", "aos_mips", "soa_mips", "speedup"],
+    );
+    let mut rows: Vec<BackendRow> = Vec::new();
+    for tau in [0.01, 0.1] {
+        let (aos, top_aos) = time_window_batch(&mut BasicSlackQMax::new(q, gamma, w, tau), &stream);
+        let (soa, top_soa) =
+            time_window_batch(&mut SoaBasicSlackQMax::new_soa(q, gamma, w, tau), &stream);
+        assert_eq!(top_aos, top_soa, "basic layouts diverged at tau={tau}");
+        rows.push(BackendRow {
+            variant: "basic".into(),
+            tau: format!("{tau}"),
+            aos_mips: aos,
+            soa_mips: soa,
+        });
+
+        let (aos, top_aos) =
+            time_window_batch(&mut HierSlackQMax::new(q, gamma, w, tau, 2), &stream);
+        let (soa, top_soa) =
+            time_window_batch(&mut SoaHierSlackQMax::new_soa(q, gamma, w, tau, 2), &stream);
+        assert_eq!(top_aos, top_soa, "hier layouts diverged at tau={tau}");
+        rows.push(BackendRow {
+            variant: "hier-c2".into(),
+            tau: format!("{tau}"),
+            aos_mips: aos,
+            soa_mips: soa,
+        });
+
+        let (aos, top_aos) =
+            time_window_batch(&mut LazySlackQMax::new(q, gamma, w, tau, 2), &stream);
+        let (soa, top_soa) =
+            time_window_batch(&mut SoaLazySlackQMax::new_soa(q, gamma, w, tau, 2), &stream);
+        assert_eq!(top_aos, top_soa, "lazy layouts diverged at tau={tau}");
+        rows.push(BackendRow {
+            variant: "lazy-c2".into(),
+            tau: format!("{tau}"),
+            aos_mips: aos,
+            soa_mips: soa,
+        });
+    }
+
+    // q-MAX LRFU: the log buffer rides the same backends; batch the
+    // requests and compare layouts on an ARC-like cache trace.
+    let reqs = scale.stream(2_000_000);
+    let trace = arc_like(reqs, 200_000, 11);
+    let lrfu_q = 50_000;
+    for lrfu_gamma in [0.25, 1.0] {
+        let mut aos_cache = QMaxLrfu::new(lrfu_q, lrfu_gamma, 0.75);
+        let mut soa_cache = SoaQMaxLrfu::new_soa(lrfu_q, lrfu_gamma, 0.75);
+        let mut mips = [0.0f64; 2];
+        let mut hits = [0usize; 2];
+        for (slot, cache) in [
+            (0, &mut aos_cache as &mut dyn CacheBatch),
+            (1, &mut soa_cache as &mut dyn CacheBatch),
+        ] {
+            let start = Instant::now();
+            for chunk in trace.chunks(BATCH) {
+                hits[slot] += cache.request_chunk(chunk);
+            }
+            mips[slot] = mpps(reqs, start.elapsed());
+        }
+        assert_eq!(
+            hits[0], hits[1],
+            "LRFU layouts diverged at gamma={lrfu_gamma}"
+        );
+        rows.push(BackendRow {
+            variant: format!("lrfu-g{lrfu_gamma}"),
+            tau: "-".into(),
+            aos_mips: mips[0],
+            soa_mips: mips[1],
+        });
+    }
+
+    for r in &rows {
+        rep.row(&[
+            r.variant.clone(),
+            r.tau.clone(),
+            fmt(r.aos_mips),
+            fmt(r.soa_mips),
+            fmt(r.soa_mips / r.aos_mips),
+        ]);
+    }
+    write_bench_json(&rows, n, q);
+}
+
+/// Object-safe shim so both LRFU layouts share one timing loop.
+trait CacheBatch {
+    fn request_chunk(&mut self, keys: &[u64]) -> usize;
+}
+
+impl CacheBatch for QMaxLrfu<u64> {
+    fn request_chunk(&mut self, keys: &[u64]) -> usize {
+        self.request_batch(keys)
+    }
+}
+
+impl CacheBatch for SoaQMaxLrfu<u64> {
+    fn request_chunk(&mut self, keys: &[u64]) -> usize {
+        self.request_batch(keys)
+    }
+}
+
+/// Hand-rolled JSON mirror (no serde in the dependency-free build).
+fn write_bench_json(rows: &[BackendRow], stream_len: usize, q: usize) {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            concat!(
+                "    {{\"variant\": \"{}\", \"tau\": \"{}\", ",
+                "\"aos_mips\": {:.3}, \"soa_mips\": {:.3}, \"speedup\": {:.3}}}"
+            ),
+            r.variant,
+            r.tau,
+            r.aos_mips,
+            r.soa_mips,
+            r.soa_mips / r.aos_mips,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"windows_backend_compare\",\n",
+            "  \"generated_unix_secs\": {ts},\n",
+            "  \"q\": {q},\n",
+            "  \"stream_len\": {n},\n",
+            "  \"batch\": {batch},\n",
+            "  \"machine_caveats\": \"wall-clock timing on a shared, unpinned machine ",
+            "(no CPU isolation, no frequency control, container noise); ",
+            "relative AoS-vs-SoA speedups are the signal, absolute MIPS are not ",
+            "comparable across machines or runs\",\n",
+            "  \"series\": [\n{body}\n  ]\n",
+            "}}\n"
+        ),
+        ts = ts,
+        q = q,
+        n = stream_len,
+        batch = BATCH,
+        body = body,
+    );
+    match std::fs::File::create("BENCH_windows.json").and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        Ok(()) => eprintln!("[windows-backend] wrote BENCH_windows.json"),
+        Err(e) => eprintln!("[windows-backend] could not write BENCH_windows.json: {e}"),
     }
 }

@@ -1,7 +1,7 @@
 //! Amortized-constant-time q-MAX (Algorithm 1 with lazy compaction).
 
 use crate::entry::Entry;
-use crate::traits::{BatchInsert, QMax};
+use crate::traits::{BatchInsert, IntervalBackend, QMax};
 use qmax_select::nth_smallest;
 
 /// q-MAX with **amortized** `O(1)` update time and `⌈q(1+γ)⌉` space.
@@ -168,6 +168,27 @@ impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for AmortizedQMax<I, V> {
             admitted += usize::from(self.insert(id.clone(), val.clone()));
         }
         admitted
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> IntervalBackend<I, V> for AmortizedQMax<I, V> {
+    fn fresh(&self) -> Self {
+        AmortizedQMax {
+            q: self.q,
+            cap: self.cap,
+            buf: Vec::with_capacity(self.cap),
+            threshold: None,
+            compactions: 0,
+            filtered: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn candidates_into(&self, out: &mut Vec<Entry<I, V>>) {
+        out.extend(self.buf.iter().cloned());
     }
 }
 

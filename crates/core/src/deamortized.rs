@@ -2,7 +2,7 @@
 //! compaction).
 
 use crate::entry::Entry;
-use crate::traits::{BatchInsert, QMax};
+use crate::traits::{BatchInsert, IntervalBackend, QMax};
 use qmax_select::{nth_smallest, Direction, NthElementMachine, WORK_BOUND_FACTOR};
 
 /// Counters describing the de-amortized execution; used by the ablation
@@ -319,6 +319,48 @@ impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for DeamortizedQMax<I, V> {
             admitted += usize::from(self.insert(id.clone(), val.clone()));
         }
         admitted
+    }
+}
+
+impl<I: Clone, V: Ord + Clone> IntervalBackend<I, V> for DeamortizedQMax<I, V> {
+    fn fresh(&self) -> Self {
+        DeamortizedQMax {
+            q: self.q,
+            g: self.g,
+            n: self.n,
+            buf: Vec::with_capacity(self.n),
+            threshold: None,
+            filling: true,
+            s2_start: self.q + self.g,
+            steps: 0,
+            parity: Parity::InsertRight,
+            machine: None,
+            boundary: 0,
+            budget: self.budget,
+            stats: DeamortizedStats::default(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.n
+    }
+
+    fn candidates_into(&self, out: &mut Vec<Entry<I, V>>) {
+        // Same validity rule as `query`: skip the not-yet-overwritten
+        // tail of the insertion zone, whose slots hold items already
+        // discarded by a previous iteration.
+        let stale = if self.filling {
+            0..0
+        } else {
+            self.s2_start + self.steps..self.s2_start + self.g
+        };
+        out.extend(
+            self.buf
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !stale.contains(i))
+                .map(|(_, e)| e.clone()),
+        );
     }
 }
 

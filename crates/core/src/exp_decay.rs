@@ -1,7 +1,14 @@
 //! Exponential-decay q-MAX (Section 5 of the paper).
 
 use crate::entry::OrderedF64;
-use crate::traits::QMax;
+use crate::traits::{BatchInsert, QMax};
+
+/// Log-domain offset `t·λ` beyond which the structure automatically
+/// rebases (see [`ExpDecayQMax::rebase`]). At this offset an `f64`'s
+/// 52-bit mantissa still resolves log-score differences of about
+/// `2⁻¹² ≈ 2.4·10⁻⁴` — weight ratios of ~0.02% — which is far below any
+/// meaningful decay distinction.
+const REBASE_OFFSET_LIMIT: f64 = (1u64 << 40) as f64;
 
 /// q-MAX under the exponential-decay aging model.
 ///
@@ -9,10 +16,26 @@ use crate::traits::QMax;
 /// at time `i` has weight `v · c^(t−i)` at the current time `t`, so
 /// newer items outweigh older ones of the same value. Instead of
 /// re-aging stored items, the structure feeds the *un-decayed* value
-/// `v · c^(−i)` — numerically, its logarithm `ln v − i·ln c`, which
-/// stays representable for streams of any practical length — into an
+/// `v · c^(−i)` — numerically, its logarithm `ln v − i·ln c` — into an
 /// ordinary q-MAX backend: the relative order of un-decayed values at
 /// any time `t` equals the order of decayed weights.
+///
+/// # Precision horizon
+///
+/// The stored score is `ln v + i·λ` with `λ = −ln c`, and the offset
+/// `i·λ` grows without bound as the arrival counter `i` climbs. An
+/// `f64` has a 52-bit mantissa, so once the offset reaches `2⁴⁰` the
+/// representable spacing between scores is `≈ 2⁻¹²` in the log domain:
+/// two items whose decayed weights differ by less than ~0.02% become
+/// indistinguishable, and the error keeps doubling every doubling of
+/// the offset. For strong decay (`c = 0.5`, `λ ≈ 0.69`) that horizon is
+/// ~1.6·10¹² arrivals; for mild decay (`c = 0.999`) it is ~10¹⁵. To
+/// keep the structure sound for arbitrarily long streams,
+/// [`insert`](ExpDecayQMax::insert) *rebases* automatically when the
+/// offset crosses `2⁴⁰`:
+/// it subtracts the current offset from every retained score and
+/// restarts the clock, which leaves all score *comparisons* — and hence
+/// the top-`q` — unchanged.
 ///
 /// The type is generic over its backend so the paper's comparisons
 /// (Figure 7: heap / skip list / q-MAX) reuse the same transform.
@@ -64,6 +87,20 @@ impl<Q> ExpDecayQMax<Q> {
         &self.backend
     }
 
+    /// The current log-domain offset `t·λ` added to incoming scores.
+    /// Grows linearly with the stream; see the type-level docs for the
+    /// precision horizon it implies.
+    pub fn log_offset(&self) -> f64 {
+        self.time as f64 * self.lambda
+    }
+
+    /// Whether the log offset has crossed the safe precision bound and
+    /// the next insert will trigger an automatic [`rebase`]
+    /// (`ExpDecayQMax::rebase`).
+    pub fn needs_rebase(&self) -> bool {
+        self.log_offset() > REBASE_OFFSET_LIMIT
+    }
+
     /// The decayed weight of a stored transformed value at the current
     /// time: `exp(stored − t·λ)` where `stored = ln v + i·λ`.
     pub fn decayed_weight(&self, stored: OrderedF64) -> f64 {
@@ -88,9 +125,38 @@ impl<Q> ExpDecayQMax<Q> {
             val > 0.0 && val.is_finite(),
             "decayed values must be positive and finite"
         );
+        if self.needs_rebase() {
+            self.rebase();
+        }
         let transformed = val.ln() + self.time as f64 * self.lambda;
+        debug_assert!(
+            transformed.is_finite(),
+            "log-domain score overflowed; rebase failed to bound the offset"
+        );
         self.time += 1;
         self.backend.insert(id, OrderedF64(transformed))
+    }
+
+    /// Subtracts the current log offset `t·λ` from every retained score
+    /// and restarts the clock at zero. Score *comparisons* — and hence
+    /// the top-`q` — are unchanged (all scores shift by the same
+    /// constant), so this is safe to call at any point; `insert` calls
+    /// it automatically past the precision horizon.
+    ///
+    /// The backend's admission threshold Ψ is dropped in the process
+    /// (it would be stale after the shift), so the next few arrivals
+    /// are admitted unfiltered until a compaction re-establishes it.
+    pub fn rebase<I>(&mut self)
+    where
+        Q: QMax<I, OrderedF64>,
+    {
+        let offset = self.log_offset();
+        let kept = self.backend.query();
+        self.backend.reset();
+        for (id, score) in kept {
+            self.backend.insert(id, OrderedF64(score.get() - offset));
+        }
+        self.time = 0;
     }
 
     /// Lists the `q` items with the largest decayed weights. The values
@@ -113,12 +179,84 @@ impl<Q> ExpDecayQMax<Q> {
     }
 }
 
+/// [`QMax`] over pre-wrapped raw values: `insert(id, OrderedF64(v))`
+/// applies the decay transform to `v` exactly like the inherent
+/// [`ExpDecayQMax::insert`]. This lets decayed reservoirs slot into
+/// generic harnesses (shard hosts, benchmarks) that drive any
+/// `QMax<I, OrderedF64>`.
+impl<I, Q: QMax<I, OrderedF64>> QMax<I, OrderedF64> for ExpDecayQMax<Q> {
+    fn insert(&mut self, id: I, val: OrderedF64) -> bool {
+        // Inherent inserts take raw f64 and win method resolution at
+        // call sites; this trait path unwraps and re-dispatches.
+        ExpDecayQMax::insert(self, id, val.get())
+    }
+
+    fn query(&mut self) -> Vec<(I, OrderedF64)> {
+        self.backend.query()
+    }
+
+    fn reset(&mut self) {
+        self.backend.reset();
+        self.time = 0;
+    }
+
+    fn q(&self) -> usize {
+        self.backend.q()
+    }
+
+    fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// Always `None`: the stored score of an arriving item depends on
+    /// the arrival *time* (`ln v + i·λ`), so no fixed raw-value cutoff
+    /// is valid for future items — an external Ψ-prefilter comparing
+    /// raw values would wrongly drop recent items whose time boost
+    /// lifts them above older retained scores.
+    fn threshold(&self) -> Option<OrderedF64> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "exp-decay"
+    }
+}
+
+impl<I: Clone, Q: BatchInsert<I, OrderedF64>> BatchInsert<I, OrderedF64> for ExpDecayQMax<Q> {
+    /// Stamps the whole batch with its per-item log-transformed scores
+    /// in one pass, then hands the transformed chunk to the backend's
+    /// batch kernel — on structure-of-arrays backends the branchless
+    /// chunked Ψ-filter runs over the decayed scores.
+    fn insert_batch(&mut self, items: &[(I, OrderedF64)]) -> usize {
+        if self.needs_rebase() {
+            self.rebase();
+        }
+        let mut transformed: Vec<(I, OrderedF64)> = Vec::with_capacity(items.len());
+        for (id, val) in items {
+            let v = val.get();
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "decayed values must be positive and finite"
+            );
+            let score = v.ln() + self.time as f64 * self.lambda;
+            debug_assert!(
+                score.is_finite(),
+                "log-domain score overflowed; rebase failed to bound the offset"
+            );
+            self.time += 1;
+            transformed.push((id.clone(), OrderedF64(score)));
+        }
+        self.backend.insert_batch(&transformed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::amortized::AmortizedQMax;
     use crate::deamortized::DeamortizedQMax;
     use crate::heap::HeapQMax;
+    use crate::soa::SoaAmortizedQMax;
 
     /// Brute-force reference: decayed weight of item i at time t.
     fn reference_top(vals: &[f64], c: f64, q: usize) -> Vec<usize> {
@@ -237,5 +375,79 @@ mod tests {
         assert_eq!(ed.time(), 0);
         ed.insert(0u32, 3.0);
         assert_eq!(ed.query().len(), 1);
+    }
+
+    #[test]
+    fn rebase_preserves_ranking_and_weights() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(3), 0.5);
+        for i in 0..40u32 {
+            ed.insert(i, f64::from(i % 7) + 1.0);
+        }
+        let before: Vec<(u32, f64)> = {
+            let mut v: Vec<(u32, f64)> = ed
+                .query()
+                .into_iter()
+                .map(|(id, s)| (id, ed.decayed_weight(s)))
+                .collect();
+            v.sort_by_key(|a| a.0);
+            v
+        };
+        assert!(ed.log_offset() > 0.0);
+        ed.rebase();
+        assert_eq!(ed.time(), 0);
+        assert_eq!(ed.log_offset(), 0.0);
+        let after: Vec<(u32, f64)> = {
+            let mut v: Vec<(u32, f64)> = ed
+                .query()
+                .into_iter()
+                .map(|(id, s)| (id, ed.decayed_weight(s)))
+                .collect();
+            v.sort_by_key(|a| a.0);
+            v
+        };
+        assert_eq!(before.len(), after.len());
+        for ((id_b, w_b), (id_a, w_a)) in before.iter().zip(&after) {
+            assert_eq!(id_b, id_a);
+            assert!((w_b - w_a).abs() < 1e-9 * w_b.max(1.0), "{w_b} vs {w_a}");
+        }
+        // The structure keeps working after a rebase: recency still wins.
+        for i in 100..140u32 {
+            ed.insert(i, 1.0);
+        }
+        let ids: Vec<u32> = ed.query().into_iter().map(|(id, _)| id).collect();
+        assert!(
+            ids.iter().all(|&id| id >= 137),
+            "stale after rebase: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn batch_insert_matches_singletons_on_soa_backend() {
+        let mut state = 21u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000 + 1) as f64
+        };
+        let vals: Vec<f64> = (0..2000).map(|_| next()).collect();
+        let q = 16;
+        let mut one = ExpDecayQMax::new(AmortizedQMax::new(q, 0.5), 0.9);
+        let mut batch = ExpDecayQMax::new(SoaAmortizedQMax::new(q, 0.5), 0.9);
+        for (i, &v) in vals.iter().enumerate() {
+            one.insert(i as u32, v);
+        }
+        let items: Vec<(u32, OrderedF64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, OrderedF64(v)))
+            .collect();
+        for span in items.chunks(128) {
+            batch.insert_batch(span);
+        }
+        let scores = |v: Vec<(u32, OrderedF64)>| {
+            let mut v: Vec<OrderedF64> = v.into_iter().map(|(_, s)| s).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(scores(one.query()), scores(batch.query()));
     }
 }

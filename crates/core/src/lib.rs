@@ -73,6 +73,9 @@ pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};
 pub use skiplist::{KeyedSkipListQMax, SkipListQMax};
 pub use soa::{SoaAmortizedQMax, SoaDeamortizedQMax};
 pub use sorted_vec::SortedVecQMax;
-pub use time_window::TimeSlackQMax;
-pub use traits::{BatchInsert, QMax};
-pub use window::{BasicSlackQMax, HierSlackQMax, LazySlackQMax};
+pub use time_window::{SoaTimeSlackQMax, TimeSlackQMax};
+pub use traits::{BatchInsert, IntervalBackend, QMax};
+pub use window::{
+    BasicSlackQMax, HierSlackQMax, LazySlackQMax, SoaBasicSlackQMax, SoaHierSlackQMax,
+    SoaLazySlackQMax,
+};

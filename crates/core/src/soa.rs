@@ -33,7 +33,8 @@
 //! move and the split-lane permutation mirroring would buy nothing.
 
 use crate::deamortized::DeamortizedStats;
-use crate::traits::{BatchInsert, QMax};
+use crate::entry::Entry;
+use crate::traits::{BatchInsert, IntervalBackend, QMax};
 use qmax_select::{paired_nth_smallest, Direction, MachineStatus, PairedNthElementMachine};
 
 /// Structure-of-arrays [`AmortizedQMax`](crate::AmortizedQMax): q-MAX
@@ -234,6 +235,34 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaAmortizedQMax<I, V> {
             }
         }
         admitted
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaAmortizedQMax<I, V> {
+    fn fresh(&self) -> Self {
+        SoaAmortizedQMax {
+            q: self.q,
+            cap: self.cap,
+            ids: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+            threshold: None,
+            compactions: 0,
+            filtered: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn candidates_into(&self, out: &mut Vec<Entry<I, V>>) {
+        out.extend(
+            self.ids[..self.len]
+                .iter()
+                .zip(&self.vals[..self.len])
+                .map(|(&id, &v)| Entry::new(id, v)),
+        );
     }
 }
 
@@ -587,6 +616,47 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaDeamortizedQMax<I, V> {
             }
         }
         admitted
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaDeamortizedQMax<I, V> {
+    fn fresh(&self) -> Self {
+        SoaDeamortizedQMax {
+            q: self.q,
+            g: self.g,
+            n: self.n,
+            ids: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+            threshold: None,
+            filling: true,
+            s2_start: self.q + self.g,
+            steps: 0,
+            parity: Parity::InsertRight,
+            machine: None,
+            boundary: 0,
+            budget: self.budget,
+            stats: DeamortizedStats::default(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.n
+    }
+
+    fn candidates_into(&self, out: &mut Vec<Entry<I, V>>) {
+        // Same validity rule as `query`: skip the not-yet-overwritten
+        // tail of the insertion zone.
+        let (live, stale) = if self.filling {
+            (self.len, 0..0)
+        } else {
+            (self.n, self.s2_start + self.steps..self.s2_start + self.g)
+        };
+        for i in 0..live {
+            if !stale.contains(&i) {
+                out.push(Entry::new(self.ids[i], self.vals[i]));
+            }
+        }
     }
 }
 

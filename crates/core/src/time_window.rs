@@ -10,7 +10,8 @@
 
 use crate::amortized::AmortizedQMax;
 use crate::entry::Entry;
-use crate::traits::QMax;
+use crate::soa::SoaAmortizedQMax;
+use crate::traits::IntervalBackend;
 use qmax_select::nth_smallest;
 
 /// q-MAX over a time-based `(W, τ)`-slack window: queries list the `q`
@@ -19,6 +20,13 @@ use qmax_select::nth_smallest;
 ///
 /// Items must be inserted with non-decreasing timestamps (arrival
 /// order), as produced by any single observation point.
+///
+/// Like the count-based windows, the structure is generic over its
+/// per-block [`IntervalBackend`]; the default keeps the historical
+/// array-of-structs [`AmortizedQMax`] blocks, while
+/// [`SoaTimeSlackQMax`] routes each block through the
+/// structure-of-arrays backend so [`TimeSlackQMax::insert_batch`] runs
+/// the branchless batched kernel per block.
 ///
 /// ```
 /// use qmax_core::TimeSlackQMax;
@@ -32,41 +40,68 @@ use qmax_select::nth_smallest;
 /// assert_eq!(top, vec![3]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct TimeSlackQMax<I, V> {
+pub struct TimeSlackQMax<I, V, B = AmortizedQMax<I, V>> {
     q: usize,
     /// Block duration in nanoseconds, `⌈W·τ⌉`.
     block_ns: u64,
     /// Ring of per-block reservoirs; slot = epoch % len.
-    blocks: Vec<AmortizedQMax<I, V>>,
+    blocks: Vec<B>,
     /// Epoch (block index since time 0) of each slot's content;
     /// `u64::MAX` = never used.
     epochs: Vec<u64>,
     /// Most recent timestamp seen (for monotonicity checking).
     last_ts: u64,
+    _marker: crate::window::RingMarker<I, V>,
 }
+
+/// [`TimeSlackQMax`] with structure-of-arrays blocks (`Copy` ids and
+/// values).
+pub type SoaTimeSlackQMax<I, V> = TimeSlackQMax<I, V, SoaAmortizedQMax<I, V>>;
 
 impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
     /// Creates a time-based slack-window q-MAX over windows of
     /// `window_ns` nanoseconds with slack fraction `tau` and per-block
-    /// space-slack `gamma`.
+    /// space-slack `gamma`, backed by array-of-structs
+    /// [`AmortizedQMax`] blocks.
     ///
     /// # Panics
     ///
     /// Panics if `q == 0`, `window_ns == 0`, or `tau` outside `(0, 1]`.
     pub fn new(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
         assert!(q > 0, "q must be positive");
+        Self::with_backend(window_ns, tau, AmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> SoaTimeSlackQMax<I, V> {
+    /// Like [`TimeSlackQMax::new`], but every block is a
+    /// structure-of-arrays [`SoaAmortizedQMax`].
+    pub fn new_soa(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        Self::with_backend(window_ns, tau, SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I, V: Ord, B: IntervalBackend<I, V>> TimeSlackQMax<I, V, B> {
+    /// Creates a time-based slack-window q-MAX whose blocks are stamped
+    /// out of the given backend prototype via
+    /// [`IntervalBackend::fresh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns == 0` or `tau` outside `(0, 1]`.
+    pub fn with_backend(window_ns: u64, tau: f64, proto: B) -> Self {
         assert!(window_ns > 0, "window must be positive");
         assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
         let n_blocks = (1.0 / tau).ceil() as usize;
         let block_ns = window_ns.div_ceil(n_blocks as u64).max(1);
         TimeSlackQMax {
-            q,
+            q: proto.q(),
             block_ns,
-            blocks: (0..n_blocks)
-                .map(|_| AmortizedQMax::new(q, gamma))
-                .collect(),
+            blocks: (0..n_blocks).map(|_| proto.fresh()).collect(),
             epochs: vec![u64::MAX; n_blocks],
             last_ts: 0,
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -85,6 +120,18 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
         self.q
     }
 
+    /// Recycles the slot for `epoch` in place if its content belongs to
+    /// an older epoch, and returns the slot index.
+    fn slot_for(&mut self, epoch: u64) -> usize {
+        let slot = (epoch % self.blocks.len() as u64) as usize;
+        if self.epochs[slot] != epoch {
+            // The slot's previous content is a full window old: recycle.
+            self.blocks[slot].reset();
+            self.epochs[slot] = epoch;
+        }
+        slot
+    }
+
     /// Offers an item observed at `ts_ns`. Timestamps must be
     /// non-decreasing.
     ///
@@ -95,12 +142,7 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
         debug_assert!(ts_ns >= self.last_ts, "timestamps must be non-decreasing");
         self.last_ts = ts_ns;
         let epoch = ts_ns / self.block_ns;
-        let slot = (epoch % self.blocks.len() as u64) as usize;
-        if self.epochs[slot] != epoch {
-            // The slot's previous content is a full window old: recycle.
-            self.blocks[slot].reset();
-            self.epochs[slot] = epoch;
-        }
+        let slot = self.slot_for(epoch);
         self.blocks[slot].insert(id, val)
     }
 
@@ -115,11 +157,7 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
             if e == u64::MAX || e < oldest || e > cur_epoch {
                 continue;
             }
-            scratch.extend(
-                block
-                    .candidates()
-                    .map(|(id, val)| Entry::new(id.clone(), val.clone())),
-            );
+            block.candidates_into(&mut scratch);
         }
         if scratch.len() > self.q {
             let cut = scratch.len() - self.q;
@@ -141,6 +179,45 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
         }
         self.epochs.fill(u64::MAX);
         self.last_ts = 0;
+    }
+}
+
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> TimeSlackQMax<I, V, B> {
+    /// Offers a timestamped batch, in order. Semantically identical to
+    /// calling [`TimeSlackQMax::insert`] per item, but runs of items
+    /// that land in the same time block are forwarded to the block's
+    /// batch kernel in one call, so structure-of-arrays blocks get the
+    /// branchless chunked filter.
+    ///
+    /// Timestamps must be non-decreasing across the batch (and with
+    /// respect to earlier inserts). Returns the number of items
+    /// admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on a timestamp regression.
+    pub fn insert_batch(&mut self, items: &[(I, V, u64)]) -> usize {
+        let mut admitted = 0;
+        let mut scratch: Vec<(I, V)> = Vec::new();
+        let mut i = 0;
+        while i < items.len() {
+            let epoch = items[i].2 / self.block_ns;
+            let mut j = i;
+            scratch.clear();
+            while j < items.len() && items[j].2 / self.block_ns == epoch {
+                debug_assert!(
+                    items[j].2 >= self.last_ts,
+                    "timestamps must be non-decreasing"
+                );
+                self.last_ts = items[j].2;
+                scratch.push((items[j].0.clone(), items[j].1.clone()));
+                j += 1;
+            }
+            let slot = self.slot_for(epoch);
+            admitted += self.blocks[slot].insert_batch(&scratch);
+            i = j;
+        }
+        admitted
     }
 }
 
@@ -255,5 +332,40 @@ mod tests {
         assert!(w.query_at(5).is_empty());
         w.insert(2u32, 20u64, 7);
         assert_eq!(w.query_at(7).len(), 1);
+    }
+
+    #[test]
+    fn batch_insert_equals_singletons_including_soa() {
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let items: Vec<(u32, u64, u64)> = (0..3000u64)
+            .map(|i| (i as u32, next() % 100_000, i * 7))
+            .collect();
+        let mut one = TimeSlackQMax::new(4, 0.5, 4_000, 0.25);
+        let mut batch = TimeSlackQMax::new(4, 0.5, 4_000, 0.25);
+        let mut soa = SoaTimeSlackQMax::new_soa(4, 0.5, 4_000, 0.25);
+        for &(id, v, ts) in &items {
+            one.insert(id, v, ts);
+        }
+        for span in items.chunks(97) {
+            batch.insert_batch(span);
+            soa.insert_batch(span);
+        }
+        let sorted = |mut v: Vec<(u32, u64)>| {
+            v.sort_unstable();
+            v
+        };
+        let vals = |v: Vec<(u32, u64)>| {
+            let mut v: Vec<u64> = v.into_iter().map(|(_, x)| x).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(one.query()), sorted(batch.query()));
+        // SoA may pick different ids among equal values; the value
+        // multisets must agree.
+        assert_eq!(vals(one.query()), vals(soa.query()));
     }
 }

@@ -1,5 +1,8 @@
 //! The q-MAX problem interface.
 
+use crate::entry::Entry;
+use qmax_select::nth_smallest;
+
 /// The q-MAX interface: process a stream of `(id, value)` items and, upon
 /// query, list the `q` items with the largest values.
 ///
@@ -64,6 +67,66 @@ pub trait BatchInsert<I, V>: QMax<I, V> {
     /// Returns the number of items admitted into the candidate set (the
     /// rest were dropped by the admission filter).
     fn insert_batch(&mut self, items: &[(I, V)]) -> usize;
+}
+
+/// A q-MAX backend usable as the per-interval building block of the
+/// variant layers: slack windows ([`crate::BasicSlackQMax`],
+/// [`crate::HierSlackQMax`], [`crate::LazySlackQMax`]), time-based
+/// windows ([`crate::TimeSlackQMax`]), and the LRFU caches.
+///
+/// The variants own many interchangeable interval instances (ring
+/// blocks, a front buffer, per-shard reservoirs) and need three things
+/// beyond [`QMax`] + [`BatchInsert`]:
+///
+/// * **prototype construction** — [`fresh`](IntervalBackend::fresh)
+///   stamps out an empty instance with the same configuration (`q`, γ
+///   geometry), so a window can build its blocks from one caller-made
+///   prototype without knowing the backend's constructor signature;
+/// * **non-consuming summaries** —
+///   [`candidates_into`](IntervalBackend::candidates_into) and
+///   [`top_q_into`](IntervalBackend::top_q_into) read a block's
+///   contents **without mutating it**. This is load-bearing: a window
+///   query merges every retained block, and `LazySlackQMax` pushes a
+///   completed block's summary into its layers; if summarizing
+///   compacted or drained the block (as `query` may), a query would
+///   corrupt blocks that are still inside the window;
+/// * **in-place recycling** — `reset` (from [`QMax`]) must return the
+///   instance to its empty state while keeping its allocations, so
+///   advancing a block ring does not allocate in the hot path.
+pub trait IntervalBackend<I, V: Ord>: BatchInsert<I, V> {
+    /// Creates a fresh, empty instance with the same configuration
+    /// (`q` and space-slack geometry) as `self`, but none of its
+    /// contents. Used by the window constructors to stamp blocks out
+    /// of a prototype.
+    fn fresh(&self) -> Self
+    where
+        Self: Sized;
+
+    /// The backend's fixed candidate capacity (`⌈q(1+γ)⌉`-shaped):
+    /// `len()` never exceeds it, and variant layers use it to bound
+    /// their own populations.
+    fn capacity(&self) -> usize;
+
+    /// Appends the current candidate set — a cheap superset of the top
+    /// `q`, at most the backend's capacity — to `out`, without mutating
+    /// the backend. Window queries merge these supersets and cut to `q`
+    /// once at the end, which is cheaper than per-block exact cuts.
+    fn candidates_into(&self, out: &mut Vec<Entry<I, V>>);
+
+    /// Appends exactly the top `min(q, len)` candidates to `out`,
+    /// without mutating the backend. Used where a *bounded* summary is
+    /// required (e.g. `LazySlackQMax`'s per-block push into its
+    /// layers). The default selects over a scratch tail of `out`.
+    fn top_q_into(&self, out: &mut Vec<Entry<I, V>>) {
+        let start = out.len();
+        self.candidates_into(out);
+        let n = out.len() - start;
+        if n > self.q() {
+            let cut = n - self.q();
+            nth_smallest(&mut out[start..], cut);
+            out.drain(start..start + cut);
+        }
+    }
 }
 
 impl<I, V, Q: QMax<I, V> + ?Sized> QMax<I, V> for Box<Q> {

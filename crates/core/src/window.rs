@@ -13,30 +13,49 @@
 //! * [`LazySlackQMax`] (Theorem 7): a single front-buffer q-MAX absorbs
 //!   every arrival, pushing only per-block top-`q` summaries into the
 //!   layers. `O(1)` amortized update with the hierarchical query time.
+//!
+//! All three are generic over the per-block interval backend via
+//! [`IntervalBackend`]: the default type parameter keeps the historical
+//! array-of-structs [`AmortizedQMax`] behavior (and works for non-`Copy`
+//! ids), while the [`SoaBasicSlackQMax`] / [`SoaHierSlackQMax`] /
+//! [`SoaLazySlackQMax`] aliases route every block through the
+//! structure-of-arrays backend so the branchless batched insert path
+//! applies to windowed streams too. The [`BatchInsert`] impls split each
+//! batch at block boundaries, so batched and singleton insertion are
+//! observably identical.
 
 use crate::amortized::AmortizedQMax;
 use crate::entry::Entry;
-use crate::traits::QMax;
+use crate::soa::SoaAmortizedQMax;
+use crate::traits::{BatchInsert, IntervalBackend, QMax};
 use qmax_select::nth_smallest;
+use std::marker::PhantomData;
+
+/// Marker making a ring invariant in `(I, V)` without owning either
+/// (blocks own the data; the ring is just an indexing scheme).
+pub(crate) type RingMarker<I, V> = PhantomData<fn(I, V) -> (I, V)>;
 
 /// A ring of `blocks` interval q-MAX instances, advanced explicitly.
 ///
 /// The ring retains the current (partial) block plus the `blocks - 1`
-/// most recent completed blocks; advancing recycles the oldest block.
+/// most recent completed blocks; advancing recycles the oldest block
+/// **in place** via [`QMax::reset`] — no per-epoch allocation.
 #[derive(Debug, Clone)]
-struct BlockRing<I, V> {
-    blocks: Vec<AmortizedQMax<I, V>>,
+struct BlockRing<I, V, B> {
+    blocks: Vec<B>,
     /// Epoch of the current block; the block for epoch `e` lives at slot
     /// `e % blocks.len()`.
     epoch: u64,
+    _marker: RingMarker<I, V>,
 }
 
-impl<I: Clone, V: Ord + Clone> BlockRing<I, V> {
-    fn new(blocks: usize, q: usize, gamma: f64) -> Self {
+impl<I, V: Ord, B: IntervalBackend<I, V>> BlockRing<I, V, B> {
+    fn from_proto(blocks: usize, proto: &B) -> Self {
         assert!(blocks >= 1);
         BlockRing {
-            blocks: (0..blocks).map(|_| AmortizedQMax::new(q, gamma)).collect(),
+            blocks: (0..blocks).map(|_| proto.fresh()).collect(),
             epoch: 0,
+            _marker: PhantomData,
         }
     }
 
@@ -53,7 +72,14 @@ impl<I: Clone, V: Ord + Clone> BlockRing<I, V> {
         self.blocks[slot].insert(id, val);
     }
 
-    /// Ends the current block and recycles the oldest one.
+    /// Feeds a batch into the current block (callers must have split the
+    /// batch so it does not cross a block boundary).
+    fn add_batch(&mut self, items: &[(I, V)]) {
+        let slot = self.cur_slot();
+        self.blocks[slot].insert_batch(items);
+    }
+
+    /// Ends the current block and recycles the oldest one in place.
     fn advance(&mut self) {
         self.epoch += 1;
         let slot = self.cur_slot();
@@ -71,15 +97,20 @@ impl<I: Clone, V: Ord + Clone> BlockRing<I, V> {
             let e = oldest + i;
             debug_assert!(e <= self.epoch);
             let slot = (e % n) as usize;
-            collect_top_q(&self.blocks[slot], out);
+            self.blocks[slot].candidates_into(out);
         }
     }
 
     /// Collects the candidates of every retained block, including the
     /// current partial one, into `out`.
+    ///
+    /// Interval blocks may hold up to `q(1+γ)` candidates of which only
+    /// the top `q` are guaranteed to matter; the superset is also
+    /// correct and the final top-`q` cut happens once at the very end of
+    /// the query, so it costs only a constant factor in merge size.
     fn collect_all(&self, out: &mut Vec<Entry<I, V>>) {
         for b in &self.blocks {
-            collect_top_q(b, out);
+            b.candidates_into(out);
         }
     }
 
@@ -89,27 +120,6 @@ impl<I: Clone, V: Ord + Clone> BlockRing<I, V> {
         }
         self.epoch = 0;
     }
-}
-
-/// Pushes a block's top-`q` candidates into `out`.
-///
-/// Interval q-MAX instances may hold up to `q(1+γ)` candidates of which
-/// only the top `q` are guaranteed to matter; taking all candidates is
-/// also correct (a superset) but would inflate merge cost, so blocks are
-/// compacted through their own `query`-equivalent path here.
-fn collect_top_q<I: Clone, V: Ord + Clone>(
-    block: &AmortizedQMax<I, V>,
-    out: &mut Vec<Entry<I, V>>,
-) {
-    // `candidates()` iterates the internal buffer without compaction;
-    // for ring blocks the buffer is at most q(1+γ) entries, and the
-    // final top-q cut happens once at the very end of the query, so a
-    // superset costs only a constant factor in merge size.
-    out.extend(
-        block
-            .candidates()
-            .map(|(id, val)| Entry::new(id.clone(), val.clone())),
-    );
 }
 
 /// q-MAX over a `(W, τ)`-slack window — Algorithm 3 of the paper.
@@ -133,32 +143,59 @@ fn collect_top_q<I: Clone, V: Ord + Clone>(
 /// assert_eq!(top, vec![998, 999]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct BasicSlackQMax<I, V> {
+pub struct BasicSlackQMax<I, V, B = AmortizedQMax<I, V>> {
     q: usize,
     /// Items per block, `⌈Wτ⌉`.
     block_size: usize,
-    ring: BlockRing<I, V>,
+    ring: BlockRing<I, V, B>,
     /// Items inserted into the current block.
     fill: usize,
 }
 
+/// [`BasicSlackQMax`] with structure-of-arrays blocks (`Copy` ids and
+/// values): the batched insert path runs the branchless chunked
+/// Ψ-filter inside every block.
+pub type SoaBasicSlackQMax<I, V> = BasicSlackQMax<I, V, SoaAmortizedQMax<I, V>>;
+
 impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
     /// Creates a slack-window q-MAX over windows of `w` items with slack
-    /// fraction `tau` and per-block space-slack `gamma`.
+    /// fraction `tau` and per-block space-slack `gamma`, backed by
+    /// array-of-structs [`AmortizedQMax`] blocks.
     ///
     /// # Panics
     ///
     /// Panics if `q == 0`, `w == 0`, or `tau` is outside `(0, 1]`.
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
         assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, AmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> SoaBasicSlackQMax<I, V> {
+    /// Like [`BasicSlackQMax::new`], but every block is a
+    /// structure-of-arrays [`SoaAmortizedQMax`].
+    pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I, V: Ord, B: IntervalBackend<I, V>> BasicSlackQMax<I, V, B> {
+    /// Creates a slack-window q-MAX whose blocks are stamped out of the
+    /// given backend prototype via [`IntervalBackend::fresh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `tau` is outside `(0, 1]`.
+    pub fn with_backend(w: usize, tau: f64, proto: B) -> Self {
         assert!(w > 0, "window must be positive");
         assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
         let n_blocks = (1.0 / tau).ceil() as usize;
         let block_size = w.div_ceil(n_blocks).max(1);
         BasicSlackQMax {
-            q,
+            q: proto.q(),
             block_size,
-            ring: BlockRing::new(n_blocks, q, gamma),
+            ring: BlockRing::from_proto(n_blocks, &proto),
             fill: 0,
         }
     }
@@ -202,17 +239,13 @@ impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
             }
             let e = self.ring.epoch - ago;
             let slot = (e % n) as usize;
-            scratch.extend(
-                self.ring.blocks[slot]
-                    .candidates()
-                    .map(|(id, val)| Entry::new(id.clone(), val.clone())),
-            );
+            self.ring.blocks[slot].candidates_into(&mut scratch);
         }
         top_q_entries(scratch, self.q)
     }
 }
 
-impl<I: Clone, V: Ord + Clone> QMax<I, V> for BasicSlackQMax<I, V> {
+impl<I, V: Ord, B: IntervalBackend<I, V>> QMax<I, V> for BasicSlackQMax<I, V, B> {
     fn insert(&mut self, id: I, val: V) -> bool {
         self.ring.add(id, val);
         self.fill += 1;
@@ -242,6 +275,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for BasicSlackQMax<I, V> {
         self.ring.blocks.iter().map(|b| b.len()).sum()
     }
 
+    /// Always `None`: the window's block boundaries are defined by
+    /// *arrival counts*, so an external Ψ-prefilter that drops items
+    /// before they are counted would shift every boundary and change the
+    /// answered window.
     fn threshold(&self) -> Option<V> {
         None
     }
@@ -251,8 +288,28 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for BasicSlackQMax<I, V> {
     }
 }
 
+impl<I, V: Ord, B: IntervalBackend<I, V>> BatchInsert<I, V> for BasicSlackQMax<I, V, B> {
+    /// Splits the batch at block boundaries and feeds each span to the
+    /// current block's own batch kernel — identical admissions and block
+    /// contents to inserting the items one by one.
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut i = 0;
+        while i < items.len() {
+            let take = (self.block_size - self.fill).min(items.len() - i);
+            self.ring.add_batch(&items[i..i + take]);
+            self.fill += take;
+            i += take;
+            if self.fill == self.block_size {
+                self.fill = 0;
+                self.ring.advance();
+            }
+        }
+        items.len()
+    }
+}
+
 /// Cuts a candidate vector down to its `q` largest entries.
-fn top_q_entries<I: Clone, V: Ord + Clone>(mut scratch: Vec<Entry<I, V>>, q: usize) -> Vec<(I, V)> {
+fn top_q_entries<I, V: Ord>(mut scratch: Vec<Entry<I, V>>, q: usize) -> Vec<(I, V)> {
     if scratch.len() > q {
         let cut = scratch.len() - q;
         nth_smallest(&mut scratch, cut);
@@ -271,30 +328,54 @@ fn top_q_entries<I: Clone, V: Ord + Clone>(mut scratch: Vec<Entry<I, V>>, q: usi
 /// patches the uncovered old-end of the window with `≤ b` blocks from
 /// each finer layer, for `O(q·c·b)` query time.
 #[derive(Debug, Clone)]
-pub struct HierSlackQMax<I, V> {
+pub struct HierSlackQMax<I, V, B = AmortizedQMax<I, V>> {
     q: usize,
     /// Base (finest) block size `s ≈ ⌈Wτ⌉`.
     base: usize,
     /// Branching factor `b ≈ ⌈τ^{-1/c}⌉`.
     branch: usize,
     /// `rings[ℓ-1]` is layer ℓ; layer 1 (index 0) is the coarsest.
-    rings: Vec<BlockRing<I, V>>,
+    rings: Vec<BlockRing<I, V, B>>,
     /// Block sizes per layer, `sizes[ℓ-1] = s · b^{c-ℓ}`.
     sizes: Vec<usize>,
     /// Total items inserted.
     count: u64,
 }
 
+/// [`HierSlackQMax`] with structure-of-arrays blocks.
+pub type SoaHierSlackQMax<I, V> = HierSlackQMax<I, V, SoaAmortizedQMax<I, V>>;
+
 impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
     /// Creates a hierarchical slack-window q-MAX with `c` layers over
     /// windows of `w` items with slack `tau` and per-block space-slack
-    /// `gamma`.
+    /// `gamma`, backed by array-of-structs [`AmortizedQMax`] blocks.
     ///
     /// # Panics
     ///
     /// Panics if `q == 0`, `w == 0`, `c == 0`, or `tau` outside `(0, 1]`.
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
         assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, c, AmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> SoaHierSlackQMax<I, V> {
+    /// Like [`HierSlackQMax::new`], but every block is a
+    /// structure-of-arrays [`SoaAmortizedQMax`].
+    pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, c, SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I, V: Ord, B: IntervalBackend<I, V>> HierSlackQMax<I, V, B> {
+    /// Creates a hierarchical slack-window q-MAX whose blocks are
+    /// stamped out of the given backend prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`, `c == 0`, or `tau` outside `(0, 1]`.
+    pub fn with_backend(w: usize, tau: f64, c: usize, proto: B) -> Self {
         assert!(w > 0, "window must be positive");
         assert!(c > 0, "c must be positive");
         assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
@@ -312,10 +393,10 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
             // b^ℓ − 1 full ones, spanning between w − size and w items.
             let blocks = branch.pow(level as u32);
             sizes.push(size);
-            rings.push(BlockRing::new(blocks, q, gamma));
+            rings.push(BlockRing::from_proto(blocks, &proto));
         }
         HierSlackQMax {
-            q,
+            q: proto.q(),
             base,
             branch,
             rings,
@@ -338,9 +419,19 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
     pub fn effective_window(&self) -> usize {
         self.base * self.branch.pow(self.rings.len() as u32)
     }
+
+    /// Advances every ring whose block boundary coincides with the
+    /// current item count.
+    fn advance_full_rings(&mut self) {
+        for (ring, &size) in self.rings.iter_mut().zip(&self.sizes) {
+            if self.count.is_multiple_of(size as u64) {
+                ring.advance();
+            }
+        }
+    }
 }
 
-impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> QMax<I, V> for HierSlackQMax<I, V, B> {
     fn insert(&mut self, id: I, val: V) -> bool {
         let last = self.rings.len() - 1;
         for ring in &mut self.rings[..last] {
@@ -348,11 +439,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
         }
         self.rings[last].add(id, val);
         self.count += 1;
-        for (ring, &size) in self.rings.iter_mut().zip(&self.sizes) {
-            if self.count.is_multiple_of(size as u64) {
-                ring.advance();
-            }
-        }
+        self.advance_full_rings();
         true
     }
 
@@ -362,7 +449,7 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
         // Coarsest layer: merge everything it retains. It covers
         // [start_1, count) with start_1 aligned down to its block size.
         self.rings[0].collect_all(&mut scratch);
-        let covered_start = |ring: &BlockRing<I, V>, size: u64, count: u64| -> u64 {
+        let covered_start = |ring: &BlockRing<I, V, B>, size: u64, count: u64| -> u64 {
             let retained = (ring.n_blocks() as u64 - 1).min(ring.epoch);
             (count / size) * size - retained * size
         };
@@ -406,12 +493,38 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
             .sum()
     }
 
+    /// Always `None` — see [`BasicSlackQMax::threshold`].
     fn threshold(&self) -> Option<V> {
         None
     }
 
     fn name(&self) -> &'static str {
         "slack-hier"
+    }
+}
+
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> BatchInsert<I, V>
+    for HierSlackQMax<I, V, B>
+{
+    /// Splits the batch at the nearest block boundary across *all*
+    /// layers, multicasts each span to every layer's current block, and
+    /// advances exactly the rings a singleton loop would advance.
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut i = 0;
+        while i < items.len() {
+            let mut take = items.len() - i;
+            for &size in &self.sizes {
+                let room = size as u64 - (self.count % size as u64);
+                take = take.min(room as usize);
+            }
+            for ring in &mut self.rings {
+                ring.add_batch(&items[i..i + take]);
+            }
+            self.count += take as u64;
+            self.advance_full_rings();
+            i += take;
+        }
+        items.len()
     }
 }
 
@@ -424,10 +537,10 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for HierSlackQMax<I, V> {
 /// structure, giving `O(1)` amortized update with the hierarchical
 /// query cost.
 #[derive(Debug, Clone)]
-pub struct LazySlackQMax<I, V> {
+pub struct LazySlackQMax<I, V, B = AmortizedQMax<I, V>> {
     q: usize,
-    front: AmortizedQMax<I, V>,
-    hier: HierSlackQMax<I, V>,
+    front: B,
+    hier: HierSlackQMax<I, V, B>,
     /// Items inserted into the current base block.
     fill: usize,
     /// Deferred-feed queue (deamortized mode): the previous block's
@@ -440,24 +553,20 @@ pub struct LazySlackQMax<I, V> {
     drain_rate: usize,
 }
 
+/// [`LazySlackQMax`] with a structure-of-arrays front buffer and blocks.
+pub type SoaLazySlackQMax<I, V> = LazySlackQMax<I, V, SoaAmortizedQMax<I, V>>;
+
 impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     /// Creates a lazy slack-window q-MAX with `c` layers over windows of
-    /// `w` items with slack `tau` and space-slack `gamma`.
+    /// `w` items with slack `tau` and space-slack `gamma`, backed by
+    /// array-of-structs [`AmortizedQMax`] blocks.
     ///
     /// # Panics
     ///
     /// Same conditions as [`HierSlackQMax::new`].
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
-        let hier = HierSlackQMax::new(q, gamma, w, tau, c);
-        LazySlackQMax {
-            q,
-            front: AmortizedQMax::new(q, gamma),
-            hier,
-            fill: 0,
-            pending: None,
-            pending_pad: 0,
-            drain_rate: 0,
-        }
+        assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, c, AmortizedQMax::new(q, gamma))
     }
 
     /// Like [`LazySlackQMax::new`], but the per-block summary feed into
@@ -468,11 +577,56 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     /// slack. The remaining per-block spike is the `O(q(1+γ))` summary
     /// extraction from the front buffer.
     pub fn new_deamortized(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
-        let mut this = Self::new(q, gamma, w, tau, c);
+        assert!(q > 0, "q must be positive");
+        Self::with_backend_deamortized(w, tau, c, AmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> SoaLazySlackQMax<I, V> {
+    /// Like [`LazySlackQMax::new`], but the front buffer and every block
+    /// are structure-of-arrays [`SoaAmortizedQMax`] instances.
+    pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        Self::with_backend(w, tau, c, SoaAmortizedQMax::new(q, gamma))
+    }
+
+    /// [`LazySlackQMax::new_deamortized`] over structure-of-arrays
+    /// backends.
+    pub fn new_soa_deamortized(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        Self::with_backend_deamortized(w, tau, c, SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> LazySlackQMax<I, V, B> {
+    /// Creates a lazy slack-window q-MAX whose front buffer and blocks
+    /// are stamped out of the given backend prototype.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`HierSlackQMax::with_backend`].
+    pub fn with_backend(w: usize, tau: f64, c: usize, proto: B) -> Self {
+        let front = proto.fresh();
+        let hier = HierSlackQMax::with_backend(w, tau, c, proto);
+        LazySlackQMax {
+            q: hier.q,
+            front,
+            hier,
+            fill: 0,
+            pending: None,
+            pending_pad: 0,
+            drain_rate: 0,
+        }
+    }
+
+    /// [`LazySlackQMax::new_deamortized`] with a caller-chosen backend
+    /// prototype.
+    pub fn with_backend_deamortized(w: usize, tau: f64, c: usize, proto: B) -> Self {
+        let mut this = Self::with_backend(w, tau, c, proto);
         // Drain fast enough to empty a q-item summary well within the
         // base block, with constant-bounded work per arrival whenever
         // W = Omega(q / tau) as Theorem 7 assumes.
-        this.drain_rate = q.div_ceil(this.hier.base_block()) * 2 + 2;
+        this.drain_rate = this.q.div_ceil(this.hier.base_block()) * 2 + 2;
         this.pending = Some(std::collections::VecDeque::new());
         this
     }
@@ -512,6 +666,43 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
         }
     }
 
+    /// Closes the current base block: extracts the front buffer's top-q
+    /// summary **without consuming the buffer** (it is recycled in place
+    /// right after), pushes it into the layers (or queues it in deferred
+    /// mode), and settles the layers' counter padding.
+    fn complete_block(&mut self) {
+        let mut summary = Vec::new();
+        self.front.top_q_into(&mut summary);
+        if self.pending.is_some() {
+            // Deferred mode: settle the previous block completely,
+            // then queue this block's summary for lazy feeding.
+            self.flush_pending();
+            self.pending_pad = self.hier.base_block();
+            let base = self.hier.base_block();
+            let pending = self.pending.as_mut().expect("deferred mode");
+            pending.extend(summary.into_iter().take(base).map(|e| (e.id, e.val)));
+        } else {
+            // Immediate mode: push the block's top-q summary into
+            // every layer, then pad the layers' item counters to
+            // keep block boundaries aligned with real stream
+            // positions.
+            let pad = self.hier.base_block() - summary.len().min(self.hier.base_block());
+            for e in summary {
+                self.hier.insert(e.id, e.val);
+            }
+            self.hier.count += pad as u64;
+            for (ring, &size) in self.hier.rings.iter_mut().zip(&self.hier.sizes) {
+                let before = (self.hier.count - pad as u64) / size as u64;
+                let after = self.hier.count / size as u64;
+                for _ in before..after {
+                    ring.advance();
+                }
+            }
+        }
+        self.front.reset();
+        self.fill = 0;
+    }
+
     /// The effective window length.
     pub fn effective_window(&self) -> usize {
         self.hier.effective_window()
@@ -524,7 +715,7 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     }
 }
 
-impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> QMax<I, V> for LazySlackQMax<I, V, B> {
     fn insert(&mut self, id: I, val: V) -> bool {
         if self.pending.is_some() {
             self.drain_pending(self.drain_rate);
@@ -532,42 +723,14 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
         self.front.insert(id, val);
         self.fill += 1;
         if self.fill == self.hier.base_block() {
-            let summary = self.front.query();
-            if self.pending.is_some() {
-                // Deferred mode: settle the previous block completely,
-                // then queue this block's summary for lazy feeding.
-                self.flush_pending();
-                self.pending_pad = self.hier.base_block();
-                let pending = self.pending.as_mut().expect("deferred mode");
-                let base = self.hier.base_block();
-                pending.extend(summary.into_iter().take(base));
-            } else {
-                // Immediate mode: push the block's top-q summary into
-                // every layer, then pad the layers' item counters to
-                // keep block boundaries aligned with real stream
-                // positions.
-                let pad = self.hier.base_block() - summary.len().min(self.hier.base_block());
-                for (id, val) in summary {
-                    self.hier.insert(id, val);
-                }
-                self.hier.count += pad as u64;
-                for (ring, &size) in self.hier.rings.iter_mut().zip(&self.hier.sizes) {
-                    let before = (self.hier.count - pad as u64) / size as u64;
-                    let after = self.hier.count / size as u64;
-                    for _ in before..after {
-                        ring.advance();
-                    }
-                }
-            }
-            self.front.reset();
-            self.fill = 0;
+            self.complete_block();
         }
         true
     }
 
     fn query(&mut self) -> Vec<(I, V)> {
         let mut scratch = Vec::new();
-        collect_top_q(&self.front, &mut scratch);
+        self.front.candidates_into(&mut scratch);
         if let Some(pending) = &self.pending {
             // Deferred items are recent and still in the window.
             scratch.extend(
@@ -600,8 +763,12 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
         self.front.len() + self.hier.len() + self.pending.as_ref().map_or(0, |p| p.len())
     }
 
+    /// Always `None`. The front buffer does have an internal Ψ, but
+    /// block boundaries are defined by *arrival counts* (`fill`), so an
+    /// external prefilter dropping items before they are counted would
+    /// shift every boundary — see [`BasicSlackQMax::threshold`].
     fn threshold(&self) -> Option<V> {
-        self.front.threshold()
+        None
     }
 
     fn name(&self) -> &'static str {
@@ -610,6 +777,33 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for LazySlackQMax<I, V> {
         } else {
             "slack-lazy"
         }
+    }
+}
+
+impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> BatchInsert<I, V>
+    for LazySlackQMax<I, V, B>
+{
+    /// Splits the batch at base-block boundaries and feeds each span to
+    /// the front buffer's batch kernel. In deferred mode the pending
+    /// queue is drained by `drain_rate` per *arrival* (one bulk drain of
+    /// `drain_rate · span` items per span), which drains exactly as many
+    /// items as the singleton loop would have by each block boundary —
+    /// refills only happen at boundaries, where spans end.
+    fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
+        let mut i = 0;
+        while i < items.len() {
+            let take = (self.hier.base_block() - self.fill).min(items.len() - i);
+            if self.pending.is_some() {
+                self.drain_pending(self.drain_rate.saturating_mul(take));
+            }
+            self.front.insert_batch(&items[i..i + take]);
+            self.fill += take;
+            i += take;
+            if self.fill == self.hier.base_block() {
+                self.complete_block();
+            }
+        }
+        items.len()
     }
 }
 
@@ -791,7 +985,7 @@ mod tests {
         let tau = 1.0 / 16.0;
         let mut sw = LazySlackQMax::new(q, 0.5, w, tau, 2);
         let w_eff = sw.effective_window();
-        let slack = sw.hier.base_block();
+        let slack = sw.base_block();
         let mut vals = Vec::new();
         for i in 0..6000u64 {
             let v = splitmix(&mut state) % 1_000_000;
@@ -898,5 +1092,71 @@ mod tests {
         assert!(b.query().is_empty());
         assert!(h.query().is_empty());
         assert!(l.query().is_empty());
+    }
+
+    #[test]
+    fn soa_windows_satisfy_the_slack_contract() {
+        let mut state = 5u64;
+        let q = 4;
+        let w = 128;
+        let tau = 0.25;
+        let mut sw = SoaBasicSlackQMax::new_soa(q, 0.5, w, tau);
+        let s = sw.block_size();
+        let w_eff = sw.effective_window();
+        let mut vals = Vec::new();
+        for i in 0..5000u64 {
+            let v = splitmix(&mut state) % 1_000_000;
+            vals.push(v);
+            sw.insert(i as u32, v);
+            if i % 41 == 0 && vals.len() >= w_eff {
+                let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+                assert_slack_window_result(&vals, &mut got, q, w_eff - s, w_eff);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_equals_singletons_across_variants() {
+        let mut state = 17u64;
+        let items: Vec<(u32, u64)> = (0..4000)
+            .map(|i| (i as u32, splitmix(&mut state) % 100_000))
+            .collect();
+        for chunk in [1usize, 7, 64, 333, 1024] {
+            let mut b_one = BasicSlackQMax::new(4, 0.5, 128, 0.25);
+            let mut b_batch = BasicSlackQMax::new(4, 0.5, 128, 0.25);
+            let mut h_one = HierSlackQMax::new(3, 0.5, 216, 1.0 / 27.0, 3);
+            let mut h_batch = HierSlackQMax::new(3, 0.5, 216, 1.0 / 27.0, 3);
+            let mut l_one = LazySlackQMax::new_deamortized(3, 0.5, 256, 1.0 / 16.0, 2);
+            let mut l_batch = LazySlackQMax::new_deamortized(3, 0.5, 256, 1.0 / 16.0, 2);
+            for &(id, v) in &items {
+                b_one.insert(id, v);
+                h_one.insert(id, v);
+                l_one.insert(id, v);
+            }
+            for span in items.chunks(chunk) {
+                b_batch.insert_batch(span);
+                h_batch.insert_batch(span);
+                l_batch.insert_batch(span);
+            }
+            let sorted = |mut v: Vec<(u32, u64)>| {
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                sorted(b_one.query()),
+                sorted(b_batch.query()),
+                "basic chunk={chunk}"
+            );
+            assert_eq!(
+                sorted(h_one.query()),
+                sorted(h_batch.query()),
+                "hier chunk={chunk}"
+            );
+            assert_eq!(
+                sorted(l_one.query()),
+                sorted(l_batch.query()),
+                "lazy chunk={chunk}"
+            );
+        }
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::shard_key::ShardKey;
 use qmax_core::{
-    BatchInsert, DeamortizedQMax, DeamortizedStats, Entry, QMax, SoaAmortizedQMax,
-    SoaDeamortizedQMax,
+    BatchInsert, DeamortizedQMax, DeamortizedStats, Entry, ExpDecayQMax, OrderedF64, QMax,
+    SoaAmortizedQMax, SoaBasicSlackQMax, SoaDeamortizedQMax,
 };
 use qmax_select::nth_smallest;
 use qmax_traces::hash;
@@ -293,6 +293,62 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
     /// and finite.
     pub fn new_soa_amortized(q: usize, gamma: f64, shards: usize) -> Self {
         Self::with_backends(q, shards, |_| SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaBasicSlackQMax<I, V>> {
+    /// Creates `shards` structure-of-arrays slack-window shards
+    /// ([`SoaBasicSlackQMax`]): each shard tracks the top-`q` of its
+    /// sub-stream over a count-based `(W/S, τ)`-slack window, so the
+    /// merged query approximates the global top-`q` of the last `w`
+    /// arrivals (hash partitioning spreads a window of `w` global
+    /// arrivals across shards as ≈ `w/S` arrivals each; per-shard
+    /// block boundaries therefore jitter by the partition's deviation
+    /// from a perfect split, which concentrates tightly for `w ≫ S`).
+    ///
+    /// Window shards report no admission threshold (block boundaries
+    /// count *arrivals*, so dropping items early would shift them);
+    /// [`ShardedQMax::insert_batch`] detects that and routes every item
+    /// through, still batching per-shard runs through the SoA kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, `gamma` is not positive and
+    /// finite, `w == 0`, or `tau` is outside `(0, 1]`.
+    pub fn new_windowed_soa(q: usize, gamma: f64, shards: usize, w: usize, tau: f64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(w > 0, "window must be positive");
+        let per_shard_w = (w / shards).max(1);
+        Self::with_backends(q, shards, |_| {
+            SoaBasicSlackQMax::new_soa(q, gamma, per_shard_w, tau)
+        })
+    }
+}
+
+impl<I: Copy> ShardedQMax<I, OrderedF64, ExpDecayQMax<SoaAmortizedQMax<I, OrderedF64>>> {
+    /// Creates `shards` exponential-decay shards over structure-of-arrays
+    /// reservoirs: each shard ages its sub-stream with per-shard decay
+    /// `c^S`, so an item `k` *global* arrivals old has decayed by
+    /// ≈ `c^k` (its shard saw ≈ `k/S` of those arrivals). The decay
+    /// clock advances per shard-local arrival, so the equivalence is in
+    /// expectation over the hash partition.
+    ///
+    /// Decayed shards report no admission threshold (an arriving item's
+    /// stored score depends on its arrival time), disabling the
+    /// engine's Ψ-prefilter; per-shard runs still flow through the SoA
+    /// batch kernel with the log transform applied once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, `gamma` is not positive and
+    /// finite, or `c` is outside `(0, 1]`.
+    pub fn new_decayed_soa(q: usize, gamma: f64, shards: usize, c: f64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
+        let c_shard = c.powf(shards as f64).max(f64::MIN_POSITIVE);
+        Self::with_backends(q, shards, |_| {
+            ExpDecayQMax::new(SoaAmortizedQMax::new(q, gamma), c_shard)
+        })
     }
 }
 
@@ -596,6 +652,51 @@ mod tests {
             items.len() as u64
         );
         assert_eq!(engine.shard_stats().len(), 4);
+    }
+
+    #[test]
+    fn windowed_shards_expire_old_items_and_track_recent_top() {
+        let q = 8;
+        let w = 10_000;
+        let mut engine = ShardedQMax::new_windowed_soa(q, 0.5, 4, w, 0.25);
+        // An early burst of huge values, then several windows of
+        // moderate ones: the burst must age out of every shard.
+        let huge: Vec<(u64, u64)> = (0..100u64).map(|i| (i, 1_000_000_000 + i)).collect();
+        engine.insert_batch(&huge);
+        let recent: Vec<(u64, u64)> = (0..(4 * w) as u64)
+            .map(|i| (100 + i, 1_000 + hash::mix64(i) % 100_000))
+            .collect();
+        for chunk in recent.chunks(1024) {
+            engine.insert_batch(chunk);
+        }
+        let got: Vec<u64> = engine.query().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(got.len(), q);
+        assert!(
+            got.iter().all(|&v| v < 1_000_000_000),
+            "expired burst leaked through a shard window: {got:?}"
+        );
+        // Window shards must disable the Ψ-prefilter entirely.
+        assert_eq!(engine.threshold(), None);
+        assert_eq!(engine.prefiltered(), 0);
+    }
+
+    #[test]
+    fn decayed_shards_prefer_recent_items() {
+        use qmax_core::OrderedF64;
+        let q = 8;
+        let mut engine = ShardedQMax::new_decayed_soa(q, 0.5, 4, 0.9);
+        // One huge early item, then a long run of small ones: decay
+        // must sink the early item below the recent tail.
+        engine.insert_batch(&[(0u64, OrderedF64(1e9))]);
+        let tail: Vec<(u64, OrderedF64)> = (1..5_000u64).map(|i| (i, OrderedF64(2.0))).collect();
+        for chunk in tail.chunks(512) {
+            engine.insert_batch(chunk);
+        }
+        let ids: Vec<u64> = engine.query().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), q);
+        assert!(!ids.contains(&0), "decayed item survived: {ids:?}");
+        assert_eq!(engine.threshold(), None);
+        assert_eq!(engine.prefiltered(), 0);
     }
 
     #[test]

@@ -3,28 +3,36 @@
 //!
 //! [`crate::QMaxLrfu`] runs an `O(q)` maintenance pass once per
 //! `⌈qγ⌉` requests; this variant pipelines that pass across requests
-//! so *every* request performs `O(γ⁻¹)` work:
+//! so *every* request is charged `O(γ⁻¹)` work units:
 //!
-//! 1. **Refresh** — copy the live `(key, score)` registry into a stale
-//!    snapshot array, a few slots per miss;
-//! 2. **Select** — run the suspendable selection machine over the
-//!    snapshot to find its `E`-th smallest score, where `E` is the
-//!    number of entries above the target population;
-//! 3. **Evict** — walk the snapshot's bottom `E` entries, removing each
-//!    from the cache *unless its score was bumped since the snapshot*
-//!    (a bumped entry was hit, so it stays).
+//! 1. **Refresh** — feed the live `(slot, score)` registry into a q-MAX
+//!    *snapshot backend*, a bounded chunk per miss. The backend's
+//!    admission threshold Ψ converges to (at most) the q-th largest
+//!    snapshot score;
+//! 2. **Evict** — walk the registry slots covered by the snapshot,
+//!    removing each key whose snapshot score is **strictly below** Ψ —
+//!    unless its score was bumped since the snapshot (a bumped entry
+//!    was hit, so it stays).
 //!
 //! Hits never touch the pipeline: they bump the key's log-score in the
-//! registry in `O(1)`. The eviction guard preserves the paper's LRFU
-//! guarantee — the `q` highest-score keys are never evicted: scores
-//! only grow, so a key in the current top `q` was already in the
-//! snapshot's top `q` (and the machine never selects those), or it
-//! arrived after the snapshot (and is not evictable this round).
+//! registry in `O(1)`. The eviction rule preserves the paper's LRFU
+//! guarantee — the `q` highest-score keys are never evicted: Ψ never
+//! exceeds the q-th largest snapshot score, scores only grow, and the
+//! comparison is strict, so every current top-`q` key scores at least
+//! Ψ (or arrived after the snapshot and is not evictable this round).
+//!
+//! The snapshot backend is an [`IntervalBackend`] (default: the
+//! array-of-structs [`AmortizedQMax`]), so the structure-of-arrays
+//! backend's batched value-lane kernels apply to the refresh feed.
+//! With the default *amortized* backend a refresh chunk may absorb one
+//! `O(q)` internal compaction — the work-unit *charge* stays bounded,
+//! the wall-clock spike does not; hosting the snapshot in
+//! [`qmax_core::DeamortizedQMax`] (or its SoA twin) restores a strict
+//! worst-case bound at the cost of `2g` extra snapshot slots.
 
 use crate::score::DecayScore;
 use crate::Cache;
-use qmax_core::{Entry, OrderedF64};
-use qmax_select::{Direction, NthElementMachine, WORK_BOUND_FACTOR};
+use qmax_core::{AmortizedQMax, IntervalBackend, OrderedF64, SoaAmortizedQMax};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -34,27 +42,28 @@ struct Info {
     idx: usize,
     /// Current log-score.
     w: f64,
+    /// Log-score at the time the current snapshot covered this key.
+    snap_w: f64,
+    /// Refresh round that last covered this key (0 = never).
+    snap_round: u64,
 }
 
-#[derive(Debug)]
-enum Phase<K> {
+#[derive(Debug, Clone, Copy)]
+enum Phase {
     /// Waiting for the population to exceed `q + g`.
     Idle,
-    /// Copying registry slots `next..snap_len` into the snapshot.
+    /// Feeding registry slots `next..snap_len` into the snapshot.
     Refresh { next: usize },
-    /// Selecting the `evict`-th smallest snapshot score.
-    Select {
-        machine: NthElementMachine<Entry<K, OrderedF64>>,
-        evict: usize,
-    },
-    /// Evicting snapshot slots `next..evict` (skipping bumped keys).
-    Evict { next: usize, evict: usize },
+    /// Examining registry slots `cursor..0` (descending, so
+    /// swap-removes only disturb already-visited slots) against the
+    /// snapshot threshold `psi`.
+    Evict { cursor: usize, psi: OrderedF64 },
 }
 
 /// Counters describing the de-amortized execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeamortizedLrfuStats {
-    /// Completed refresh→select→evict pipelines.
+    /// Completed refresh→evict pipelines.
     pub iterations: u64,
     /// Evictions skipped because the key was re-requested mid-pipeline.
     pub eviction_skips: u64,
@@ -62,29 +71,36 @@ pub struct DeamortizedLrfuStats {
     pub max_step_units: u64,
 }
 
-/// LRFU with worst-case `O(γ⁻¹)` work per request and population
-/// between `q` and roughly `q(1+γ)` keys.
+/// LRFU with worst-case `O(γ⁻¹)` charged work per request and
+/// population between `q` and roughly `q(1+γ) + 3⌈qγ/2⌉` keys.
 #[derive(Debug)]
-pub struct DeamortizedLrfu<K> {
+pub struct DeamortizedLrfu<K, B = AmortizedQMax<u64, OrderedF64>> {
     q: usize,
     /// Pipeline granularity `⌈qγ/2⌉`.
     g: usize,
     score: DecayScore,
     map: HashMap<K, Info>,
     keys: Vec<K>,
-    snapshot: Vec<Entry<K, OrderedF64>>,
-    /// Number of valid snapshot slots (registry size at refresh start).
+    /// Snapshot backend: refreshed from the registry each round; its
+    /// threshold Ψ after a full refresh is the eviction cutoff.
+    snap: B,
+    /// Number of registry slots covered by the current snapshot.
     snap_len: usize,
-    phase: Phase<K>,
+    /// Refresh round counter (stamps [`Info::snap_round`]).
+    round: u64,
+    phase: Phase,
     /// Per-miss pipeline budget in work units.
     budget: usize,
     time: u64,
     stats: DeamortizedLrfuStats,
 }
 
+/// [`DeamortizedLrfu`] with a structure-of-arrays snapshot backend.
+pub type SoaDeamortizedLrfu<K> = DeamortizedLrfu<K, SoaAmortizedQMax<u64, OrderedF64>>;
+
 impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
     /// Creates a de-amortized LRFU cache that never evicts the `q`
-    /// highest-score keys, holds at most about `q(1+γ) + O(1)` keys,
+    /// highest-score keys, holds at most about `q(1+γ) + 3⌈qγ/2⌉` keys,
     /// and decays with parameter `c`.
     ///
     /// # Panics
@@ -97,20 +113,54 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
             gamma > 0.0 && gamma.is_finite(),
             "gamma must be positive and finite"
         );
+        Self::with_snapshot(gamma, c, AmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<K: Clone + Hash + Eq> SoaDeamortizedLrfu<K> {
+    /// Like [`DeamortizedLrfu::new`], but the snapshot lives in a
+    /// structure-of-arrays backend, so the refresh feed runs the
+    /// branchless batched kernel.
+    pub fn new_soa(q: usize, gamma: f64, c: f64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
+        Self::with_snapshot(gamma, c, SoaAmortizedQMax::new(q, gamma))
+    }
+}
+
+impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> DeamortizedLrfu<K, B> {
+    /// Creates a de-amortized LRFU cache around the given snapshot
+    /// backend prototype; `proto.q()` is the cache target `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not positive and finite or `c` is outside
+    /// `(0, 1)`.
+    pub fn with_snapshot(gamma: f64, c: f64, proto: B) -> Self {
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
+        let q = proto.q();
         let g = (((q as f64) * gamma / 2.0).ceil() as usize).max(3);
-        // The pipeline must finish within g misses: refresh copies
-        // q + 2g slots, selection costs WORK_BOUND_FACTOR * (q + 2g)
-        // units, eviction walks at most q + 2g slots.
-        let total_work = (WORK_BOUND_FACTOR + 2) * (q + 2 * g);
-        let budget = total_work.div_ceil(g) + WORK_BOUND_FACTOR;
+        // The pipeline must finish within g misses: refresh feeds at
+        // most (population bound) slots at one unit each, eviction
+        // examines the same slots at two units each, plus transitions.
+        let hi = proto.capacity() + 3 * g;
+        let total_work = 3 * hi + 4;
+        let budget = total_work.div_ceil(g) + 1;
         DeamortizedLrfu {
             q,
             g,
             score: DecayScore::new(c),
             map: HashMap::new(),
             keys: Vec::new(),
-            snapshot: Vec::new(),
+            snap: proto.fresh(),
             snap_len: 0,
+            round: 0,
             phase: Phase::Idle,
             budget,
             time: 0,
@@ -142,74 +192,72 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
     /// Advances the maintenance pipeline by at most `budget` units.
     fn advance(&mut self) {
         let mut rem = self.budget as i64;
-        let step_units = self.budget as u64;
+        let mut scratch: Vec<(u64, OrderedF64)> = Vec::new();
         while rem > 0 {
-            match &mut self.phase {
+            match self.phase {
                 Phase::Idle => {
                     if self.map.len() <= self.q + self.g {
                         break;
                     }
                     self.snap_len = self.keys.len();
-                    if self.snapshot.len() < self.snap_len {
-                        // One-off growth; amortizes over the stream.
-                        self.snapshot.resize(
-                            self.snap_len,
-                            Entry::new(self.keys[0].clone(), OrderedF64(0.0)),
-                        );
-                    }
+                    self.round += 1;
+                    self.snap.reset();
                     self.phase = Phase::Refresh { next: 0 };
                     rem -= 1;
                 }
                 Phase::Refresh { next } => {
-                    if *next >= self.snap_len {
-                        // Snapshot complete: how many entries exceed the
-                        // target population of q?
-                        let evict = self.snap_len - self.q;
-                        debug_assert!(evict >= 1);
-                        let machine = NthElementMachine::new(
-                            0,
-                            self.snap_len,
-                            evict - 1,
-                            Direction::Ascending,
-                        );
-                        self.phase = Phase::Select { machine, evict };
+                    if next >= self.snap_len {
+                        match self.snap.threshold() {
+                            Some(psi) => {
+                                self.phase = Phase::Evict {
+                                    cursor: self.snap_len,
+                                    psi,
+                                };
+                            }
+                            None => {
+                                // The snapshot fit the backend without a
+                                // single compaction, so no score is
+                                // provably outside the top q: nothing to
+                                // evict this round.
+                                self.stats.iterations += 1;
+                                self.phase = Phase::Idle;
+                            }
+                        }
                         rem -= 1;
                     } else {
-                        let i = *next;
-                        let key = self.keys[i].clone();
-                        let w = self.map.get(&key).expect("registry in sync").w;
-                        self.snapshot[i] = Entry::new(key, OrderedF64(w));
-                        *next += 1;
-                        rem -= 1;
+                        let take = (self.snap_len - next).min(rem as usize);
+                        scratch.clear();
+                        for i in next..next + take {
+                            let key = &self.keys[i];
+                            let info = self.map.get_mut(key).expect("registry in sync");
+                            info.snap_w = info.w;
+                            info.snap_round = self.round;
+                            scratch.push((i as u64, OrderedF64(info.w)));
+                        }
+                        self.snap.insert_batch(&scratch);
+                        self.phase = Phase::Refresh { next: next + take };
+                        rem -= take as i64;
                     }
                 }
-                Phase::Select { machine, evict } => {
-                    let before = machine.total_ops();
-                    machine.step(&mut self.snapshot[..self.snap_len], rem as usize);
-                    rem -= (machine.total_ops() - before) as i64;
-                    if machine.is_finished() {
-                        let evict = *evict;
-                        self.phase = Phase::Evict { next: 0, evict };
-                    }
-                }
-                Phase::Evict { next, evict } => {
-                    if *next >= *evict {
+                Phase::Evict { cursor, psi } => {
+                    if cursor == 0 {
                         self.stats.iterations += 1;
                         self.phase = Phase::Idle;
                         rem -= 1;
                     } else {
-                        let entry = self.snapshot[*next].clone();
-                        *next += 1;
+                        let i = cursor - 1;
+                        self.phase = Phase::Evict { cursor: i, psi };
                         rem -= 2;
-                        match self.map.get(&entry.id) {
-                            Some(info) if info.w == entry.val.get() => {
-                                let idx = info.idx;
-                                self.remove_slot(idx);
+                        debug_assert!(i < self.keys.len(), "registry shrank past cursor");
+                        let info = *self.map.get(&self.keys[i]).expect("registry in sync");
+                        if info.snap_round == self.round && OrderedF64(info.snap_w) < psi {
+                            if info.w == info.snap_w {
+                                self.remove_slot(i);
+                            } else {
+                                // Bumped since the snapshot: it was hit,
+                                // so it stays this round.
+                                self.stats.eviction_skips += 1;
                             }
-                            Some(_) => self.stats.eviction_skips += 1,
-                            // Already gone (cannot happen: snapshot keys
-                            // are unique and only this phase removes).
-                            None => debug_assert!(false, "snapshot key vanished"),
                         }
                     }
                 }
@@ -217,11 +265,10 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
         }
         let used = self.budget as i64 - rem;
         self.stats.max_step_units = self.stats.max_step_units.max(used.max(0) as u64);
-        let _ = step_units;
     }
 }
 
-impl<K: Clone + Hash + Eq> Cache<K> for DeamortizedLrfu<K> {
+impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> Cache<K> for DeamortizedLrfu<K, B> {
     fn request(&mut self, key: K) -> bool {
         self.time += 1;
         let t = self.time;
@@ -236,6 +283,8 @@ impl<K: Clone + Hash + Eq> Cache<K> for DeamortizedLrfu<K> {
             Info {
                 idx,
                 w: self.score.access(t),
+                snap_w: f64::NEG_INFINITY,
+                snap_round: 0,
             },
         );
         self.advance();
@@ -247,14 +296,15 @@ impl<K: Clone + Hash + Eq> Cache<K> for DeamortizedLrfu<K> {
     }
 
     fn capacity_bounds(&self) -> (usize, usize) {
-        (self.q, self.q + 2 * self.g + self.g)
+        (self.q, self.snap.capacity() + 3 * self.g)
     }
 
     fn reset(&mut self) {
         self.map.clear();
         self.keys.clear();
-        self.snapshot.clear();
+        self.snap.reset();
         self.snap_len = 0;
+        self.round = 0;
         self.phase = Phase::Idle;
         self.time = 0;
         self.stats = DeamortizedLrfuStats::default();
@@ -330,7 +380,7 @@ mod tests {
             c.request(rng.next_below(100_000));
         }
         // A single request's pipeline work never exceeds the budget
-        // plus one indivisible selection unit.
+        // plus one indivisible step's worth of slack.
         assert!(
             c.stats().max_step_units <= c.step_budget() as u64 + 32,
             "max step units {} exceed budget {}",
@@ -349,6 +399,22 @@ mod tests {
             ours >= exact - 0.02,
             "de-amortized LRFU hit ratio {ours} well below exact {exact}"
         );
+    }
+
+    #[test]
+    fn soa_snapshot_behaves_equivalently() {
+        // The eviction cutoff is the snapshot backend's threshold Ψ,
+        // which both backends compute identically (same admissions,
+        // same compaction points), so AoS- and SoA-snapshot caches
+        // replay a trace with the exact same hit sequence.
+        let trace = arc_like(80_000, 8_000, 17);
+        let mut aos = DeamortizedLrfu::new(400, 0.5, 0.75);
+        let mut soa = SoaDeamortizedLrfu::new_soa(400, 0.5, 0.75);
+        for &k in &trace {
+            assert_eq!(aos.request(k), soa.request(k));
+        }
+        assert_eq!(aos.len(), soa.len());
+        assert_eq!(aos.stats().iterations, soa.stats().iterations);
     }
 
     #[test]

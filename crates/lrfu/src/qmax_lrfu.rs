@@ -3,8 +3,7 @@
 
 use crate::score::DecayScore;
 use crate::Cache;
-use qmax_core::Entry;
-use qmax_core::OrderedF64;
+use qmax_core::{AmortizedQMax, Entry, IntervalBackend, OrderedF64, SoaAmortizedQMax};
 use qmax_select::nth_smallest;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -21,22 +20,36 @@ use std::hash::Hash;
 /// amortized — versus `O(log q)` for the heap and `O(q)` for the scan
 /// baseline.
 ///
+/// The request log is hosted in an [`IntervalBackend`] (default: the
+/// array-of-structs [`AmortizedQMax`]); [`QMaxLrfu::new_soa`] swaps in
+/// the structure-of-arrays backend so
+/// [`request_batch`](QMaxLrfu::request_batch) appends whole spans
+/// through the backend's batch kernel. The backend is configured so it
+/// never self-compacts (its own `q` equals the log capacity), which
+/// makes the two backends bit-for-bit interchangeable: same hits, same
+/// evictions.
+///
 /// The cache population floats between `q` and `⌈q(1+γ)⌉` distinct
 /// keys, and — like the paper's construction — the `q` highest-score
 /// keys are never evicted.
 #[derive(Debug, Clone)]
-pub struct QMaxLrfu<K> {
+pub struct QMaxLrfu<K, B = AmortizedQMax<K, OrderedF64>> {
     q: usize,
     cap: usize,
     score: DecayScore,
     /// Request log: one entry per request since the last merge, plus
-    /// one merged entry per surviving key.
-    buf: Vec<Entry<K, OrderedF64>>,
+    /// one merged entry per surviving key. Hosted in a q-MAX backend
+    /// sized to never self-compact (maintenance runs first).
+    buf: B,
     /// Cached keys (the cache content) with their entry multiplicity.
     cached: HashMap<K, u32>,
     time: u64,
     maintenance_passes: u64,
 }
+
+/// [`QMaxLrfu`] whose request log lives in the structure-of-arrays
+/// backend (requires `Copy` keys).
+pub type SoaQMaxLrfu<K> = QMaxLrfu<K, SoaAmortizedQMax<K, OrderedF64>>;
 
 impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     /// Creates a q-MAX LRFU cache that always retains the `q`
@@ -48,17 +61,50 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     /// Panics if `q == 0`, `gamma` is not positive and finite, or `c`
     /// is outside `(0, 1)`.
     pub fn new(q: usize, gamma: f64, c: f64) -> Self {
+        let cap = Self::log_capacity(q, gamma);
+        Self::with_buffer(q, c, AmortizedQMax::new(cap, gamma))
+    }
+}
+
+impl<K: Copy + Hash + Eq> SoaQMaxLrfu<K> {
+    /// Like [`QMaxLrfu::new`], but the request log is a
+    /// structure-of-arrays [`SoaAmortizedQMax`]. Behaviorally identical
+    /// to the default backend — same hits and evictions on the same
+    /// trace — but batch appends run the branchless lane kernel.
+    pub fn new_soa(q: usize, gamma: f64, c: f64) -> Self {
+        let cap = Self::log_capacity(q, gamma);
+        Self::with_buffer(q, c, SoaAmortizedQMax::new(cap, gamma))
+    }
+}
+
+impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
+    fn log_capacity(q: usize, gamma: f64) -> usize {
         assert!(q > 0, "q must be positive");
         assert!(
             gamma > 0.0 && gamma.is_finite(),
             "gamma must be positive and finite"
         );
-        let cap = (((q as f64) * (1.0 + gamma)).ceil() as usize).max(q + 1);
+        (((q as f64) * (1.0 + gamma)).ceil() as usize).max(q + 1)
+    }
+
+    /// Creates a q-MAX LRFU cache whose request log is the given
+    /// backend. The backend's `q()` becomes the log capacity
+    /// `⌈q(1+γ)⌉` and must exceed the cache target `q`; maintenance
+    /// always runs before the backend would self-compact, so its own
+    /// selection machinery stays idle and its threshold stays `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `proto.q() <= q`, or `c` outside `(0, 1)`.
+    pub fn with_buffer(q: usize, c: f64, proto: B) -> Self {
+        assert!(q > 0, "q must be positive");
+        let cap = proto.q();
+        assert!(cap > q, "log capacity must exceed q");
         QMaxLrfu {
             q,
             cap,
             score: DecayScore::new(c),
-            buf: Vec::with_capacity(cap),
+            buf: proto.fresh(),
             cached: HashMap::new(),
             time: 0,
             maintenance_passes: 0,
@@ -79,8 +125,10 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     /// `q` distinct keys remain, evicts all keys below the q-th largest
     /// log-score.
     fn maintain(&mut self) {
-        let mut merged: HashMap<K, f64> = HashMap::with_capacity(self.buf.len());
-        for e in self.buf.drain(..) {
+        let mut log: Vec<Entry<K, OrderedF64>> = Vec::with_capacity(self.buf.len());
+        self.buf.candidates_into(&mut log);
+        let mut merged: HashMap<K, f64> = HashMap::with_capacity(log.len());
+        for e in log.drain(..) {
             match merged.get_mut(&e.id) {
                 Some(w) => *w = crate::score::logaddexp(*w, e.val.get()),
                 None => {
@@ -88,27 +136,29 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
                 }
             }
         }
-        self.buf.extend(
-            merged
-                .into_iter()
-                .map(|(k, w)| Entry::new(k, OrderedF64(w))),
-        );
-        if self.buf.len() > self.q {
-            let cut = self.buf.len() - self.q;
-            nth_smallest(&mut self.buf, cut);
-            for evicted in self.buf.drain(..cut) {
+        let mut survivors: Vec<Entry<K, OrderedF64>> = merged
+            .into_iter()
+            .map(|(k, w)| Entry::new(k, OrderedF64(w)))
+            .collect();
+        if survivors.len() > self.q {
+            let cut = survivors.len() - self.q;
+            nth_smallest(&mut survivors, cut);
+            for evicted in survivors.drain(..cut) {
                 self.cached.remove(&evicted.id);
             }
         }
-        for e in &self.buf {
-            self.cached.insert(e.id.clone(), 1);
+        self.buf.reset();
+        let kept: Vec<(K, OrderedF64)> = survivors.into_iter().map(|e| (e.id, e.val)).collect();
+        self.buf.insert_batch(&kept);
+        for (k, _) in kept {
+            self.cached.insert(k, 1);
         }
         self.maintenance_passes += 1;
     }
-}
 
-impl<K: Clone + Hash + Eq> Cache<K> for QMaxLrfu<K> {
-    fn request(&mut self, key: K) -> bool {
+    /// Registers a request for `key` in the cache index and returns
+    /// `(hit, log entry to append)`.
+    fn account(&mut self, key: K) -> (bool, (K, OrderedF64)) {
         self.time += 1;
         let w = OrderedF64(self.score.access(self.time));
         let hit = match self.cached.get_mut(&key) {
@@ -121,7 +171,39 @@ impl<K: Clone + Hash + Eq> Cache<K> for QMaxLrfu<K> {
                 false
             }
         };
-        self.buf.push(Entry::new(key, w));
+        (hit, (key, w))
+    }
+
+    /// Processes a span of requests, returning the number of hits.
+    /// Semantically identical to calling [`Cache::request`] per key,
+    /// but appends each between-maintenance run of entries to the log
+    /// in one backend batch call.
+    pub fn request_batch(&mut self, keys: &[K]) -> usize {
+        let mut hits = 0;
+        let mut scratch: Vec<(K, OrderedF64)> = Vec::new();
+        let mut i = 0;
+        while i < keys.len() {
+            let take = (self.cap - self.buf.len()).min(keys.len() - i);
+            scratch.clear();
+            for key in &keys[i..i + take] {
+                let (hit, entry) = self.account(key.clone());
+                hits += usize::from(hit);
+                scratch.push(entry);
+            }
+            self.buf.insert_batch(&scratch);
+            i += take;
+            if self.buf.len() == self.cap {
+                self.maintain();
+            }
+        }
+        hits
+    }
+}
+
+impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> Cache<K> for QMaxLrfu<K, B> {
+    fn request(&mut self, key: K) -> bool {
+        let (hit, (key, w)) = self.account(key);
+        self.buf.insert(key, w);
         if self.buf.len() == self.cap {
             self.maintain();
         }
@@ -137,7 +219,7 @@ impl<K: Clone + Hash + Eq> Cache<K> for QMaxLrfu<K> {
     }
 
     fn reset(&mut self) {
-        self.buf.clear();
+        self.buf.reset();
         self.cached.clear();
         self.time = 0;
         self.maintenance_passes = 0;
@@ -256,5 +338,35 @@ mod tests {
             ours >= exact - 0.02,
             "q-MAX LRFU hit ratio {ours} well below exact {exact}"
         );
+    }
+
+    #[test]
+    fn soa_backend_replays_identically() {
+        // The log never self-compacts, so AoS and SoA backends see the
+        // exact same entries and produce the exact same hit sequence.
+        let trace = qmax_traces::gen::arc_like(60_000, 6_000, 13);
+        let mut aos = QMaxLrfu::new(500, 0.5, 0.75);
+        let mut soa = SoaQMaxLrfu::new_soa(500, 0.5, 0.75);
+        for &k in &trace {
+            assert_eq!(aos.request(k), soa.request(k));
+        }
+        assert_eq!(aos.len(), soa.len());
+    }
+
+    #[test]
+    fn request_batch_matches_singletons() {
+        let trace = qmax_traces::gen::arc_like(60_000, 6_000, 29);
+        let mut one = QMaxLrfu::new(500, 0.5, 0.75);
+        let mut batched = SoaQMaxLrfu::new_soa(500, 0.5, 0.75);
+        let mut hits_one = 0usize;
+        for &k in &trace {
+            hits_one += usize::from(one.request(k));
+        }
+        let mut hits_batch = 0usize;
+        for span in trace.chunks(777) {
+            hits_batch += batched.request_batch(span);
+        }
+        assert_eq!(hits_one, hits_batch);
+        assert_eq!(one.len(), batched.len());
     }
 }
