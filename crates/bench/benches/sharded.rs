@@ -5,7 +5,7 @@
 //! multi-threaded driver (one worker per shard over bounded channels).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmax_engine::{DriverConfig, QMax, ShardedQMax};
+use qmax_engine::{DriverConfig, OverloadPolicy, QMax, ShardedQMax};
 use qmax_traces::gen::{caida_like, random_u64_stream};
 use qmax_traces::zipf::ZipfSampler;
 
@@ -75,5 +75,47 @@ fn bench_threaded_driver(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_insert_batch, bench_threaded_driver);
+/// Overload-policy overhead on a healthy (fault-free) run: `Block` is
+/// the lossless baseline; `Shed` swaps the blocking send for `try_send`
+/// plus budget bookkeeping on the producer. With workers keeping up the
+/// two should be within noise of each other — this series exists to
+/// catch a regression where the shedding path taxes the common case.
+fn bench_overload_policy(c: &mut Criterion) {
+    let items = zipf_stream(STREAM, 11);
+    let mut group = c.benchmark_group("sharded_threaded_policy/zipf");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    let policies = [
+        ("block", OverloadPolicy::Block),
+        (
+            "shed",
+            OverloadPolicy::Shed {
+                max_dropped: STREAM as u64,
+            },
+        ),
+    ];
+    for (name, overload) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &overload, |b, &ov| {
+            b.iter(|| {
+                let mut engine: ShardedQMax<u64, u64> = ShardedQMax::new(Q, 0.25, 4);
+                let report = engine.run_threaded(
+                    items.iter().copied(),
+                    DriverConfig {
+                        overload: ov,
+                        ..DriverConfig::default()
+                    },
+                );
+                report.items - report.dropped()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_batch,
+    bench_threaded_driver,
+    bench_overload_policy
+);
 criterion_main!(benches);

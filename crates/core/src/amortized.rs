@@ -44,22 +44,25 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
+    /// Use [`AmortizedQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        assert!(
-            gamma > 0.0 && gamma.is_finite(),
-            "gamma must be positive and finite"
-        );
+        Self::try_new(q, gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AmortizedQMax::new`]: rejects `q == 0` and
+    /// non-positive / non-finite `gamma` instead of panicking.
+    pub fn try_new(q: usize, gamma: f64) -> Result<Self, crate::QMaxError> {
+        crate::error::check_q_gamma(q, gamma)?;
         let cap = ((q as f64) * (1.0 + gamma)).ceil() as usize;
         let cap = cap.max(q + 1);
-        AmortizedQMax {
+        Ok(AmortizedQMax {
             q,
             cap,
             buf: Vec::with_capacity(cap),
             threshold: None,
             compactions: 0,
             filtered: 0,
-        }
+        })
     }
 
     /// Total buffer capacity `⌈q(1+γ)⌉`.

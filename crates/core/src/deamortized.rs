@@ -105,12 +105,15 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
+    /// Use [`DeamortizedQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        assert!(
-            gamma > 0.0 && gamma.is_finite(),
-            "gamma must be positive and finite"
-        );
+        Self::try_new(q, gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DeamortizedQMax::new`]: rejects `q == 0` and
+    /// non-positive / non-finite `gamma` instead of panicking.
+    pub fn try_new(q: usize, gamma: f64) -> Result<Self, crate::QMaxError> {
+        crate::error::check_q_gamma(q, gamma)?;
         let g = ((q as f64) * gamma / 2.0).ceil() as usize;
         let g = g.max(1);
         let n = q + 2 * g;
@@ -118,7 +121,7 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
         // constant; spreading it over the g arrivals of an iteration
         // gives the per-arrival budget (the paper's O(γ⁻¹) operations).
         let budget = (WORK_BOUND_FACTOR * (q + g)).div_ceil(g) + WORK_BOUND_FACTOR;
-        DeamortizedQMax {
+        Ok(DeamortizedQMax {
             q,
             g,
             n,
@@ -132,7 +135,7 @@ impl<I: Clone, V: Ord + Clone> DeamortizedQMax<I, V> {
             boundary: 0,
             budget,
             stats: DeamortizedStats::default(),
-        }
+        })
     }
 
     /// Total buffer capacity `q + 2⌈qγ/2⌉`.

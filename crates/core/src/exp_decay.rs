@@ -1,6 +1,7 @@
 //! Exponential-decay q-MAX (Section 5 of the paper).
 
 use crate::entry::OrderedF64;
+use crate::error::QMaxError;
 use crate::traits::{BatchInsert, QMax};
 
 /// Log-domain offset `t·λ` beyond which the structure automatically
@@ -59,6 +60,9 @@ pub struct ExpDecayQMax<Q> {
     lambda: f64,
     /// Arrival counter (the logical time `i`).
     time: u64,
+    /// Non-positive / non-finite values skipped (not panicked on) by
+    /// the trait-dispatched insert paths.
+    skipped_invalid: u64,
 }
 
 impl<Q> ExpDecayQMax<Q> {
@@ -67,14 +71,32 @@ impl<Q> ExpDecayQMax<Q> {
     ///
     /// # Panics
     ///
-    /// Panics if `c` is not in `(0, 1]`.
+    /// Panics if `c` is not in `(0, 1]`. Use
+    /// [`ExpDecayQMax::try_new`] at fallible API boundaries.
     pub fn new(backend: Q, c: f64) -> Self {
-        assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
-        ExpDecayQMax {
+        Self::try_new(backend, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ExpDecayQMax::new`]: rejects `c` outside `(0, 1]`
+    /// (including NaN) instead of panicking.
+    pub fn try_new(backend: Q, c: f64) -> Result<Self, QMaxError> {
+        if !(c > 0.0 && c <= 1.0) {
+            return Err(QMaxError::BadDecay(c));
+        }
+        Ok(ExpDecayQMax {
             backend,
             lambda: -c.ln(),
             time: 0,
-        }
+            skipped_invalid: 0,
+        })
+    }
+
+    /// Invalid (non-positive / non-finite) values skipped so far by the
+    /// trait-dispatched [`QMax::insert`] and
+    /// [`BatchInsert::insert_batch`] paths. The inherent
+    /// [`ExpDecayQMax::insert`] still panics instead of counting.
+    pub fn skipped_invalid(&self) -> u64 {
+        self.skipped_invalid
     }
 
     /// The current logical time (number of arrivals so far).
@@ -116,15 +138,28 @@ impl<Q> ExpDecayQMax<Q> {
     ///
     /// # Panics
     ///
-    /// Panics if `val` is not a positive finite number.
+    /// Panics if `val` is not a positive finite number. Use
+    /// [`ExpDecayQMax::try_insert`] where the stream may carry
+    /// corrupted values (a measurement path must not die on one bad
+    /// parse).
     pub fn insert<I>(&mut self, id: I, val: f64) -> bool
     where
         Q: QMax<I, OrderedF64>,
     {
-        assert!(
-            val > 0.0 && val.is_finite(),
-            "decayed values must be positive and finite"
-        );
+        self.try_insert(id, val).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible insert: offers the item if `val` is a positive finite
+    /// number, and returns [`QMaxError::BadValue`] otherwise — without
+    /// touching the backend or advancing the decay clock (a rejected
+    /// value is not an arrival).
+    pub fn try_insert<I>(&mut self, id: I, val: f64) -> Result<bool, QMaxError>
+    where
+        Q: QMax<I, OrderedF64>,
+    {
+        if !(val > 0.0 && val.is_finite()) {
+            return Err(QMaxError::BadValue(val));
+        }
         if self.needs_rebase() {
             self.rebase();
         }
@@ -134,7 +169,7 @@ impl<Q> ExpDecayQMax<Q> {
             "log-domain score overflowed; rebase failed to bound the offset"
         );
         self.time += 1;
-        self.backend.insert(id, OrderedF64(transformed))
+        Ok(self.backend.insert(id, OrderedF64(transformed)))
     }
 
     /// Subtracts the current log offset `t·λ` from every retained score
@@ -176,6 +211,7 @@ impl<Q> ExpDecayQMax<Q> {
     {
         self.backend.reset();
         self.time = 0;
+        self.skipped_invalid = 0;
     }
 }
 
@@ -184,11 +220,25 @@ impl<Q> ExpDecayQMax<Q> {
 /// [`ExpDecayQMax::insert`]. This lets decayed reservoirs slot into
 /// generic harnesses (shard hosts, benchmarks) that drive any
 /// `QMax<I, OrderedF64>`.
+///
+/// Unlike the inherent insert, the trait paths **skip and count**
+/// non-positive / non-finite values (see
+/// [`ExpDecayQMax::skipped_invalid`]) instead of panicking: a generic
+/// serving stack feeding a decayed shard must shed a corrupted item,
+/// not die on it. A skipped item is not an arrival — the decay clock
+/// does not advance — so a stream with invalid items interleaved ages
+/// exactly like the same stream with them removed.
 impl<I, Q: QMax<I, OrderedF64>> QMax<I, OrderedF64> for ExpDecayQMax<Q> {
     fn insert(&mut self, id: I, val: OrderedF64) -> bool {
         // Inherent inserts take raw f64 and win method resolution at
         // call sites; this trait path unwraps and re-dispatches.
-        ExpDecayQMax::insert(self, id, val.get())
+        match ExpDecayQMax::try_insert(self, id, val.get()) {
+            Ok(admitted) => admitted,
+            Err(_) => {
+                self.skipped_invalid += 1;
+                false
+            }
+        }
     }
 
     fn query(&mut self) -> Vec<(I, OrderedF64)> {
@@ -198,6 +248,7 @@ impl<I, Q: QMax<I, OrderedF64>> QMax<I, OrderedF64> for ExpDecayQMax<Q> {
     fn reset(&mut self) {
         self.backend.reset();
         self.time = 0;
+        self.skipped_invalid = 0;
     }
 
     fn q(&self) -> usize {
@@ -227,6 +278,12 @@ impl<I: Clone, Q: BatchInsert<I, OrderedF64>> BatchInsert<I, OrderedF64> for Exp
     /// in one pass, then hands the transformed chunk to the backend's
     /// batch kernel — on structure-of-arrays backends the branchless
     /// chunked Ψ-filter runs over the decayed scores.
+    ///
+    /// Non-positive / non-finite values are **skipped and counted**
+    /// ([`ExpDecayQMax::skipped_invalid`]) rather than aborting the
+    /// batch mid-way: the valid remainder is inserted exactly as if the
+    /// invalid items had never been in the stream (they advance neither
+    /// the decay clock nor the backend).
     fn insert_batch(&mut self, items: &[(I, OrderedF64)]) -> usize {
         if self.needs_rebase() {
             self.rebase();
@@ -234,10 +291,10 @@ impl<I: Clone, Q: BatchInsert<I, OrderedF64>> BatchInsert<I, OrderedF64> for Exp
         let mut transformed: Vec<(I, OrderedF64)> = Vec::with_capacity(items.len());
         for (id, val) in items {
             let v = val.get();
-            assert!(
-                v > 0.0 && v.is_finite(),
-                "decayed values must be positive and finite"
-            );
+            if !(v > 0.0 && v.is_finite()) {
+                self.skipped_invalid += 1;
+                continue;
+            }
             let score = v.ln() + self.time as f64 * self.lambda;
             debug_assert!(
                 score.is_finite(),
@@ -334,6 +391,91 @@ mod tests {
     fn non_positive_value_panics() {
         let mut ed = ExpDecayQMax::new(HeapQMax::new(1), 0.9);
         ed.insert(0u32, 0.0);
+    }
+
+    #[test]
+    fn try_insert_rejects_without_advancing_the_clock() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(4), 0.9);
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                ed.try_insert(7u32, bad),
+                Err(QMaxError::BadValue(_))
+            ));
+        }
+        assert_eq!(ed.time(), 0, "rejected values must not age the stream");
+        assert_eq!(ed.try_insert(1u32, 5.0), Ok(true));
+        assert_eq!(ed.time(), 1);
+    }
+
+    #[test]
+    fn batch_skips_and_counts_invalid_items() {
+        // NaN / 0.0 / ∞ interleaved into a valid stream: the batch path
+        // must shed them (counted) and land exactly the state of the
+        // same stream with the invalid items removed.
+        let raw: Vec<f64> = (0..500)
+            .map(|i| match i % 7 {
+                0 => f64::NAN,
+                3 => 0.0,
+                5 => f64::INFINITY,
+                _ => (i % 97 + 1) as f64,
+            })
+            .collect();
+        let valid: Vec<f64> = raw
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        let q = 16;
+        let mut dirty = ExpDecayQMax::new(SoaAmortizedQMax::new(q, 0.5), 0.95);
+        let mut clean = ExpDecayQMax::new(SoaAmortizedQMax::new(q, 0.5), 0.95);
+        let dirty_items: Vec<(u32, OrderedF64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, OrderedF64(v)))
+            .collect();
+        for span in dirty_items.chunks(64) {
+            dirty.insert_batch(span);
+        }
+        for (i, &v) in valid.iter().enumerate() {
+            clean.insert(i as u32, v);
+        }
+        assert_eq!(
+            dirty.skipped_invalid(),
+            (raw.len() - valid.len()) as u64,
+            "every invalid item must be counted"
+        );
+        assert_eq!(dirty.time(), clean.time(), "decay clocks diverged");
+        let scores = |v: Vec<(u32, OrderedF64)>| {
+            let mut v: Vec<OrderedF64> = v.into_iter().map(|(_, s)| s).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(scores(dirty.query()), scores(clean.query()));
+    }
+
+    #[test]
+    fn trait_insert_sheds_invalid_items_instead_of_panicking() {
+        let mut ed = ExpDecayQMax::new(HeapQMax::new(2), 0.9);
+        assert!(QMax::insert(&mut ed, 0u32, OrderedF64(4.0)));
+        assert!(!QMax::insert(&mut ed, 1u32, OrderedF64(f64::NAN)));
+        assert!(!QMax::insert(&mut ed, 2u32, OrderedF64(-1.0)));
+        assert_eq!(ed.skipped_invalid(), 2);
+        assert_eq!(ed.time(), 1);
+        ed.reset();
+        assert_eq!(ed.skipped_invalid(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_decay() {
+        assert!(matches!(
+            ExpDecayQMax::try_new(HeapQMax::<u32, OrderedF64>::new(1), 0.0),
+            Err(QMaxError::BadDecay(_))
+        ));
+        assert!(matches!(
+            ExpDecayQMax::try_new(HeapQMax::<u32, OrderedF64>::new(1), f64::NAN),
+            Err(QMaxError::BadDecay(_))
+        ));
+        assert!(ExpDecayQMax::try_new(HeapQMax::<u32, OrderedF64>::new(1), 1.0).is_ok());
     }
 
     #[test]

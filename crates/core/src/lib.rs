@@ -53,6 +53,7 @@ mod amortized;
 mod deamortized;
 mod dedup;
 mod entry;
+mod error;
 mod exp_decay;
 pub mod heap;
 pub mod indexed_heap;
@@ -67,6 +68,7 @@ pub use amortized::AmortizedQMax;
 pub use deamortized::{DeamortizedQMax, DeamortizedStats};
 pub use dedup::DedupQMax;
 pub use entry::{Entry, Minimal, OrderedF64};
+pub use error::QMaxError;
 pub use exp_decay::ExpDecayQMax;
 pub use heap::HeapQMax;
 pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};

@@ -71,15 +71,18 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
+    /// Use [`SoaAmortizedQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        assert!(
-            gamma > 0.0 && gamma.is_finite(),
-            "gamma must be positive and finite"
-        );
+        Self::try_new(q, gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SoaAmortizedQMax::new`]: rejects `q == 0` and
+    /// non-positive / non-finite `gamma` instead of panicking.
+    pub fn try_new(q: usize, gamma: f64) -> Result<Self, crate::QMaxError> {
+        crate::error::check_q_gamma(q, gamma)?;
         let cap = ((q as f64) * (1.0 + gamma)).ceil() as usize;
         let cap = cap.max(q + 1);
-        SoaAmortizedQMax {
+        Ok(SoaAmortizedQMax {
             q,
             cap,
             ids: Vec::new(),
@@ -88,7 +91,7 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
             threshold: None,
             compactions: 0,
             filtered: 0,
-        }
+        })
     }
 
     /// Total buffer capacity `⌈q(1+γ)⌉`.
@@ -330,18 +333,21 @@ impl<I: Copy, V: Ord + Copy> SoaDeamortizedQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
+    /// Use [`SoaDeamortizedQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        assert!(
-            gamma > 0.0 && gamma.is_finite(),
-            "gamma must be positive and finite"
-        );
+        Self::try_new(q, gamma).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SoaDeamortizedQMax::new`]: rejects `q == 0` and
+    /// non-positive / non-finite `gamma` instead of panicking.
+    pub fn try_new(q: usize, gamma: f64) -> Result<Self, crate::QMaxError> {
+        crate::error::check_q_gamma(q, gamma)?;
         let g = ((q as f64) * gamma / 2.0).ceil() as usize;
         let g = g.max(1);
         let n = q + 2 * g;
         let budget =
             (qmax_select::WORK_BOUND_FACTOR * (q + g)).div_ceil(g) + qmax_select::WORK_BOUND_FACTOR;
-        SoaDeamortizedQMax {
+        Ok(SoaDeamortizedQMax {
             q,
             g,
             n,
@@ -357,7 +363,7 @@ impl<I: Copy, V: Ord + Copy> SoaDeamortizedQMax<I, V> {
             boundary: 0,
             budget,
             stats: DeamortizedStats::default(),
-        }
+        })
     }
 
     /// Total buffer capacity `q + 2⌈qγ/2⌉`.

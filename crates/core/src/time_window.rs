@@ -67,9 +67,21 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0`, `window_ns == 0`, or `tau` outside `(0, 1]`.
+    /// Use [`TimeSlackQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        Self::with_backend(window_ns, tau, AmortizedQMax::new(q, gamma))
+        Self::try_new(q, gamma, window_ns, tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TimeSlackQMax::new`]: rejects `q == 0`, bad `gamma`,
+    /// `window_ns == 0`, and `tau` outside `(0, 1]` instead of
+    /// panicking.
+    pub fn try_new(
+        q: usize,
+        gamma: f64,
+        window_ns: u64,
+        tau: f64,
+    ) -> Result<Self, crate::QMaxError> {
+        Self::try_with_backend(window_ns, tau, AmortizedQMax::try_new(q, gamma)?)
     }
 }
 
@@ -89,20 +101,28 @@ impl<I, V: Ord, B: IntervalBackend<I, V>> TimeSlackQMax<I, V, B> {
     ///
     /// # Panics
     ///
-    /// Panics if `window_ns == 0` or `tau` outside `(0, 1]`.
+    /// Panics if `window_ns == 0` or `tau` outside `(0, 1]`. Use
+    /// [`TimeSlackQMax::try_with_backend`] at fallible API boundaries.
     pub fn with_backend(window_ns: u64, tau: f64, proto: B) -> Self {
-        assert!(window_ns > 0, "window must be positive");
-        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Self::try_with_backend(window_ns, tau, proto).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TimeSlackQMax::with_backend`].
+    pub fn try_with_backend(window_ns: u64, tau: f64, proto: B) -> Result<Self, crate::QMaxError> {
+        if window_ns == 0 {
+            return Err(crate::QMaxError::ZeroWindow);
+        }
+        crate::error::check_tau(tau)?;
         let n_blocks = (1.0 / tau).ceil() as usize;
         let block_ns = window_ns.div_ceil(n_blocks as u64).max(1);
-        TimeSlackQMax {
+        Ok(TimeSlackQMax {
             q: proto.q(),
             block_ns,
             blocks: (0..n_blocks).map(|_| proto.fresh()).collect(),
             epochs: vec![u64::MAX; n_blocks],
             last_ts: 0,
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Block duration in nanoseconds.

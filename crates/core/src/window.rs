@@ -165,9 +165,15 @@ impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0`, `w == 0`, or `tau` is outside `(0, 1]`.
+    /// Use [`BasicSlackQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
-        assert!(q > 0, "q must be positive");
-        Self::with_backend(w, tau, AmortizedQMax::new(q, gamma))
+        Self::try_new(q, gamma, w, tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BasicSlackQMax::new`]: rejects `q == 0`, bad `gamma`,
+    /// `w == 0`, and `tau` outside `(0, 1]` instead of panicking.
+    pub fn try_new(q: usize, gamma: f64, w: usize, tau: f64) -> Result<Self, crate::QMaxError> {
+        Self::try_with_backend(w, tau, AmortizedQMax::try_new(q, gamma)?)
     }
 }
 
@@ -186,18 +192,23 @@ impl<I, V: Ord, B: IntervalBackend<I, V>> BasicSlackQMax<I, V, B> {
     ///
     /// # Panics
     ///
-    /// Panics if `w == 0` or `tau` is outside `(0, 1]`.
+    /// Panics if `w == 0` or `tau` is outside `(0, 1]`. Use
+    /// [`BasicSlackQMax::try_with_backend`] at fallible API boundaries.
     pub fn with_backend(w: usize, tau: f64, proto: B) -> Self {
-        assert!(w > 0, "window must be positive");
-        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Self::try_with_backend(w, tau, proto).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BasicSlackQMax::with_backend`].
+    pub fn try_with_backend(w: usize, tau: f64, proto: B) -> Result<Self, crate::QMaxError> {
+        crate::error::check_window(w, tau)?;
         let n_blocks = (1.0 / tau).ceil() as usize;
         let block_size = w.div_ceil(n_blocks).max(1);
-        BasicSlackQMax {
+        Ok(BasicSlackQMax {
             q: proto.q(),
             block_size,
             ring: BlockRing::from_proto(n_blocks, &proto),
             fill: 0,
-        }
+        })
     }
 
     /// Items per block (`⌈Wτ⌉`).
@@ -353,9 +364,22 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0`, `w == 0`, `c == 0`, or `tau` outside `(0, 1]`.
+    /// Use [`HierSlackQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
-        assert!(q > 0, "q must be positive");
-        Self::with_backend(w, tau, c, AmortizedQMax::new(q, gamma))
+        Self::try_new(q, gamma, w, tau, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HierSlackQMax::new`]: rejects `q == 0`, bad `gamma`,
+    /// `w == 0`, `c == 0`, and `tau` outside `(0, 1]` instead of
+    /// panicking.
+    pub fn try_new(
+        q: usize,
+        gamma: f64,
+        w: usize,
+        tau: f64,
+        c: usize,
+    ) -> Result<Self, crate::QMaxError> {
+        Self::try_with_backend(w, tau, c, AmortizedQMax::try_new(q, gamma)?)
     }
 }
 
@@ -374,11 +398,23 @@ impl<I, V: Ord, B: IntervalBackend<I, V>> HierSlackQMax<I, V, B> {
     ///
     /// # Panics
     ///
-    /// Panics if `w == 0`, `c == 0`, or `tau` outside `(0, 1]`.
+    /// Panics if `w == 0`, `c == 0`, or `tau` outside `(0, 1]`. Use
+    /// [`HierSlackQMax::try_with_backend`] at fallible API boundaries.
     pub fn with_backend(w: usize, tau: f64, c: usize, proto: B) -> Self {
-        assert!(w > 0, "window must be positive");
-        assert!(c > 0, "c must be positive");
-        assert!(tau > 0.0 && tau <= 1.0, "tau must be in (0, 1]");
+        Self::try_with_backend(w, tau, c, proto).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HierSlackQMax::with_backend`].
+    pub fn try_with_backend(
+        w: usize,
+        tau: f64,
+        c: usize,
+        proto: B,
+    ) -> Result<Self, crate::QMaxError> {
+        crate::error::check_window(w, tau)?;
+        if c == 0 {
+            return Err(crate::QMaxError::ZeroLayers);
+        }
         let branch = ((1.0 / tau).powf(1.0 / c as f64)).ceil() as usize;
         let branch = branch.max(2);
         // Effective total blocks at the finest layer: b^c; base block
@@ -395,14 +431,14 @@ impl<I, V: Ord, B: IntervalBackend<I, V>> HierSlackQMax<I, V, B> {
             sizes.push(size);
             rings.push(BlockRing::from_proto(blocks, &proto));
         }
-        HierSlackQMax {
+        Ok(HierSlackQMax {
             q: proto.q(),
             base,
             branch,
             rings,
             sizes,
             count: 0,
-        }
+        })
     }
 
     /// The branching factor `b`.
@@ -563,10 +599,21 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`HierSlackQMax::new`].
+    /// Same conditions as [`HierSlackQMax::new`]. Use
+    /// [`LazySlackQMax::try_new`] at fallible API boundaries.
     pub fn new(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
-        assert!(q > 0, "q must be positive");
-        Self::with_backend(w, tau, c, AmortizedQMax::new(q, gamma))
+        Self::try_new(q, gamma, w, tau, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LazySlackQMax::new`].
+    pub fn try_new(
+        q: usize,
+        gamma: f64,
+        w: usize,
+        tau: f64,
+        c: usize,
+    ) -> Result<Self, crate::QMaxError> {
+        Self::try_with_backend(w, tau, c, AmortizedQMax::try_new(q, gamma)?)
     }
 
     /// Like [`LazySlackQMax::new`], but the per-block summary feed into
@@ -604,11 +651,22 @@ impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> LazySlackQMax<I, V, B> 
     ///
     /// # Panics
     ///
-    /// Same conditions as [`HierSlackQMax::with_backend`].
+    /// Same conditions as [`HierSlackQMax::with_backend`]. Use
+    /// [`LazySlackQMax::try_with_backend`] at fallible API boundaries.
     pub fn with_backend(w: usize, tau: f64, c: usize, proto: B) -> Self {
+        Self::try_with_backend(w, tau, c, proto).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LazySlackQMax::with_backend`].
+    pub fn try_with_backend(
+        w: usize,
+        tau: f64,
+        c: usize,
+        proto: B,
+    ) -> Result<Self, crate::QMaxError> {
         let front = proto.fresh();
-        let hier = HierSlackQMax::with_backend(w, tau, c, proto);
-        LazySlackQMax {
+        let hier = HierSlackQMax::try_with_backend(w, tau, c, proto)?;
+        Ok(LazySlackQMax {
             q: hier.q,
             front,
             hier,
@@ -616,7 +674,7 @@ impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> LazySlackQMax<I, V, B> 
             pending: None,
             pending_pad: 0,
             drain_rate: 0,
-        }
+        })
     }
 
     /// [`LazySlackQMax::new_deamortized`] with a caller-chosen backend

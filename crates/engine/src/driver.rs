@@ -6,13 +6,53 @@
 //! target shard's batch), workers play PMD threads (drain batches into
 //! their private reservoir), and nothing is shared between workers, so
 //! there is no locking on the per-item hot path.
+//!
+//! # Fault tolerance
+//!
+//! A measurement data plane must not take down the forwarding plane it
+//! observes, so the driver isolates shard failures instead of
+//! propagating them:
+//!
+//! * **Panic isolation** — every batch drain runs under
+//!   [`std::panic::catch_unwind`]. A panicking shard is *quarantined*:
+//!   its poisoned backend is dropped, the remainder of its sub-stream is
+//!   drained off the channel and counted (never processed), and the
+//!   other `S − 1` workers keep running untouched. After the run the
+//!   quarantined slot is rebuilt empty from the engine's stored backend
+//!   factory, so the engine stays queryable — exactly the per-PMD
+//!   independence argument: one instance restarting never stalls the
+//!   others.
+//! * **Load shedding** — [`OverloadPolicy::Shed`] switches the producer
+//!   from blocking sends to `try_send` with a bounded per-shard drop
+//!   budget, trading bounded loss for producer latency when a shard
+//!   falls behind (a stalled PMD sheds packets; it does not stall RSS).
+//! * **Failure accounting** — [`DriverReport`] balances every routed
+//!   item into drained, shed, or quarantined, and lists each failure as
+//!   a [`ShardFailure`] with the captured panic message.
 
 use crate::shard_key::ShardKey;
 use crate::sharded::ShardedQMax;
 use qmax_core::QMax;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// What the producer does when a shard's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block until the worker frees a slot (lossless backpressure; a
+    /// slow shard throttles the whole stream). The default.
+    Block,
+    /// Drop the batch instead of blocking, up to `max_dropped` items
+    /// per shard; once a shard's drop budget is spent the producer
+    /// falls back to blocking sends for it, so the loss is bounded.
+    Shed {
+        /// Per-shard shed budget in items.
+        max_dropped: u64,
+    },
+}
 
 /// Tuning knobs for [`ShardedQMax::run_threaded`].
 #[derive(Debug, Clone, Copy)]
@@ -20,9 +60,11 @@ pub struct DriverConfig {
     /// Items per batch handed to a worker (amortizes channel overhead;
     /// the paper's shared-memory blocks play the same role).
     pub batch_size: usize,
-    /// Bounded in-flight batches per worker before the producer blocks
-    /// (backpressure instead of unbounded queueing).
+    /// Bounded in-flight batches per worker before the overload policy
+    /// applies (backpressure instead of unbounded queueing).
     pub queue_depth: usize,
+    /// Producer behavior when a worker's queue is full.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for DriverConfig {
@@ -30,11 +72,33 @@ impl Default for DriverConfig {
         DriverConfig {
             batch_size: 1024,
             queue_depth: 8,
+            overload: OverloadPolicy::Block,
         }
     }
 }
 
-/// What a threaded run did: per-shard load and aggregate timing.
+/// One quarantined shard: which worker panicked, why, and what it cost.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Index of the shard whose worker panicked.
+    pub shard: usize,
+    /// The captured panic message (`"non-string panic payload"` when the
+    /// payload was neither `&str` nor `String`).
+    pub message: String,
+    /// Items routed to the shard but never processed: the batch that
+    /// panicked plus everything drained-and-dropped afterwards. Items
+    /// the shard processed *before* panicking are also discarded with
+    /// the poisoned backend, but are counted under
+    /// [`DriverReport::per_shard_drained`], not here.
+    pub items_lost: u64,
+}
+
+/// What a threaded run did: per-shard load, loss accounting, failures,
+/// and aggregate timing.
+///
+/// Every routed item lands in exactly one bucket per shard:
+/// `per_shard_items[s] == per_shard_drained[s] + per_shard_dropped[s]
+/// + per_shard_quarantined[s]`.
 #[derive(Debug, Clone)]
 pub struct DriverReport {
     /// Total items routed.
@@ -46,6 +110,18 @@ pub struct DriverReport {
     /// Items each shard's backend admitted (survived both the batched
     /// pre-filter and the backend's own threshold check).
     pub per_shard_admitted: Vec<u64>,
+    /// Items each shard's worker actually processed (admitted or
+    /// filtered by the backend).
+    pub per_shard_drained: Vec<u64>,
+    /// Items shed by the producer under [`OverloadPolicy::Shed`]
+    /// because the shard's queue was full and budget remained.
+    pub per_shard_dropped: Vec<u64>,
+    /// Items routed to a shard but never processed because the shard
+    /// was quarantined (its worker panicked, or its channel closed
+    /// early).
+    pub per_shard_quarantined: Vec<u64>,
+    /// One entry per quarantined shard, in shard order.
+    pub failures: Vec<ShardFailure>,
 }
 
 impl DriverReport {
@@ -57,12 +133,48 @@ impl DriverReport {
         self.items as f64 / self.elapsed.as_secs_f64() / 1e6
     }
 
-    /// Load-balance quality: most-loaded shard relative to the mean
-    /// (1.0 = perfectly balanced; the pool's throughput is limited by
-    /// the most loaded worker, exactly as with PMD threads).
+    /// Total items shed by the producer across shards.
+    pub fn dropped(&self) -> u64 {
+        self.per_shard_dropped.iter().sum()
+    }
+
+    /// Total items lost to quarantined shards across the run.
+    pub fn quarantined(&self) -> u64 {
+        self.per_shard_quarantined.iter().sum()
+    }
+
+    /// Whether shard `s` finished the run un-quarantined.
+    pub fn is_healthy(&self, s: usize) -> bool {
+        !self.failures.iter().any(|f| f.shard == s)
+    }
+
+    /// Indices of shards that finished the run un-quarantined.
+    pub fn healthy_shards(&self) -> Vec<usize> {
+        (0..self.per_shard_items.len())
+            .filter(|&s| self.is_healthy(s))
+            .collect()
+    }
+
+    /// Load-balance quality over *healthy* shards: most-loaded healthy
+    /// shard relative to the healthy mean (1.0 = perfectly balanced;
+    /// the pool's throughput is limited by the most loaded surviving
+    /// worker, exactly as with PMD threads). Quarantined shards are
+    /// excluded — a dead worker neither carries load nor bounds
+    /// throughput. 0.0 when every shard was quarantined or no items
+    /// flowed; exactly 1.0 when a single healthy shard remains.
     pub fn max_load_factor(&self) -> f64 {
-        let max = self.per_shard_items.iter().copied().max().unwrap_or(0) as f64;
-        let mean = self.items as f64 / self.per_shard_items.len().max(1) as f64;
+        let healthy: Vec<u64> = self
+            .per_shard_items
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.is_healthy(s))
+            .map(|(_, &n)| n)
+            .collect();
+        if healthy.is_empty() {
+            return 0.0;
+        }
+        let max = healthy.iter().copied().max().unwrap_or(0) as f64;
+        let mean = healthy.iter().sum::<u64>() as f64 / healthy.len() as f64;
         if mean == 0.0 {
             0.0
         } else {
@@ -91,6 +203,78 @@ fn drain_batch<I, V: Ord, B: QMax<I, V>>(shard: &mut B, batch: Vec<(I, V)>) -> u
     admitted
 }
 
+/// Renders a caught panic payload as the message string panics carry in
+/// practice (`panic!("…")` yields `&str` or `String`).
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What one worker thread hands back when its channel closes.
+struct WorkerOutcome<B> {
+    /// The backend, unless it was poisoned by a panic and dropped.
+    shard: Option<B>,
+    /// Items admitted by the backend.
+    admitted: u64,
+    /// Items processed by the backend (admitted or filtered).
+    drained: u64,
+    /// Items received but never processed (the panicking batch plus
+    /// everything drained-and-dropped after the panic).
+    quarantined: u64,
+    /// The first panic's message, if any.
+    panic_message: Option<String>,
+}
+
+/// One worker's drain loop: processes batches under `catch_unwind`,
+/// and on a panic drops the poisoned backend but *keeps receiving* so
+/// the producer never blocks on a dead queue — the rest of the shard's
+/// sub-stream is counted as quarantined instead.
+fn worker_loop<I, V: Ord, B: QMax<I, V>>(
+    shard: B,
+    rx: mpsc::Receiver<Vec<(I, V)>>,
+) -> WorkerOutcome<B> {
+    let mut out = WorkerOutcome {
+        shard: None,
+        admitted: 0,
+        drained: 0,
+        quarantined: 0,
+        panic_message: None,
+    };
+    let mut live = Some(shard);
+    for batch in rx {
+        let len = batch.len() as u64;
+        match live.take() {
+            Some(mut shard) => {
+                match catch_unwind(AssertUnwindSafe(|| drain_batch(&mut shard, batch))) {
+                    Ok(admitted) => {
+                        out.admitted += admitted;
+                        out.drained += len;
+                        live = Some(shard);
+                    }
+                    Err(payload) => {
+                        // The backend's internal invariants may be
+                        // arbitrarily broken mid-unwind: poison it by
+                        // dropping, and charge the whole batch as
+                        // quarantined (any partial admissions die with
+                        // the backend).
+                        out.quarantined += len;
+                        out.panic_message = Some(panic_message(payload));
+                        drop(shard);
+                    }
+                }
+            }
+            None => out.quarantined += len,
+        }
+    }
+    out.shard = live;
+    out
+}
+
 impl<I, V, B> ShardedQMax<I, V, B>
 where
     I: ShardKey + Send,
@@ -98,16 +282,22 @@ where
     B: QMax<I, V> + Send,
 {
     /// Feeds `stream` through one worker thread per shard and returns a
-    /// load/timing report. The engine is fully usable (and queryable)
-    /// afterwards: shards move into the workers for the run and move
-    /// back when the stream is exhausted.
+    /// load/timing/failure report. The engine is fully usable (and
+    /// queryable) afterwards: shards move into the workers for the run
+    /// and move back when the stream is exhausted — and a shard whose
+    /// worker panicked moves back as a *fresh, empty* backend stamped
+    /// from the engine's stored factory, with the failure recorded in
+    /// [`DriverReport::failures`].
     ///
     /// The producer thread routes ids to shards ([`ShardKey`] hash) and
     /// accumulates per-shard batches of `config.batch_size` items;
     /// workers apply the same Ψ-cached batch drain as
     /// [`ShardedQMax::insert_batch`]. Channels are bounded at
-    /// `config.queue_depth` batches, so a slow shard backpressures the
-    /// producer instead of buffering the stream.
+    /// `config.queue_depth` batches; a full queue either blocks the
+    /// producer or sheds the batch, per `config.overload`.
+    ///
+    /// This method itself never panics on a shard failure: worker
+    /// panics are caught, quarantined, and reported.
     pub fn run_threaded<S>(&mut self, stream: S, config: DriverConfig) -> DriverReport
     where
         S: Iterator<Item = (I, V)>,
@@ -118,21 +308,45 @@ where
         let shards = self.take_shards();
         let router = self.router();
         let mut per_shard_items = vec![0u64; n];
+        let mut per_shard_dropped = vec![0u64; n];
+        // Items orphaned by a closed channel (worker died outside the
+        // drain loop); folded into the quarantine bucket.
+        let mut orphaned = vec![0u64; n];
         let start = Instant::now();
-        let (returned, per_shard_admitted) = thread::scope(|scope| {
+        let outcomes = thread::scope(|scope| {
             let mut senders = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
-            for mut shard in shards {
+            for shard in shards {
                 let (tx, rx) = mpsc::sync_channel::<Vec<(I, V)>>(queue_depth);
                 senders.push(tx);
-                handles.push(scope.spawn(move || {
-                    let mut admitted = 0u64;
-                    for batch in rx {
-                        admitted += drain_batch(&mut shard, batch);
-                    }
-                    (shard, admitted)
-                }));
+                handles.push(scope.spawn(move || worker_loop(shard, rx)));
             }
+            let dispatch =
+                |s: usize, batch: Vec<(I, V)>, dropped: &mut [u64], orphaned: &mut [u64]| {
+                    match config.overload {
+                        OverloadPolicy::Block => {
+                            if let Err(mpsc::SendError(lost)) = senders[s].send(batch) {
+                                // The worker died without draining its
+                                // channel; count and carry on — the other
+                                // shards still want their sub-streams.
+                                orphaned[s] += lost.len() as u64;
+                            }
+                        }
+                        OverloadPolicy::Shed { max_dropped } => match senders[s].try_send(batch) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(batch)) => {
+                                if dropped[s] + batch.len() as u64 <= max_dropped {
+                                    dropped[s] += batch.len() as u64;
+                                } else if let Err(mpsc::SendError(lost)) = senders[s].send(batch) {
+                                    orphaned[s] += lost.len() as u64;
+                                }
+                            }
+                            Err(mpsc::TrySendError::Disconnected(lost)) => {
+                                orphaned[s] += lost.len() as u64;
+                            }
+                        },
+                    }
+                };
             let mut buffers: Vec<Vec<(I, V)>> =
                 (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
             for (id, val) in stream {
@@ -141,32 +355,69 @@ where
                 buffers[s].push((id, val));
                 if buffers[s].len() >= batch_size {
                     let full = std::mem::replace(&mut buffers[s], Vec::with_capacity(batch_size));
-                    senders[s].send(full).expect("shard worker exited early");
+                    dispatch(s, full, &mut per_shard_dropped, &mut orphaned);
                 }
             }
             for (s, buffer) in buffers.into_iter().enumerate() {
                 if !buffer.is_empty() {
-                    senders[s].send(buffer).expect("shard worker exited early");
+                    dispatch(s, buffer, &mut per_shard_dropped, &mut orphaned);
                 }
             }
             // Closing the channels ends each worker's drain loop.
             drop(senders);
-            let mut returned = Vec::with_capacity(n);
-            let mut admitted = Vec::with_capacity(n);
-            for handle in handles {
-                let (shard, adm) = handle.join().expect("shard worker panicked");
-                returned.push(shard);
-                admitted.push(adm);
-            }
-            (returned, admitted)
+            handles
+                .into_iter()
+                .map(|handle| handle.join())
+                .collect::<Vec<_>>()
         });
         let elapsed = start.elapsed();
+
+        let mut returned = Vec::with_capacity(n);
+        let mut per_shard_admitted = vec![0u64; n];
+        let mut per_shard_drained = vec![0u64; n];
+        let mut per_shard_quarantined = vec![0u64; n];
+        let mut failures = Vec::new();
+        for (s, joined) in outcomes.into_iter().enumerate() {
+            let outcome = match joined {
+                Ok(outcome) => outcome,
+                // The worker thread itself panicked outside the guarded
+                // drain (a driver bug, not a backend bug) — treat every
+                // unaccounted item as quarantined and rebuild anyway.
+                Err(payload) => WorkerOutcome {
+                    shard: None,
+                    admitted: 0,
+                    drained: 0,
+                    quarantined: per_shard_items[s].saturating_sub(per_shard_dropped[s]),
+                    panic_message: Some(panic_message(payload)),
+                },
+            };
+            per_shard_admitted[s] = outcome.admitted;
+            per_shard_drained[s] = outcome.drained;
+            per_shard_quarantined[s] = outcome.quarantined + orphaned[s];
+            match outcome.shard {
+                Some(shard) => returned.push(shard),
+                None => {
+                    failures.push(ShardFailure {
+                        shard: s,
+                        message: outcome
+                            .panic_message
+                            .unwrap_or_else(|| "shard backend lost without a panic".to_string()),
+                        items_lost: per_shard_quarantined[s],
+                    });
+                    returned.push(self.fresh_shard(s));
+                }
+            }
+        }
         self.restore_shards(returned);
         DriverReport {
             items: per_shard_items.iter().sum(),
             elapsed,
             per_shard_items,
             per_shard_admitted,
+            per_shard_drained,
+            per_shard_dropped,
+            per_shard_quarantined,
+            failures,
         }
     }
 }
@@ -174,13 +425,28 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{silence_fault_panics, FaultSchedule, FaultyBackend};
     use crate::sharded::ShardedQMax;
+    use qmax_core::DeamortizedQMax;
     use qmax_traces::gen::{caida_like, random_u64_stream};
 
     fn sorted_vals(qm: &mut impl QMax<u64, u64>) -> Vec<u64> {
         let mut v: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
         v.sort_unstable();
         v
+    }
+
+    fn assert_balanced(report: &DriverReport) {
+        for s in 0..report.per_shard_items.len() {
+            assert_eq!(
+                report.per_shard_items[s],
+                report.per_shard_drained[s]
+                    + report.per_shard_dropped[s]
+                    + report.per_shard_quarantined[s],
+                "shard {s} accounting does not balance: {report:?}"
+            );
+            assert!(report.per_shard_admitted[s] <= report.per_shard_drained[s]);
+        }
     }
 
     #[test]
@@ -195,6 +461,9 @@ mod tests {
             let report = threaded.run_threaded(items.iter().copied(), DriverConfig::default());
             assert_eq!(report.items, items.len() as u64);
             assert_eq!(report.per_shard_items.len(), shards);
+            assert!(report.failures.is_empty());
+            assert_eq!(report.dropped() + report.quarantined(), 0);
+            assert_balanced(&report);
             let mut sequential: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
             for &(id, v) in &items {
                 sequential.insert(id, v);
@@ -216,14 +485,7 @@ mod tests {
         let report = engine.run_threaded(items.into_iter(), DriverConfig::default());
         assert_eq!(report.items, 50_000);
         assert_eq!(report.per_shard_items.iter().sum::<u64>(), 50_000);
-        // Admission never exceeds load, and the engine stats agree.
-        for (adm, load) in report
-            .per_shard_admitted
-            .iter()
-            .zip(&report.per_shard_items)
-        {
-            assert!(adm <= load);
-        }
+        assert_balanced(&report);
         let agg = engine.aggregate_stats();
         assert_eq!(agg.admitted, report.per_shard_admitted.iter().sum::<u64>());
         assert!(report.throughput_mips() > 0.0);
@@ -255,10 +517,138 @@ mod tests {
             DriverConfig {
                 batch_size: 1,
                 queue_depth: 1,
+                overload: OverloadPolicy::Block,
             },
         );
         let mut b: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 3);
         b.insert_batch(&items);
         assert_eq!(sorted_vals(&mut a), sorted_vals(&mut b));
+    }
+
+    #[test]
+    fn panicking_shard_is_quarantined_and_rebuilt() {
+        silence_fault_panics();
+        let q = 32;
+        let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+            ShardedQMax::with_backends(q, 3, move |s| {
+                // Trigger well inside the post-Ψ-prefilter insert count
+                // (offered inserts grow ~ q·ln(n), far below n).
+                let schedule = if s == 1 {
+                    FaultSchedule::panic_at(50)
+                } else {
+                    FaultSchedule::none()
+                };
+                FaultyBackend::new(DeamortizedQMax::new(q, 0.25), schedule)
+            });
+        let items: Vec<(u64, u64)> = random_u64_stream(20_000, 7)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let report = engine.run_threaded(items.iter().copied(), DriverConfig::default());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].shard, 1);
+        assert!(report.failures[0].message.contains("fault-injected"));
+        assert_eq!(
+            report.per_shard_quarantined[1],
+            report.failures[0].items_lost
+        );
+        assert!(report.per_shard_quarantined[1] > 0);
+        assert!(!report.is_healthy(1));
+        assert_eq!(report.healthy_shards(), vec![0, 2]);
+        assert_balanced(&report);
+        // The rebuilt slot is empty but live: the engine answers queries
+        // and accepts new items for shard 1.
+        assert!(engine.shards()[1].is_empty());
+        let top = engine.query();
+        assert!(!top.is_empty());
+    }
+
+    #[test]
+    fn shedding_bounds_loss_and_balances_accounting() {
+        let q = 16;
+        let budget = 2_000u64;
+        let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+            ShardedQMax::with_backends(q, 2, move |s| {
+                let schedule = if s == 0 {
+                    // Slow shard 0 down so its queue actually fills.
+                    FaultSchedule::stall_every(256, 2)
+                } else {
+                    FaultSchedule::none()
+                };
+                FaultyBackend::new(DeamortizedQMax::new(q, 0.5), schedule)
+            });
+        let items: Vec<(u64, u64)> = random_u64_stream(40_000, 99)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let report = engine.run_threaded(
+            items.iter().copied(),
+            DriverConfig {
+                batch_size: 64,
+                queue_depth: 1,
+                overload: OverloadPolicy::Shed {
+                    max_dropped: budget,
+                },
+            },
+        );
+        assert!(report.failures.is_empty());
+        for &d in &report.per_shard_dropped {
+            assert!(d <= budget, "shed {d} items, budget {budget}");
+        }
+        assert_balanced(&report);
+    }
+
+    #[test]
+    fn max_load_factor_ignores_quarantined_shards() {
+        let report = DriverReport {
+            items: 300,
+            elapsed: Duration::from_millis(1),
+            per_shard_items: vec![100, 150, 50],
+            per_shard_admitted: vec![10, 0, 5],
+            per_shard_drained: vec![100, 20, 50],
+            per_shard_dropped: vec![0, 0, 0],
+            per_shard_quarantined: vec![0, 130, 0],
+            failures: vec![ShardFailure {
+                shard: 1,
+                message: "boom".into(),
+                items_lost: 130,
+            }],
+        };
+        // Healthy shards carry 100 and 50 items: mean 75, max 100.
+        assert!((report.max_load_factor() - 100.0 / 75.0).abs() < 1e-12);
+
+        // A single healthy shard is perfectly balanced by definition.
+        let one_left = DriverReport {
+            per_shard_items: vec![100, 150],
+            per_shard_admitted: vec![10, 0],
+            per_shard_drained: vec![100, 0],
+            per_shard_quarantined: vec![0, 150],
+            failures: vec![ShardFailure {
+                shard: 1,
+                message: "boom".into(),
+                items_lost: 150,
+            }],
+            items: 250,
+            elapsed: Duration::from_millis(1),
+            per_shard_dropped: vec![0, 0],
+        };
+        assert_eq!(one_left.max_load_factor(), 1.0);
+
+        // All shards quarantined: no load to balance.
+        let none_left = DriverReport {
+            per_shard_items: vec![100],
+            per_shard_admitted: vec![0],
+            per_shard_drained: vec![0],
+            per_shard_quarantined: vec![100],
+            failures: vec![ShardFailure {
+                shard: 0,
+                message: "boom".into(),
+                items_lost: 100,
+            }],
+            items: 100,
+            elapsed: Duration::from_millis(1),
+            per_shard_dropped: vec![0],
+        };
+        assert_eq!(none_left.max_load_factor(), 0.0);
     }
 }

@@ -34,6 +34,14 @@
 //!   one worker per shard (scoped `std` threads + bounded channels; no
 //!   external dependencies), routes a stream into per-shard batches, and
 //!   reports per-shard load and aggregate insert throughput.
+//! * **Fault tolerance** — worker panics are caught and isolated: the
+//!   failing shard is quarantined and rebuilt empty from the engine's
+//!   stored backend factory while the other workers keep running
+//!   ([`DriverReport::failures`]); [`OverloadPolicy::Shed`] bounds
+//!   producer latency under a slow shard by shedding a budgeted number
+//!   of items instead of blocking; and the [`fault`] module provides a
+//!   deterministic fault-injection harness ([`FaultyBackend`]) to test
+//!   all of it reproducibly.
 //! * **Observability** — per-shard [`DeamortizedStats`] roll up via
 //!   [`ShardedQMax::aggregate_stats`], so the worst-case-bound
 //!   invariants (`forced_completions == 0`, bounded `max_step_ops`)
@@ -58,10 +66,12 @@
 #![forbid(unsafe_code)]
 
 mod driver;
+pub mod fault;
 mod shard_key;
 mod sharded;
 
-pub use driver::{DriverConfig, DriverReport};
+pub use driver::{DriverConfig, DriverReport, OverloadPolicy, ShardFailure};
+pub use fault::{FaultKind, FaultSchedule, FaultyBackend};
 pub use shard_key::ShardKey;
 pub use sharded::ShardedQMax;
 

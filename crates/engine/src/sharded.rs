@@ -3,7 +3,7 @@
 use crate::shard_key::ShardKey;
 use qmax_core::{
     BatchInsert, DeamortizedQMax, DeamortizedStats, Entry, ExpDecayQMax, OrderedF64, QMax,
-    SoaAmortizedQMax, SoaBasicSlackQMax, SoaDeamortizedQMax,
+    QMaxError, SoaAmortizedQMax, SoaBasicSlackQMax, SoaDeamortizedQMax,
 };
 use qmax_select::nth_smallest;
 use qmax_traces::hash;
@@ -54,6 +54,12 @@ impl ShardRouter {
 #[derive(Debug)]
 pub struct ShardedQMax<I, V, B = DeamortizedQMax<I, V>> {
     shards: Vec<B>,
+    /// The backend factory the shards were built from, retained so a
+    /// poisoned shard can be quarantined and rebuilt fresh (the
+    /// `IntervalBackend::fresh` prototype pattern, lifted to the
+    /// engine): the engine stays queryable with `S − k` populated
+    /// reservoirs plus `k` empty replacements after `k` failures.
+    factory: ShardFactory<B>,
     /// Configured shard count `S`; equals `shards.len()` except while a
     /// threaded run has temporarily moved the backends into workers.
     stated_shards: usize,
@@ -62,6 +68,16 @@ pub struct ShardedQMax<I, V, B = DeamortizedQMax<I, V>> {
     /// Items dropped by the batched pre-filter before reaching a shard.
     prefiltered: u64,
     _marker: ItemMarker<I, V>,
+}
+
+/// The stored shard constructor (index → backend). Boxed so the engine
+/// type stays independent of the concrete closure.
+struct ShardFactory<B>(Box<dyn FnMut(usize) -> B + Send>);
+
+impl<B> std::fmt::Debug for ShardFactory<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardFactory(..)")
+    }
 }
 
 /// Variance-neutral marker tying the engine to its item types without
@@ -75,9 +91,25 @@ impl<I: Clone, V: Ord + Clone> ShardedQMax<I, V> {
     /// # Panics
     ///
     /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
-    /// and finite.
+    /// and finite. Use [`ShardedQMax::try_new`] at fallible API
+    /// boundaries.
     pub fn new(q: usize, gamma: f64, shards: usize) -> Self {
-        Self::with_backends(q, shards, |_| DeamortizedQMax::new(q, gamma))
+        Self::try_new(q, gamma, shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ShardedQMax::new`]: rejects `q == 0`, non-positive /
+    /// non-finite `gamma`, and `shards == 0` instead of panicking — the
+    /// constructor a service exposes to operator-supplied configuration.
+    pub fn try_new(q: usize, gamma: f64, shards: usize) -> Result<Self, QMaxError> {
+        if shards == 0 {
+            return Err(QMaxError::ZeroShards);
+        }
+        // Validate (q, gamma) once up front so the error surfaces
+        // before any shard is built.
+        DeamortizedQMax::<I, V>::try_new(q, gamma)?;
+        Ok(Self::with_backends(q, shards, move |_| {
+            DeamortizedQMax::new(q, gamma)
+        }))
     }
 
     /// Per-shard de-amortized execution counters, indexed by shard.
@@ -113,11 +145,20 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
     ///
     /// Panics if `q == 0`, `shards == 0`, or a backend reports a
     /// different `q`.
-    pub fn with_backends<F: FnMut(usize) -> B>(q: usize, shards: usize, mut make_shard: F) -> Self {
+    ///
+    /// The factory is retained for the lifetime of the engine: it is
+    /// what [`ShardedQMax::rebuild_shard`] (and the fault-tolerant
+    /// driver's quarantine path) stamps replacement backends out of, so
+    /// it must be callable again with any shard index.
+    pub fn with_backends<F: FnMut(usize) -> B + Send + 'static>(
+        q: usize,
+        shards: usize,
+        mut make_shard: F,
+    ) -> Self {
         assert!(q > 0, "q must be positive");
         assert!(shards > 0, "need at least one shard");
-        let shards: Vec<B> = (0..shards).map(&mut make_shard).collect();
-        for (i, s) in shards.iter().enumerate() {
+        let built: Vec<B> = (0..shards).map(&mut make_shard).collect();
+        for (i, s) in built.iter().enumerate() {
             assert_eq!(
                 s.q(),
                 q,
@@ -125,15 +166,50 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
                 s.q()
             );
         }
-        let stated_shards = shards.len();
+        let stated_shards = built.len();
         ShardedQMax {
-            shards,
+            shards: built,
+            factory: ShardFactory(Box::new(make_shard)),
             stated_shards,
             q,
             seed: DEFAULT_SEED,
             prefiltered: 0,
             _marker: PhantomData,
         }
+    }
+
+    /// Quarantines shard `s`: replaces its backend with a fresh, empty
+    /// one stamped out of the stored factory and returns the displaced
+    /// backend (drop it to discard the poisoned state).
+    ///
+    /// The other `S − 1` shards are untouched, so the engine remains
+    /// queryable throughout — a merged query simply loses shard `s`'s
+    /// contribution until new arrivals repopulate it, mirroring the
+    /// paper's per-PMD independence (one PMD's instance restarting
+    /// never stalls the others).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the factory produces a backend
+    /// with a mismatched `q` (the same invariant construction checks).
+    pub fn rebuild_shard(&mut self, s: usize) -> B {
+        let fresh = self.fresh_shard(s);
+        std::mem::replace(&mut self.shards[s], fresh)
+    }
+
+    /// Stamps a fresh backend for shard `s` out of the stored factory
+    /// without touching the current shard vector (the threaded driver
+    /// uses this while the backends live outside `self` mid-run).
+    pub(crate) fn fresh_shard(&mut self, s: usize) -> B {
+        let fresh = (self.factory.0)(s);
+        assert_eq!(
+            fresh.q(),
+            self.q,
+            "rebuilt shard {s} configured with q={}, engine q={}",
+            fresh.q(),
+            self.q
+        );
+        fresh
     }
 
     /// Replaces the shard-assignment seed (rarely needed; distinct
@@ -257,7 +333,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaDeamortizedQMax<I, V>> {
     /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
     /// and finite.
     pub fn new_soa(q: usize, gamma: f64, shards: usize) -> Self {
-        Self::with_backends(q, shards, |_| SoaDeamortizedQMax::new(q, gamma))
+        Self::with_backends(q, shards, move |_| SoaDeamortizedQMax::new(q, gamma))
     }
 
     /// Per-shard de-amortized execution counters, indexed by shard.
@@ -292,7 +368,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
     /// Panics if `q == 0`, `shards == 0`, or `gamma` is not positive
     /// and finite.
     pub fn new_soa_amortized(q: usize, gamma: f64, shards: usize) -> Self {
-        Self::with_backends(q, shards, |_| SoaAmortizedQMax::new(q, gamma))
+        Self::with_backends(q, shards, move |_| SoaAmortizedQMax::new(q, gamma))
     }
 }
 
@@ -319,7 +395,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaBasicSlackQMax<I, V>> {
         assert!(shards > 0, "need at least one shard");
         assert!(w > 0, "window must be positive");
         let per_shard_w = (w / shards).max(1);
-        Self::with_backends(q, shards, |_| {
+        Self::with_backends(q, shards, move |_| {
             SoaBasicSlackQMax::new_soa(q, gamma, per_shard_w, tau)
         })
     }
@@ -346,7 +422,7 @@ impl<I: Copy> ShardedQMax<I, OrderedF64, ExpDecayQMax<SoaAmortizedQMax<I, Ordere
         assert!(shards > 0, "need at least one shard");
         assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
         let c_shard = c.powf(shards as f64).max(f64::MIN_POSITIVE);
-        Self::with_backends(q, shards, |_| {
+        Self::with_backends(q, shards, move |_| {
             ExpDecayQMax::new(SoaAmortizedQMax::new(q, gamma), c_shard)
         })
     }
@@ -501,7 +577,7 @@ mod tests {
         let vals: Vec<u64> = random_u64_stream(25_000, 9).collect();
         let q = 100;
         let mut engine: ShardedQMax<u64, u64, HeapQMax<u64, u64>> =
-            ShardedQMax::with_backends(q, 3, |_| HeapQMax::new(q));
+            ShardedQMax::with_backends(q, 3, move |_| HeapQMax::new(q));
         for (i, &v) in vals.iter().enumerate() {
             engine.insert(i as u64, v);
         }

@@ -219,6 +219,22 @@ impl ShardedQMaxPool {
         &mut self.engine
     }
 
+    /// Quarantines one PMD's measurement shard: its reservoir is
+    /// replaced with a fresh, empty one and the number of discarded
+    /// candidates is returned. The switch datapath and the other PMDs'
+    /// shards are untouched, so forwarding and measurement continue —
+    /// the operational move when one PMD's instance is suspected
+    /// corrupt (the paper's per-PMD independence means restarting one
+    /// instance never stalls the others).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmd` is out of range.
+    pub fn quarantine_pmd(&mut self, pmd: usize) -> usize {
+        let discarded = self.engine.rebuild_shard(pmd);
+        discarded.len()
+    }
+
     /// Per-PMD de-amortized execution counters, for observability: the
     /// worst-case-bound invariants stay checkable shard by shard.
     pub fn shard_stats(&self) -> Vec<DeamortizedStats> {
@@ -396,6 +412,39 @@ mod tests {
         for (i, s) in pool.shard_stats().iter().enumerate() {
             assert_eq!(s.forced_completions, 0, "shard {i} violated the work bound");
         }
+    }
+
+    #[test]
+    fn pool_survives_a_quarantined_pmd() {
+        let pkts: Vec<Packet> = caida_like(30_000, 17).collect();
+        let q = 48;
+        let mut pool = ShardedQMaxPool::new(4, q, 0.25);
+        let (first, second) = pkts.split_at(pkts.len() / 2);
+        for burst in first.chunks(32) {
+            pool.process_batch(burst);
+        }
+        let discarded = pool.quarantine_pmd(1);
+        assert!(discarded > 0, "a loaded shard should hold candidates");
+        // Forwarding and measurement continue on all PMDs, including
+        // the rebuilt one.
+        for burst in second.chunks(32) {
+            pool.process_batch(burst);
+        }
+        // The merged result is exact over what the shards have seen:
+        // everything except PMD 1's pre-quarantine sub-stream.
+        let mut expect: Vec<u64> = first
+            .iter()
+            .filter(|p| pool.pmd_of(p) != 1)
+            .chain(second.iter())
+            .map(|p| p.len as u64)
+            .collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(q);
+        expect.sort_unstable();
+        let mut got: Vec<u64> = pool.merged_top_q().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect, "merged top-q wrong after quarantine");
+        assert_eq!(pool.loads().iter().sum::<u64>(), pkts.len() as u64);
     }
 
     #[test]

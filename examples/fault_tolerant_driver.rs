@@ -1,0 +1,126 @@
+//! Fault-tolerant driver demo: runs the threaded sharded engine under a
+//! scripted shard failure and a load-shedding scenario, and prints the
+//! failure-accounting report as JSON (the artifact the CI chaos job
+//! uploads).
+//!
+//! Run with: `cargo run --release --example fault_tolerant_driver [seed]`
+//!
+//! The optional seed varies both the stream and the fault schedules;
+//! the same seed always reproduces the same failures (the blocking
+//! overload policy makes each shard's sub-stream, and therefore its
+//! offered-insert fault clock, deterministic).
+
+use qmax_core::{DeamortizedQMax, QMax};
+use qmax_engine::fault::silence_fault_panics;
+use qmax_engine::{
+    DriverConfig, DriverReport, FaultSchedule, FaultyBackend, OverloadPolicy, ShardedQMax,
+};
+use qmax_traces::gen::caida_like;
+
+fn report_json(name: &str, seed: u64, report: &DriverReport) -> String {
+    let failures: Vec<String> = report
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                r#"{{"shard":{},"items_lost":{},"message":{:?}}}"#,
+                f.shard, f.items_lost, f.message
+            )
+        })
+        .collect();
+    let vec_json = |v: &[u64]| {
+        let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        format!("[{}]", parts.join(","))
+    };
+    format!(
+        concat!(
+            r#"{{"scenario":{:?},"seed":{},"items":{},"dropped":{},"quarantined":{},"#,
+            r#""per_shard_items":{},"per_shard_drained":{},"per_shard_dropped":{},"#,
+            r#""per_shard_quarantined":{},"max_load_factor":{:.4},"#,
+            r#""throughput_mips":{:.2},"failures":[{}]}}"#
+        ),
+        name,
+        seed,
+        report.items,
+        report.dropped(),
+        report.quarantined(),
+        vec_json(&report.per_shard_items),
+        vec_json(&report.per_shard_drained),
+        vec_json(&report.per_shard_dropped),
+        vec_json(&report.per_shard_quarantined),
+        report.max_load_factor(),
+        report.throughput_mips(),
+        failures.join(",")
+    )
+}
+
+fn assert_balanced(report: &DriverReport) {
+    for s in 0..report.per_shard_items.len() {
+        assert_eq!(
+            report.per_shard_items[s],
+            report.per_shard_drained[s]
+                + report.per_shard_dropped[s]
+                + report.per_shard_quarantined[s],
+            "shard {s} accounting does not balance"
+        );
+    }
+}
+
+fn main() {
+    silence_fault_panics();
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let q = 512;
+    let gamma = 0.25;
+    let shards = 4;
+    let items: Vec<(u64, u64)> = caida_like(1_000_000, seed)
+        .map(|p| (p.flow().as_u64(), p.len as u64))
+        .collect();
+
+    // Scenario 1: one shard panics mid-stream under the blocking
+    // policy; the others finish and the merged query still answers.
+    let failing = (seed % shards as u64) as usize;
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, shards, move |s| {
+            let schedule = if s == failing {
+                FaultSchedule::panic_at(200 + seed % 300)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyBackend::new(DeamortizedQMax::new(q, gamma), schedule)
+        });
+    let report = engine.run_threaded(items.iter().copied(), DriverConfig::default());
+    assert_eq!(report.failures.len(), 1, "scripted failure must fire");
+    assert_balanced(&report);
+    assert_eq!(engine.query().len(), q, "engine must stay queryable");
+    println!("{}", report_json("one-shard-panic", seed, &report));
+
+    // Scenario 2: seeded chaos schedules on every shard under the
+    // shedding policy; loss is budgeted, accounting still balances.
+    let budget = 50_000u64;
+    let mut chaotic: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, shards, move |s| {
+            FaultyBackend::new(
+                DeamortizedQMax::new(q, gamma),
+                FaultSchedule::seeded(seed.wrapping_mul(0x9E37).wrapping_add(s as u64), 256),
+            )
+        });
+    let report = chaotic.run_threaded(
+        items.iter().copied(),
+        DriverConfig {
+            batch_size: 256,
+            queue_depth: 2,
+            overload: OverloadPolicy::Shed {
+                max_dropped: budget,
+            },
+        },
+    );
+    assert_balanced(&report);
+    for &d in &report.per_shard_dropped {
+        assert!(d <= budget, "shed beyond budget");
+    }
+    let _ = chaotic.query();
+    println!("{}", report_json("seeded-chaos-shed", seed, &report));
+}

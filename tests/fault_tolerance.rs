@@ -1,0 +1,178 @@
+//! Acceptance tests for the fault-tolerant shard driver: a panicking
+//! shard is quarantined and rebuilt while the rest of the engine keeps
+//! measuring — the per-PMD independence the paper's deployment relies
+//! on, made mechanical.
+
+use qmax_core::{DeamortizedQMax, QMax};
+use qmax_engine::fault::silence_fault_panics;
+use qmax_engine::{
+    DriverConfig, DriverReport, FaultSchedule, FaultyBackend, OverloadPolicy, ShardedQMax,
+};
+use qmax_traces::gen::random_u64_stream;
+
+fn sorted_vals(pairs: Vec<(u64, u64)>) -> Vec<u64> {
+    let mut v: Vec<u64> = pairs.into_iter().map(|(_, v)| v).collect();
+    v.sort_unstable();
+    v
+}
+
+fn assert_balanced(report: &DriverReport) {
+    for s in 0..report.per_shard_items.len() {
+        assert_eq!(
+            report.per_shard_items[s],
+            report.per_shard_drained[s]
+                + report.per_shard_dropped[s]
+                + report.per_shard_quarantined[s],
+            "shard {s} accounting does not balance"
+        );
+        assert!(report.per_shard_admitted[s] <= report.per_shard_drained[s]);
+    }
+}
+
+/// The pinned CI scenario: 100k items, one shard scripted to panic
+/// mid-stream. The run completes without panicking, reports exactly one
+/// failure, leaves the engine queryable, and the surviving shards'
+/// merged top-q equals a sequential reference over the items routed to
+/// healthy shards.
+#[test]
+fn one_shard_panic_is_isolated_and_reported() {
+    silence_fault_panics();
+    let q = 256;
+    let gamma = 0.25;
+    let shards = 4;
+    let failing = 2usize;
+    let items: Vec<(u64, u64)> = random_u64_stream(100_000, 42)
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, shards, move |s| {
+            // The first ⌈q(1+γ)⌉ = 320 offered inserts reach the backend
+            // unfiltered (no Ψ yet), so insert 300 is guaranteed to
+            // arrive — mid-stream, while the reservoir is still filling.
+            let schedule = if s == failing {
+                FaultSchedule::panic_at(300)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyBackend::new(DeamortizedQMax::new(q, gamma), schedule)
+        });
+
+    let report = engine.run_threaded(items.iter().copied(), DriverConfig::default());
+
+    assert_eq!(report.items, 100_000);
+    assert_eq!(report.failures.len(), 1, "exactly one shard failure");
+    let failure = &report.failures[0];
+    assert_eq!(failure.shard, failing);
+    assert!(
+        failure.message.contains("fault-injected"),
+        "unexpected panic message: {}",
+        failure.message
+    );
+    assert_eq!(failure.items_lost, report.per_shard_quarantined[failing]);
+    assert!(failure.items_lost > 0);
+    assert_eq!(report.dropped(), 0, "Block policy never sheds");
+    assert_balanced(&report);
+    assert_eq!(report.healthy_shards().len(), shards - 1);
+
+    // The engine is queryable and the quarantined slot is live + empty.
+    assert!(engine.shards()[failing].is_empty());
+    let got = sorted_vals(engine.query());
+    assert_eq!(got.len(), q);
+
+    // Sequential reference restricted to healthy-shard ids (same seed →
+    // same routing).
+    let mut reference: ShardedQMax<u64, u64> = ShardedQMax::new(q, gamma, shards);
+    for &(id, v) in &items {
+        if reference.shard_of(&id) != failing {
+            reference.insert(id, v);
+        }
+    }
+    assert_eq!(
+        got,
+        sorted_vals(reference.query()),
+        "surviving shards diverged from the sequential reference"
+    );
+
+    // The rebuilt shard accepts new items immediately.
+    let probe_id = (0..)
+        .find(|id: &u64| engine.shard_of(id) == failing)
+        .unwrap();
+    engine.insert(probe_id, u64::MAX);
+    let top = sorted_vals(engine.query());
+    assert_eq!(top.last(), Some(&u64::MAX));
+}
+
+/// Every shard panicking still terminates the run: all items are
+/// accounted, all shards report failures, and the engine comes back as
+/// `S` empty-but-live reservoirs.
+#[test]
+fn all_shards_panicking_still_terminates() {
+    silence_fault_panics();
+    let q = 16;
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, 3, move |_| {
+            FaultyBackend::new(DeamortizedQMax::new(q, 0.5), FaultSchedule::panic_at(1))
+        });
+    let items: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i)).collect();
+    let report = engine.run_threaded(items.into_iter(), DriverConfig::default());
+    assert_eq!(report.failures.len(), 3);
+    assert_eq!(report.quarantined(), 10_000);
+    assert_eq!(report.max_load_factor(), 0.0);
+    assert_balanced(&report);
+    // Queryable (empty) afterwards. Note the rebuilt backends carry a
+    // re-armed copy of the fault script — the factory stamps the shard
+    // *as configured*, scripted faults included — so no insert probe
+    // here: it would just fire `panic_at(1)` again.
+    assert!(engine.query().is_empty());
+    for s in engine.shards() {
+        assert!(s.is_empty());
+    }
+}
+
+/// A persistently slow shard under `Shed` completes with bounded,
+/// budgeted loss and no failures; the healthy shard stays exact.
+#[test]
+fn stalled_shard_sheds_within_budget() {
+    silence_fault_panics();
+    let q = 32;
+    let budget = 5_000u64;
+    let slow = 0usize;
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, 2, move |s| {
+            let schedule = if s == slow {
+                FaultSchedule::stall_every(64, 1)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyBackend::new(DeamortizedQMax::new(q, 0.5), schedule)
+        });
+    let items: Vec<(u64, u64)> = random_u64_stream(60_000, 5)
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+    let report = engine.run_threaded(
+        items.iter().copied(),
+        DriverConfig {
+            batch_size: 32,
+            queue_depth: 1,
+            overload: OverloadPolicy::Shed {
+                max_dropped: budget,
+            },
+        },
+    );
+    assert!(report.failures.is_empty());
+    for (s, &d) in report.per_shard_dropped.iter().enumerate() {
+        assert!(d <= budget, "shard {s} shed {d} > budget {budget}");
+    }
+    assert_balanced(&report);
+    // Stalls slow a shard but never corrupt it: the engine is fully
+    // queryable and every drained item went through the normal insert
+    // path, so the merged top-q is exact over the non-shed items — a
+    // subset of the stream, hence bounded below by the top-q of any
+    // particular subset we can name. The whole-stream maximum has a
+    // 1/queue-ful chance of being shed, so assert on structure instead:
+    // a full reservoir of q values came back.
+    assert_eq!(sorted_vals(engine.query()).len(), q);
+}

@@ -1,0 +1,203 @@
+//! Chaos property tests for the fault-tolerant shard driver.
+//!
+//! Each case derives a pseudorandom fault schedule per shard from a
+//! seed — panics, simulated validation trips, stalls, or nothing — and
+//! runs a heavy-tailed stream through `run_threaded`. Two invariants
+//! must hold on *every* schedule:
+//!
+//! 1. **Exactness on survivors** (blocking policy): the merged result
+//!    equals a sequential run restricted to the sub-streams of shards
+//!    that finished healthy. Panic isolation must not perturb sibling
+//!    shards by a single item.
+//! 2. **Conservation**: every routed item is accounted exactly once —
+//!    `items == drained + dropped + quarantined`, per shard and in
+//!    aggregate — no matter which faults fired.
+//!
+//! Fault-injected panics are deterministic in the *offered-insert*
+//! clock of each shard, and the blocking policy makes each shard's
+//! sub-stream identical run to run, so failures reproduce from the
+//! case's seed alone.
+
+use proptest::prelude::*;
+use qmax_core::{DeamortizedQMax, QMax};
+use qmax_engine::fault::silence_fault_panics;
+use qmax_engine::{
+    DriverConfig, DriverReport, FaultSchedule, FaultyBackend, OverloadPolicy, ShardedQMax,
+};
+use qmax_traces::gen::caida_like;
+
+/// Heavy-tailed (zipf-like flow sizes) keyed stream: flows reuse ids,
+/// values are packet lengths.
+fn zipf_stream(n: usize, seed: u64) -> Vec<(u64, u64)> {
+    caida_like(n, seed)
+        .map(|p| (p.flow().as_u64(), p.len as u64))
+        .collect()
+}
+
+fn sorted_vals(pairs: Vec<(u64, u64)>) -> Vec<u64> {
+    let mut v: Vec<u64> = pairs.into_iter().map(|(_, v)| v).collect();
+    v.sort_unstable();
+    v
+}
+
+fn faulty_engine(
+    q: usize,
+    gamma: f64,
+    shards: usize,
+    fault_seed: u64,
+    horizon: u64,
+) -> ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> {
+    ShardedQMax::with_backends(q, shards, move |s| {
+        FaultyBackend::new(
+            DeamortizedQMax::new(q, gamma),
+            FaultSchedule::seeded(fault_seed.wrapping_add(s as u64), horizon),
+        )
+    })
+}
+
+fn check_balance(report: &DriverReport) {
+    let mut drained = 0u64;
+    let mut dropped = 0u64;
+    let mut quarantined = 0u64;
+    for s in 0..report.per_shard_items.len() {
+        assert_eq!(
+            report.per_shard_items[s],
+            report.per_shard_drained[s]
+                + report.per_shard_dropped[s]
+                + report.per_shard_quarantined[s],
+            "shard {s} accounting does not balance"
+        );
+        assert!(
+            report.per_shard_admitted[s] <= report.per_shard_drained[s],
+            "shard {s} admitted more than it drained"
+        );
+        drained += report.per_shard_drained[s];
+        dropped += report.per_shard_dropped[s];
+        quarantined += report.per_shard_quarantined[s];
+    }
+    assert_eq!(report.items, drained + dropped + quarantined);
+    assert_eq!(report.quarantined(), quarantined);
+    assert_eq!(report.dropped(), dropped);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Blocking policy: surviving shards match a sequential run over
+    /// their ids exactly, failures only come from poisonous schedules,
+    /// and the accounting balances.
+    #[test]
+    fn survivors_match_sequential_reference(
+        fault_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        n in 200usize..3000,
+        q in 1usize..48,
+        shards in 1usize..6,
+        batch_size in 1usize..128,
+    ) {
+        silence_fault_panics();
+        let gamma = 0.5;
+        // Small horizon: triggers land inside the unfiltered
+        // reservoir-fill phase, so poisonous schedules usually fire.
+        let horizon = 48;
+        let items = zipf_stream(n, stream_seed);
+        let mut engine = faulty_engine(q, gamma, shards, fault_seed, horizon);
+        let report = engine.run_threaded(items.iter().copied(), DriverConfig {
+            batch_size,
+            queue_depth: 2,
+            overload: OverloadPolicy::Block,
+        });
+
+        prop_assert_eq!(report.items, n as u64);
+        prop_assert_eq!(report.dropped(), 0, "Block never sheds");
+        check_balance(&report);
+
+        // A shard can only fail if its schedule could poison it.
+        for f in &report.failures {
+            let schedule = FaultSchedule::seeded(
+                fault_seed.wrapping_add(f.shard as u64),
+                horizon,
+            );
+            prop_assert!(
+                schedule.is_poisonous(),
+                "shard {} failed on a non-poisonous schedule: {}",
+                f.shard,
+                f.message
+            );
+            prop_assert!(f.message.contains("fault-injected"));
+            prop_assert_eq!(f.items_lost, report.per_shard_quarantined[f.shard]);
+        }
+        // Healthy shards lost nothing.
+        for s in report.healthy_shards() {
+            prop_assert_eq!(report.per_shard_quarantined[s], 0);
+        }
+
+        // Exactness: merged result == sequential run restricted to the
+        // healthy shards' ids (same seed → same routing).
+        let mut reference: ShardedQMax<u64, u64> = ShardedQMax::new(q, gamma, shards);
+        for &(id, v) in &items {
+            if report.is_healthy(reference.shard_of(&id)) {
+                reference.insert(id, v);
+            }
+        }
+        prop_assert_eq!(sorted_vals(engine.query()), sorted_vals(reference.query()));
+    }
+
+    /// Shedding policy: loss stays within the per-shard budget and the
+    /// conservation invariant still balances with faults firing.
+    #[test]
+    fn shedding_balances_and_respects_budget(
+        fault_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        n in 200usize..2000,
+        q in 1usize..32,
+        shards in 1usize..5,
+        budget in 0u64..500,
+    ) {
+        silence_fault_panics();
+        let items = zipf_stream(n, stream_seed);
+        let mut engine = faulty_engine(q, 0.5, shards, fault_seed, 48);
+        let report = engine.run_threaded(items.iter().copied(), DriverConfig {
+            batch_size: 16,
+            queue_depth: 1,
+            overload: OverloadPolicy::Shed { max_dropped: budget },
+        });
+        prop_assert_eq!(report.items, n as u64);
+        for (s, &d) in report.per_shard_dropped.iter().enumerate() {
+            prop_assert!(d <= budget, "shard {} shed {} > budget {}", s, d, budget);
+        }
+        check_balance(&report);
+        // The engine survives to answer queries whatever happened.
+        let _ = engine.query();
+    }
+
+    /// Repeating a faulted run with the same seeds reproduces the same
+    /// failures and the same merged result — the property that makes a
+    /// chaos-CI failure debuggable from its seed.
+    #[test]
+    fn faulted_runs_are_reproducible(
+        fault_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        n in 200usize..1500,
+        shards in 1usize..5,
+    ) {
+        silence_fault_panics();
+        let q = 16;
+        let items = zipf_stream(n, stream_seed);
+        let config = DriverConfig {
+            batch_size: 32,
+            queue_depth: 2,
+            overload: OverloadPolicy::Block,
+        };
+        let mut a = faulty_engine(q, 0.5, shards, fault_seed, 48);
+        let ra = a.run_threaded(items.iter().copied(), config);
+        let mut b = faulty_engine(q, 0.5, shards, fault_seed, 48);
+        let rb = b.run_threaded(items.iter().copied(), config);
+        let fa: Vec<usize> = ra.failures.iter().map(|f| f.shard).collect();
+        let fb: Vec<usize> = rb.failures.iter().map(|f| f.shard).collect();
+        prop_assert_eq!(fa, fb);
+        prop_assert_eq!(ra.per_shard_quarantined, rb.per_shard_quarantined);
+        prop_assert_eq!(ra.per_shard_drained, rb.per_shard_drained);
+        prop_assert_eq!(sorted_vals(a.query()), sorted_vals(b.query()));
+    }
+}
