@@ -6,7 +6,7 @@
 //! experiments:
 //!   fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11
 //!   fig12 fig13 fig14 fig15 fig16 fig17 sec3
-//!   pmd-scaling sharded-scaling soa windows-backend
+//!   pmd-scaling sharded-scaling soa kernels windows-backend
 //!   ablate-deamortize ablate-select ablate-gamma ablate-window
 //!   all        (everything above, in order)
 //!
@@ -18,7 +18,7 @@
 //! Each experiment prints its series and mirrors them under
 //! `results/<id>.csv`.
 
-use qmax_bench::experiments::{ablate, apps, lrfu, micro, ovs, sharded, soa, windows};
+use qmax_bench::experiments::{ablate, apps, kernels, lrfu, micro, ovs, sharded, soa, windows};
 use qmax_bench::scale::Scale;
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
         eprintln!("usage: figures <experiment|all> [--scale F] [--full]");
         eprintln!("experiments: fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11");
         eprintln!("             fig12 fig13 fig14 fig15 fig16 fig17 sec3");
-        eprintln!("             pmd-scaling sharded-scaling soa windows-backend");
+        eprintln!("             pmd-scaling sharded-scaling soa kernels windows-backend");
         eprintln!("             ablate-deamortize ablate-select ablate-gamma ablate-window");
         std::process::exit(2);
     }
@@ -65,6 +65,7 @@ fn main() {
         "pmd-scaling",
         "sharded-scaling",
         "soa",
+        "kernels",
         "windows-backend",
         "ablate-deamortize",
         "ablate-select",
@@ -100,6 +101,7 @@ fn main() {
             "pmd-scaling" => ovs::pmd_scaling(&scale),
             "sharded-scaling" => sharded::sharded_scaling(&scale),
             "soa" => soa::soa_compare(&scale),
+            "kernels" => kernels::kernel_compare(&scale),
             "windows-backend" => windows::windows_backend(&scale),
             "ablate-deamortize" => ablate::ablate_deamortize(&scale),
             "ablate-select" => ablate::ablate_select(&scale),

@@ -2,7 +2,8 @@
 
 use crate::entry::Entry;
 use crate::traits::{BatchInsert, IntervalBackend, QMax};
-use qmax_select::nth_smallest;
+use qmax_select::kernels::{pivot_band, sample_positions, PIVOT_SEED, SAMPLED_COMPACT_MIN};
+use qmax_select::{nth_smallest, partition3};
 
 /// q-MAX with **amortized** `O(1)` update time and `⌈q(1+γ)⌉` space.
 ///
@@ -34,6 +35,15 @@ pub struct AmortizedQMax<I, V> {
     threshold: Option<V>,
     compactions: u64,
     filtered: u64,
+    /// Reusable buffers for the sampled-pivot compaction: drawn
+    /// positions, and `(value, index)` samples (the index recovers the
+    /// pivot entry without a `Copy` bound on `V`).
+    sample_pos: Vec<usize>,
+    sample: Vec<(V, usize)>,
+    /// Compactions whose sampled pivot landed outside the tolerance
+    /// band ([`qmax_select::kernels::pivot_band`]); the result is exact
+    /// either way, the counter tracks sample quality.
+    pivot_fallbacks: u64,
 }
 
 impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
@@ -62,6 +72,9 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
             threshold: None,
             compactions: 0,
             filtered: 0,
+            sample_pos: Vec::new(),
+            sample: Vec::new(),
+            pivot_fallbacks: 0,
         })
     }
 
@@ -78,6 +91,13 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
     /// Number of arrivals dropped by the admission filter.
     pub fn filtered(&self) -> u64 {
         self.filtered
+    }
+
+    /// Compactions whose sampled pivot landed outside the tolerance
+    /// band and degraded to a large exact-select residue. Always zero
+    /// for buffers below `SAMPLED_COMPACT_MIN` slots.
+    pub fn pivot_fallbacks(&self) -> u64 {
+        self.pivot_fallbacks
     }
 
     /// Iterates over the current candidate set (a superset of the top
@@ -97,11 +117,17 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
     }
 
     /// Compacts the buffer: finds the q-th largest value, makes it the
-    /// new threshold, and discards all candidates below it.
+    /// new threshold, and discards all candidates below it. Large
+    /// buffers seed the selection with a sampled pivot; the resulting Ψ
+    /// and survivor multiset are identical either way.
     fn compact(&mut self) {
         debug_assert!(self.buf.len() > self.q);
         let cut = self.buf.len() - self.q;
-        nth_smallest(&mut self.buf, cut);
+        if self.buf.len() >= SAMPLED_COMPACT_MIN {
+            self.arrange_cut_sampled(cut);
+        } else {
+            nth_smallest(&mut self.buf, cut);
+        }
         // buf[cut..] now holds the q largest; buf[cut] is the q-th
         // largest overall and becomes the new admission threshold.
         let psi = self.buf[cut].val.clone();
@@ -111,6 +137,42 @@ impl<I: Clone, V: Ord + Clone> AmortizedQMax<I, V> {
             _ => psi,
         });
         self.compactions += 1;
+    }
+
+    /// Establishes the [`nth_smallest`] postcondition at rank `cut` by
+    /// first partitioning around a pivot estimated from a deterministic
+    /// `O(√n)` sample (seeded by the compaction counter, so replays are
+    /// exact), then exact-selecting only within the region the true cut
+    /// landed in.
+    fn arrange_cut_sampled(&mut self, cut: usize) {
+        let n = self.buf.len();
+        sample_positions(n, PIVOT_SEED ^ self.compactions, &mut self.sample_pos);
+        let m = self.sample_pos.len();
+        self.sample.clear();
+        for &p in &self.sample_pos {
+            self.sample.push((self.buf[p].val.clone(), p));
+        }
+        let srank = ((cut as u128 * m as u128) / (n as u128)) as usize;
+        let srank = srank.min(m - 1);
+        nth_smallest(&mut self.sample, srank);
+        let pivot = self.buf[self.sample[srank].1].clone();
+        let (lt, gt) = partition3(&mut self.buf, 0, n, &pivot);
+        let band = pivot_band(n);
+        if cut < lt {
+            // Pivot landed high: the cut is inside the `<` region.
+            if lt - cut > band {
+                self.pivot_fallbacks += 1;
+            }
+            nth_smallest(&mut self.buf[..lt], cut);
+        } else if cut >= gt {
+            // Pivot landed low: the cut is inside the `>` region.
+            if cut - gt > band {
+                self.pivot_fallbacks += 1;
+            }
+            nth_smallest(&mut self.buf[gt..], cut - gt);
+        }
+        // Otherwise the cut fell in the `==` run and the postcondition
+        // already holds: buf[..cut] <= buf[cut] == pivot <= buf[cut..].
     }
 }
 
@@ -183,6 +245,9 @@ impl<I: Clone, V: Ord + Clone> IntervalBackend<I, V> for AmortizedQMax<I, V> {
             threshold: None,
             compactions: 0,
             filtered: 0,
+            sample_pos: Vec::new(),
+            sample: Vec::new(),
+            pivot_fallbacks: 0,
         }
     }
 
@@ -336,6 +401,47 @@ mod tests {
         union.truncate(q);
         union.sort_unstable();
         assert_eq!(got, union);
+    }
+
+    #[test]
+    fn sampled_compaction_matches_reference() {
+        // Buffers at and above SAMPLED_COMPACT_MIN take the sampled
+        // pivot; the compaction result (Ψ and survivors) is exact.
+        let mut state = 41u64;
+        let q = 1600usize;
+        let vals: Vec<u64> = (0..40_000).map(|_| splitmix(&mut state)).collect();
+        let mut qm = AmortizedQMax::new(q, 1.0);
+        for (i, &v) in vals.iter().enumerate() {
+            qm.insert(i as u32, v);
+        }
+        assert!(qm.compactions() > 0);
+        let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, top_q_reference(&vals, q));
+    }
+
+    #[test]
+    fn adversarial_sample_forces_fallback_but_stays_exact() {
+        // Every sampled position of the first compaction holds the
+        // minimum, so the pivot lands far below the true cut and the
+        // exact-select residue exceeds the tolerance band.
+        let q = 64usize;
+        let mut qm = AmortizedQMax::<u32, u64>::new(q, 31.0);
+        let cap = qm.capacity();
+        assert_eq!(cap, 2048);
+        let mut pos = Vec::new();
+        qmax_select::kernels::sample_positions(cap, qmax_select::kernels::PIVOT_SEED, &mut pos);
+        let vals: Vec<u64> = (0..cap)
+            .map(|i| if pos.contains(&i) { 1 } else { 1000 + i as u64 })
+            .collect();
+        for (i, &v) in vals.iter().enumerate() {
+            qm.insert(i as u32, v);
+        }
+        assert_eq!(qm.compactions(), 1);
+        assert_eq!(qm.pivot_fallbacks(), 1, "bad pivot must be counted");
+        let mut got: Vec<u64> = qm.query().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, top_q_reference(&vals, q));
     }
 
     #[test]

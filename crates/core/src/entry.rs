@@ -55,13 +55,22 @@ impl<I, V: Ord> Ord for Entry<I, V> {
 /// use qmax_core::OrderedF64;
 /// assert!(OrderedF64::from(2.5) > OrderedF64::from(-1.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct OrderedF64(pub f64);
 
 impl OrderedF64 {
     /// The wrapped value.
     pub fn get(self) -> f64 {
         self.0
+    }
+}
+
+// `PartialEq` must match `Ord` (`total_cmp`), which separates `-0.0`
+// from `+0.0`; IEEE `==` (the derive) would equate them and break the
+// `Eq`/`Ord` consistency contract the selection kernels assert on.
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
     }
 }
 

@@ -35,7 +35,8 @@
 use crate::deamortized::DeamortizedStats;
 use crate::entry::Entry;
 use crate::traits::{BatchInsert, IntervalBackend, QMax};
-use qmax_select::{paired_nth_smallest, Direction, MachineStatus, PairedNthElementMachine};
+use qmax_select::kernels::{pivot_band, PIVOT_SEED, SAMPLED_COMPACT_MIN};
+use qmax_select::{paired_nth_smallest, Direction, Kernel, MachineStatus, PairedNthElementMachine};
 
 /// Structure-of-arrays [`AmortizedQMax`](crate::AmortizedQMax): q-MAX
 /// with amortized `O(1)` updates, `⌈q(1+γ)⌉` space, and a branchless
@@ -61,9 +62,21 @@ pub struct SoaAmortizedQMax<I, V> {
     threshold: Option<V>,
     compactions: u64,
     filtered: u64,
+    /// Output lanes for the sampled-pivot partition; swapped with the
+    /// primary lanes after each partition pass.
+    scratch_ids: Vec<I>,
+    scratch_vals: Vec<V>,
+    /// Reusable buffer for the pivot sample.
+    sample: Vec<V>,
+    /// Compactions whose sampled pivot landed outside the tolerance
+    /// band ([`qmax_select::kernels::pivot_band`]); the result is exact
+    /// either way, the counter tracks sample quality.
+    pivot_fallbacks: u64,
+    /// SIMD dispatch handle, resolved once at construction.
+    kernel: Kernel<V>,
 }
 
-impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaAmortizedQMax<I, V> {
     /// Creates a q-MAX for the `q` largest items with space-slack
     /// parameter `gamma` (γ): `⌈q(1+γ)⌉` slots (at least `q + 1`) per
     /// lane.
@@ -91,6 +104,11 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
             threshold: None,
             compactions: 0,
             filtered: 0,
+            scratch_ids: Vec::new(),
+            scratch_vals: Vec::new(),
+            sample: Vec::new(),
+            pivot_fallbacks: 0,
+            kernel: Kernel::detect(),
         })
     }
 
@@ -109,6 +127,24 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
         self.filtered
     }
 
+    /// Compactions whose sampled pivot landed outside the tolerance
+    /// band and degraded to a large exact-select residue. Always zero
+    /// for buffers below `SAMPLED_COMPACT_MIN` slots.
+    pub fn pivot_fallbacks(&self) -> u64 {
+        self.pivot_fallbacks
+    }
+
+    /// Overrides the SIMD dispatch handle (benchmarks pin the scalar
+    /// path with `Kernel::scalar()` to measure the vectorization gain).
+    pub fn set_kernel(&mut self, kernel: Kernel<V>) {
+        self.kernel = kernel;
+    }
+
+    /// The SIMD dispatch handle in use.
+    pub fn kernel(&self) -> Kernel<V> {
+        self.kernel
+    }
+
     /// Materializes both lanes to full capacity on first use, seeding the
     /// scratch slots with copies of the given item (avoids a `Default`
     /// bound; the slots beyond `len` are never read).
@@ -117,18 +153,22 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
         if self.vals.len() != self.cap {
             self.vals.resize(self.cap, val);
             self.ids.resize(self.cap, id);
+            self.scratch_vals.resize(self.cap, val);
+            self.scratch_ids.resize(self.cap, id);
         }
     }
 
     /// Compacts the lanes: selects the q-th largest value, makes it the
-    /// new threshold, and keeps only the top `q` pairs.
+    /// new threshold, and keeps only the top `q` pairs. Large buffers
+    /// take the sampled-pivot path; the resulting Ψ and survivor
+    /// multiset are identical either way.
     fn compact(&mut self) {
         debug_assert!(self.len > self.q);
-        let cut = self.len - self.q;
-        paired_nth_smallest(&mut self.vals[..self.len], &mut self.ids[..self.len], cut);
-        let psi = self.vals[cut];
-        self.vals.copy_within(cut..self.len, 0);
-        self.ids.copy_within(cut..self.len, 0);
+        let psi = if self.len >= SAMPLED_COMPACT_MIN {
+            self.compact_sampled()
+        } else {
+            self.compact_exact()
+        };
         self.len = self.q;
         self.threshold = Some(match self.threshold.take() {
             Some(old) if old > psi => old,
@@ -136,9 +176,88 @@ impl<I: Copy, V: Ord + Copy> SoaAmortizedQMax<I, V> {
         });
         self.compactions += 1;
     }
+
+    /// Plain exact compaction: introselect over the full live prefix.
+    fn compact_exact(&mut self) -> V {
+        let cut = self.len - self.q;
+        paired_nth_smallest(&mut self.vals[..self.len], &mut self.ids[..self.len], cut);
+        let psi = self.vals[cut];
+        self.vals.copy_within(cut..self.len, 0);
+        self.ids.copy_within(cut..self.len, 0);
+        psi
+    }
+
+    /// Sampled-pivot compaction: estimate the q-th largest value from a
+    /// deterministic `O(√n)` sample (seeded by the compaction counter,
+    /// so replays are exact), partition the lanes around it in one
+    /// vectorized stable pass into the scratch lanes — descending
+    /// region order, so the survivors end up a *prefix* — then repair
+    /// the boundary with an exact select over only the region the true
+    /// cut landed in. Ψ is exactly the q-th largest, as in
+    /// [`Self::compact_exact`].
+    fn compact_sampled(&mut self) -> V {
+        let n = self.len;
+        let q = self.q;
+        let (mn, mx) = self
+            .kernel
+            .min_max(&self.vals[..n])
+            .expect("compacting a non-empty buffer");
+        if mn == mx {
+            // All values equal: any q survive and Ψ is that value.
+            return mn;
+        }
+        let seed = PIVOT_SEED ^ self.compactions;
+        let pivot = self
+            .kernel
+            .sample_pivot(&self.vals[..n], n - q, seed, &mut self.sample);
+        let (ngt, eq_end) = self.kernel.partition3_desc(
+            &self.vals[..n],
+            &self.ids[..n],
+            pivot,
+            &mut self.scratch_vals[..n],
+            &mut self.scratch_ids[..n],
+        );
+        core::mem::swap(&mut self.vals, &mut self.scratch_vals);
+        core::mem::swap(&mut self.ids, &mut self.scratch_ids);
+        let band = pivot_band(n);
+        if ngt >= q {
+            // Pivot landed low: all survivors are in the `>` region;
+            // exact-select the q largest within it.
+            if ngt - q > band {
+                self.pivot_fallbacks += 1;
+            }
+            let cut = ngt - q;
+            paired_nth_smallest(&mut self.vals[..ngt], &mut self.ids[..ngt], cut);
+            let psi = self.vals[cut];
+            self.vals.copy_within(cut..ngt, 0);
+            self.ids.copy_within(cut..ngt, 0);
+            psi
+        } else if eq_end >= q {
+            // In band: the q-th largest is the pivot itself and the
+            // survivors are exactly the output prefix already.
+            pivot
+        } else {
+            // Pivot landed high: keep the whole `>`/`==` prefix and top
+            // it up with the largest elements of the `<` region.
+            if q - eq_end > band {
+                self.pivot_fallbacks += 1;
+            }
+            let k = q - eq_end;
+            let lt_len = n - eq_end;
+            paired_nth_smallest(
+                &mut self.vals[eq_end..n],
+                &mut self.ids[eq_end..n],
+                lt_len - k,
+            );
+            let psi = self.vals[n - k];
+            self.vals.copy_within(n - k..n, eq_end);
+            self.ids.copy_within(n - k..n, eq_end);
+            psi
+        }
+    }
 }
 
-impl<I: Copy, V: Ord + Copy> QMax<I, V> for SoaAmortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> QMax<I, V> for SoaAmortizedQMax<I, V> {
     #[inline]
     fn insert(&mut self, id: I, val: V) -> bool {
         if let Some(t) = self.threshold {
@@ -193,14 +312,16 @@ impl<I: Copy, V: Ord + Copy> QMax<I, V> for SoaAmortizedQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaAmortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> BatchInsert<I, V> for SoaAmortizedQMax<I, V> {
     /// Branchless chunked Ψ-filter: processes the batch in chunks sized
-    /// to the remaining buffer room. Within a chunk, every item is
-    /// unconditionally stored at the write cursor and the cursor advances
-    /// only for survivors — no data-dependent branch, so heavily filtered
-    /// (skewed) streams run at full pipeline speed. Ψ can only change at
-    /// a compaction, and compactions coincide with chunk boundaries, so
-    /// re-reading Ψ once per chunk is exact, not an approximation.
+    /// to the remaining buffer room, each chunk streamed through the
+    /// vectorized admit kernel ([`Kernel::admit_pairs`]) — every item is
+    /// conceptually stored at the write cursor and the cursor advances
+    /// only for survivors, so heavily filtered (skewed) streams run at
+    /// full pipeline speed with no data-dependent branch. Ψ can only
+    /// change at a compaction, and compactions coincide with chunk
+    /// boundaries, so re-reading Ψ once per chunk is exact, not an
+    /// approximation.
     fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
         let Some(&(id0, val0)) = items.first() else {
             return 0;
@@ -210,24 +331,15 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaAmortizedQMax<I, V> {
         let mut i = 0;
         while i < items.len() {
             let take = (self.cap - self.len).min(items.len() - i);
-            let mut w = self.len;
-            match self.threshold {
-                Some(t) => {
-                    for &(id, v) in &items[i..i + take] {
-                        // In-bounds: w < len + take <= cap for every store.
-                        self.vals[w] = v;
-                        self.ids[w] = id;
-                        w += usize::from(v > t);
-                    }
-                }
-                None => {
-                    for &(id, v) in &items[i..i + take] {
-                        self.vals[w] = v;
-                        self.ids[w] = id;
-                        w += 1;
-                    }
-                }
-            }
+            // In-bounds: cursor < len + take <= cap for every store.
+            let w = self.kernel.admit_pairs(
+                &items[i..i + take],
+                self.threshold,
+                &mut self.vals,
+                &mut self.ids,
+                self.len,
+                self.cap,
+            );
             let kept = w - self.len;
             admitted += kept;
             self.filtered += (take - kept) as u64;
@@ -241,7 +353,7 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaAmortizedQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaAmortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> IntervalBackend<I, V> for SoaAmortizedQMax<I, V> {
     fn fresh(&self) -> Self {
         SoaAmortizedQMax {
             q: self.q,
@@ -252,6 +364,11 @@ impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaAmortizedQMax<I, V> {
             threshold: None,
             compactions: 0,
             filtered: 0,
+            scratch_ids: Vec::new(),
+            scratch_vals: Vec::new(),
+            sample: Vec::new(),
+            pivot_fallbacks: 0,
+            kernel: self.kernel,
         }
     }
 
@@ -324,9 +441,11 @@ pub struct SoaDeamortizedQMax<I, V> {
     /// Per-arrival operation budget for the selection machine.
     budget: usize,
     stats: DeamortizedStats,
+    /// SIMD dispatch handle for the batch admit path.
+    kernel: Kernel<V>,
 }
 
-impl<I: Copy, V: Ord + Copy> SoaDeamortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaDeamortizedQMax<I, V> {
     /// Creates a de-amortized q-MAX for the `q` largest items with
     /// space-slack parameter `gamma` (γ): `q + 2⌈qγ/2⌉` slots per lane.
     ///
@@ -363,7 +482,14 @@ impl<I: Copy, V: Ord + Copy> SoaDeamortizedQMax<I, V> {
             boundary: 0,
             budget,
             stats: DeamortizedStats::default(),
+            kernel: Kernel::detect(),
         })
+    }
+
+    /// Overrides the SIMD dispatch handle (benchmarks pin the scalar
+    /// path with `Kernel::scalar()` to measure the vectorization gain).
+    pub fn set_kernel(&mut self, kernel: Kernel<V>) {
+        self.kernel = kernel;
     }
 
     /// Total buffer capacity `q + 2⌈qγ/2⌉`.
@@ -441,7 +567,7 @@ impl<I: Copy, V: Ord + Copy> SoaDeamortizedQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> QMax<I, V> for SoaDeamortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> QMax<I, V> for SoaDeamortizedQMax<I, V> {
     #[inline]
     fn insert(&mut self, id: I, val: V) -> bool {
         if let Some(t) = self.threshold {
@@ -550,13 +676,13 @@ impl<I: Copy, V: Ord + Copy> QMax<I, V> for SoaDeamortizedQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaDeamortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> BatchInsert<I, V> for SoaDeamortizedQMax<I, V> {
     /// Branchless chunked Ψ-filter for the steady state: arrivals are
-    /// streamed into the insertion zone with an unconditional store plus
-    /// a compare-derived cursor increment, then the selection machine is
-    /// advanced by one per-arrival budget per survivor (identical work
-    /// accounting to singleton inserts — the worst-case bound per arrival
-    /// is unchanged). Chunks are sized to the insertion zone's remaining
+    /// streamed into the insertion zone by the vectorized admit kernel
+    /// ([`Kernel::admit_pairs`]), then the selection machine is advanced
+    /// by one per-arrival budget per survivor (identical work accounting
+    /// to singleton inserts — the worst-case bound per arrival is
+    /// unchanged). Chunks are sized to the insertion zone's remaining
     /// room, so Ψ — which only rises at iteration boundaries — is
     /// constant within each chunk and one load per chunk is exact.
     ///
@@ -574,27 +700,18 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaDeamortizedQMax<I, V> {
         while i < items.len() {
             let take = (self.g - self.steps).min(items.len() - i);
             let start = self.s2_start + self.steps;
-            let mut w = start;
-            match self.threshold {
-                Some(t) => {
-                    for &(id, v) in &items[i..i + take] {
-                        // In-bounds: w stays inside the insertion zone
-                        // [s2_start, s2_start + g) for every store.
-                        self.vals[w] = v;
-                        self.ids[w] = id;
-                        w += usize::from(v > t);
-                    }
-                }
-                // Steady state always has a threshold (set by the
-                // iteration that ended the fill), but stay defensive.
-                None => {
-                    for &(id, v) in &items[i..i + take] {
-                        self.vals[w] = v;
-                        self.ids[w] = id;
-                        w += 1;
-                    }
-                }
-            }
+            // In-bounds: the cursor stays inside the insertion zone
+            // [s2_start, s2_start + g) for every store. (Steady state
+            // always has a threshold — set by the iteration that ended
+            // the fill — and the kernel admits everything when `None`.)
+            let w = self.kernel.admit_pairs(
+                &items[i..i + take],
+                self.threshold,
+                &mut self.vals,
+                &mut self.ids,
+                start,
+                self.s2_start + self.g,
+            );
             let kept = w - start;
             admitted += kept;
             self.stats.admitted += kept as u64;
@@ -625,7 +742,9 @@ impl<I: Copy, V: Ord + Copy> BatchInsert<I, V> for SoaDeamortizedQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaDeamortizedQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> IntervalBackend<I, V>
+    for SoaDeamortizedQMax<I, V>
+{
     fn fresh(&self) -> Self {
         SoaDeamortizedQMax {
             q: self.q,
@@ -643,6 +762,7 @@ impl<I: Copy, V: Ord + Copy> IntervalBackend<I, V> for SoaDeamortizedQMax<I, V> 
             boundary: 0,
             budget: self.budget,
             stats: DeamortizedStats::default(),
+            kernel: self.kernel,
         }
     }
 
@@ -916,6 +1036,109 @@ mod tests {
                 assert_eq!(items[id as usize].1, v, "pair broken for id={id}");
             }
         }
+    }
+
+    #[test]
+    fn sampled_compaction_matches_reference_and_aos() {
+        // q(1+γ) ≥ SAMPLED_COMPACT_MIN, so every compaction takes the
+        // sampled-pivot path; Ψ and admissions must still match the
+        // exact-select AoS structure insert for insert.
+        let mut state = 77u64;
+        let q = 2000usize;
+        let vals: Vec<u64> = (0..50_000).map(|_| splitmix(&mut state)).collect();
+        let mut aos = AmortizedQMax::new(q, 1.0);
+        let mut soa = SoaAmortizedQMax::new(q, 1.0);
+        assert!(soa.capacity() >= qmax_select::kernels::SAMPLED_COMPACT_MIN);
+        for (i, &v) in vals.iter().enumerate() {
+            let a = aos.insert(i as u32, v);
+            let s = soa.insert(i as u32, v);
+            assert_eq!(a, s, "admission diverged at {i}");
+            assert_eq!(aos.threshold(), soa.threshold(), "Ψ diverged at {i}");
+        }
+        assert!(soa.compactions() > 0);
+        assert_eq!(sorted_vals(soa.query()), top_q_reference(&vals, q));
+        assert_eq!(sorted_vals(aos.query()), top_q_reference(&vals, q));
+    }
+
+    #[test]
+    fn sampled_compaction_is_deterministic() {
+        let mut state = 13u64;
+        let items: Vec<(u32, u64)> = (0..40_000)
+            .map(|i| (i as u32, splitmix(&mut state)))
+            .collect();
+        let mut a = SoaAmortizedQMax::new(1500, 0.5);
+        let mut b = SoaAmortizedQMax::new(1500, 0.5);
+        for chunk in items.chunks(1024) {
+            a.insert_batch(chunk);
+        }
+        for &(id, v) in &items {
+            b.insert(id, v);
+        }
+        assert_eq!(a.threshold(), b.threshold());
+        assert_eq!(a.compactions(), b.compactions());
+        assert_eq!(a.pivot_fallbacks(), b.pivot_fallbacks());
+    }
+
+    #[test]
+    fn adversarial_sample_forces_fallback_but_stays_exact() {
+        // Defeat the (public, deterministic) sample of the first
+        // compaction: every sampled position holds the minimum value,
+        // so the pivot lands far below the true cut and the exact
+        // select runs over nearly the whole `>` region.
+        let q = 64usize;
+        let mut qm = SoaAmortizedQMax::<u32, u64>::new(q, 31.0);
+        let cap = qm.capacity();
+        assert_eq!(cap, 2048);
+        let mut pos = Vec::new();
+        qmax_select::kernels::sample_positions(cap, qmax_select::kernels::PIVOT_SEED, &mut pos);
+        let vals: Vec<u64> = (0..cap)
+            .map(|i| if pos.contains(&i) { 1 } else { 1000 + i as u64 })
+            .collect();
+        for (i, &v) in vals.iter().enumerate() {
+            qm.insert(i as u32, v);
+        }
+        assert_eq!(qm.compactions(), 1);
+        assert_eq!(qm.pivot_fallbacks(), 1, "bad pivot must be counted");
+        // Exactness is preserved regardless.
+        assert_eq!(sorted_vals(qm.query()), top_q_reference(&vals, q));
+        assert_eq!(qm.threshold(), top_q_reference(&vals, q).first().copied());
+    }
+
+    #[test]
+    fn all_equal_large_buffer_uses_minmax_fast_path() {
+        let q = 600usize;
+        let mut qm = SoaAmortizedQMax::<u32, u64>::new(q, 1.0);
+        assert!(qm.capacity() >= qmax_select::kernels::SAMPLED_COMPACT_MIN);
+        let items: Vec<(u32, u64)> = (0..5000).map(|i| (i, 42u64)).collect();
+        qm.insert_batch(&items);
+        let got = qm.query();
+        assert_eq!(got.len(), q);
+        assert!(got.iter().all(|&(_, v)| v == 42));
+        assert_eq!(qm.threshold(), Some(42));
+        assert_eq!(qm.pivot_fallbacks(), 0);
+    }
+
+    #[test]
+    fn scalar_kernel_override_is_behaviorally_identical() {
+        let mut state = 31u64;
+        let items: Vec<(u64, u64)> = (0..60_000)
+            .map(|i| (i as u64, splitmix(&mut state)))
+            .collect();
+        let mut auto = SoaAmortizedQMax::<u64, u64>::new(1200, 1.0);
+        let mut scalar = SoaAmortizedQMax::<u64, u64>::new(1200, 1.0);
+        scalar.set_kernel(qmax_select::Kernel::scalar());
+        for chunk in items.chunks(512) {
+            auto.insert_batch(chunk);
+            scalar.insert_batch(chunk);
+            assert_eq!(auto.threshold(), scalar.threshold());
+        }
+        assert_eq!(auto.filtered(), scalar.filtered());
+        assert_eq!(auto.pivot_fallbacks(), scalar.pivot_fallbacks());
+        let mut a = auto.query();
+        let mut s = scalar.query();
+        a.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(a, s, "SIMD and scalar paths must agree exactly");
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl<I: Clone, V: Ord + Clone> TimeSlackQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> SoaTimeSlackQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaTimeSlackQMax<I, V> {
     /// Like [`TimeSlackQMax::new`], but every block is a
     /// structure-of-arrays [`SoaAmortizedQMax`].
     pub fn new_soa(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {

@@ -177,7 +177,7 @@ impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> SoaBasicSlackQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaBasicSlackQMax<I, V> {
     /// Like [`BasicSlackQMax::new`], but every block is a
     /// structure-of-arrays [`SoaAmortizedQMax`].
     pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
@@ -383,7 +383,7 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> SoaHierSlackQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaHierSlackQMax<I, V> {
     /// Like [`HierSlackQMax::new`], but every block is a
     /// structure-of-arrays [`SoaAmortizedQMax`].
     pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
@@ -629,7 +629,7 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> SoaLazySlackQMax<I, V> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaLazySlackQMax<I, V> {
     /// Like [`LazySlackQMax::new`], but the front buffer and every block
     /// are structure-of-arrays [`SoaAmortizedQMax`] instances.
     pub fn new_soa(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {

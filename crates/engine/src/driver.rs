@@ -32,6 +32,8 @@
 
 use crate::shard_key::ShardKey;
 use crate::sharded::ShardedQMax;
+use qmax_core::BatchInsert;
+#[cfg(test)]
 use qmax_core::QMax;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -183,24 +185,13 @@ impl DriverReport {
     }
 }
 
-/// Drains a whole owned batch into one shard with a register-cached Ψ:
-/// the worker-side half of the batched hot path.
-fn drain_batch<I, V: Ord, B: QMax<I, V>>(shard: &mut B, batch: Vec<(I, V)>) -> u64 {
-    let mut admitted = 0u64;
-    let mut psi: Option<V> = shard.threshold();
-    for (id, val) in batch {
-        if let Some(t) = &psi {
-            if val <= *t {
-                continue;
-            }
-        }
-        if shard.insert(id, val) {
-            admitted += 1;
-            // Ψ can only have risen via an admitted insert.
-            psi = shard.threshold();
-        }
-    }
-    admitted
+/// Drains a whole owned batch into one shard via the backend's own
+/// [`BatchInsert`] path: the worker-side half of the batched hot path.
+/// SoA backends route this through the vectorized Ψ-filter admit
+/// kernel; the default implementation degrades to the same Ψ-cached
+/// singleton loop the driver used to inline here.
+fn drain_batch<I, V: Ord, B: BatchInsert<I, V>>(shard: &mut B, batch: Vec<(I, V)>) -> u64 {
+    shard.insert_batch(&batch) as u64
 }
 
 /// Renders a caught panic payload as the message string panics carry in
@@ -234,7 +225,7 @@ struct WorkerOutcome<B> {
 /// and on a panic drops the poisoned backend but *keeps receiving* so
 /// the producer never blocks on a dead queue — the rest of the shard's
 /// sub-stream is counted as quarantined instead.
-fn worker_loop<I, V: Ord, B: QMax<I, V>>(
+fn worker_loop<I, V: Ord, B: BatchInsert<I, V>>(
     shard: B,
     rx: mpsc::Receiver<Vec<(I, V)>>,
 ) -> WorkerOutcome<B> {
@@ -279,7 +270,7 @@ impl<I, V, B> ShardedQMax<I, V, B>
 where
     I: ShardKey + Send,
     V: Ord + Clone + Send,
-    B: QMax<I, V> + Send,
+    B: BatchInsert<I, V> + Send,
 {
     /// Feeds `stream` through one worker thread per shard and returns a
     /// load/timing/failure report. The engine is fully usable (and
@@ -531,8 +522,9 @@ mod tests {
         let q = 32;
         let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
             ShardedQMax::with_backends(q, 3, move |s| {
-                // Trigger well inside the post-Ψ-prefilter insert count
-                // (offered inserts grow ~ q·ln(n), far below n).
+                // FaultyBackend counts every offered item (its
+                // insert_batch loops over insert), so panic_at(50)
+                // fires early in shard 1's sub-stream.
                 let schedule = if s == 1 {
                     FaultSchedule::panic_at(50)
                 } else {

@@ -317,7 +317,7 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaDeamortizedQMax<I, V>> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> ShardedQMax<I, V, SoaDeamortizedQMax<I, V>> {
     /// Creates `shards` structure-of-arrays de-amortized shards
     /// ([`SoaDeamortizedQMax`]) tracking the global top-`q` with
     /// space-slack `gamma`.
@@ -357,7 +357,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaDeamortizedQMax<I, V>> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
     /// Creates `shards` structure-of-arrays amortized shards
     /// ([`SoaAmortizedQMax`]): the lazily-compacted variant with the
     /// same split-lane layout and branchless batch filter as
@@ -372,7 +372,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaAmortizedQMax<I, V>> {
     }
 }
 
-impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaBasicSlackQMax<I, V>> {
+impl<I: Copy + 'static, V: Ord + Copy + 'static> ShardedQMax<I, V, SoaBasicSlackQMax<I, V>> {
     /// Creates `shards` structure-of-arrays slack-window shards
     /// ([`SoaBasicSlackQMax`]): each shard tracks the top-`q` of its
     /// sub-stream over a count-based `(W/S, τ)`-slack window, so the
@@ -401,7 +401,7 @@ impl<I: Copy, V: Ord + Copy> ShardedQMax<I, V, SoaBasicSlackQMax<I, V>> {
     }
 }
 
-impl<I: Copy> ShardedQMax<I, OrderedF64, ExpDecayQMax<SoaAmortizedQMax<I, OrderedF64>>> {
+impl<I: Copy + 'static> ShardedQMax<I, OrderedF64, ExpDecayQMax<SoaAmortizedQMax<I, OrderedF64>>> {
     /// Creates `shards` exponential-decay shards over structure-of-arrays
     /// reservoirs: each shard ages its sub-stream with per-shard decay
     /// `c^S`, so an item `k` *global* arrivals old has decayed by

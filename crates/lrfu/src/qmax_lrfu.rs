@@ -66,7 +66,7 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     }
 }
 
-impl<K: Copy + Hash + Eq> SoaQMaxLrfu<K> {
+impl<K: Copy + Hash + Eq + 'static> SoaQMaxLrfu<K> {
     /// Like [`QMaxLrfu::new`], but the request log is a
     /// structure-of-arrays [`SoaAmortizedQMax`]. Behaviorally identical
     /// to the default backend — same hits and evictions on the same

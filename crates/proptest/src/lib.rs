@@ -23,6 +23,8 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
@@ -33,13 +35,30 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Mirror of the `proptest::prelude::prop` module shorthand.
     pub mod prop {
         pub use crate::arbitrary;
         pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
     }
+}
+
+/// Picks one of several strategies per draw, mirroring
+/// `proptest::prop_oneof!`. Arms are either plain strategies (equal
+/// weights) or `weight => strategy` pairs.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Asserts a condition inside a [`proptest!`] test body.

@@ -1,0 +1,26 @@
+//! `Option<T>` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone, Copy)]
+pub struct OptionStrategy<S>(S);
+
+/// Wraps `inner` so each draw yields `None` half the time and
+/// `Some(inner draw)` otherwise, like `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Collection-relative sampling, mirroring `proptest::sample`.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: generate one with `any::<Index>()` and
+/// resolve it against a concrete collection with [`Index::index`].
+///
+/// This mirrors `proptest::sample::Index`, which lets a test draw "some
+/// position" before it knows the collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves this index against a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

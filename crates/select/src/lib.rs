@@ -35,14 +35,19 @@
 //! inserts arrivals into one region while selection runs on another).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide rather than forbidden: the only
+// exception is the `kernels` module, whose SIMD intrinsics require it
+// (each block carries a SAFETY argument; see DESIGN.md §4.3).
+#![deny(unsafe_code)]
 
+pub mod kernels;
 mod machine;
 mod partition;
 mod quickselect;
 mod soa;
 mod topk;
 
+pub use kernels::{Kernel, KernelKind, RunPred};
 pub use machine::{
     Direction, MachineStatus, NthElementMachine, PartitionMachine, WORK_BOUND_FACTOR,
 };

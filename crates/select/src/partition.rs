@@ -6,6 +6,7 @@ use core::cmp::Ordering;
 ///
 /// Used as the base case of the selection routines; intended for small
 /// slices (a few dozen elements).
+#[inline]
 pub fn insertion_sort<T: Ord>(buf: &mut [T]) {
     for i in 1..buf.len() {
         let mut j = i;
@@ -13,6 +14,7 @@ pub fn insertion_sort<T: Ord>(buf: &mut [T]) {
             buf.swap(j - 1, j);
             j -= 1;
         }
+        debug_assert!(buf[..=i].windows(2).all(|w| w[0] <= w[1]));
     }
 }
 
@@ -20,8 +22,10 @@ pub fn insertion_sort<T: Ord>(buf: &mut [T]) {
 /// median (lower median for even-sized groups).
 ///
 /// The group is `buf[lo..lo + len]`; the returned index is absolute.
+#[inline]
 pub fn median_of_five<T: Ord>(buf: &mut [T], lo: usize, len: usize) -> usize {
     debug_assert!((1..=5).contains(&len));
+    debug_assert!(lo + len <= buf.len());
     insertion_sort(&mut buf[lo..lo + len]);
     lo + (len - 1) / 2
 }
@@ -33,11 +37,16 @@ pub fn median_of_five<T: Ord>(buf: &mut [T], lo: usize, len: usize) -> usize {
 /// * `buf[lo..lt]`  contains elements `< pivot`,
 /// * `buf[lt..gt]`  contains elements `== pivot`,
 /// * `buf[gt..hi]`  contains elements `> pivot`.
+#[inline]
 pub fn partition3<T: Ord>(buf: &mut [T], lo: usize, hi: usize, pivot: &T) -> (usize, usize) {
+    debug_assert!(lo <= hi && hi <= buf.len());
     let mut lt = lo;
     let mut i = lo;
     let mut gt = hi;
     while i < gt {
+        // Dutch-flag invariant: [lo..lt) < pivot, [lt..i) == pivot,
+        // [i..gt) unclassified, [gt..hi) > pivot.
+        debug_assert!(lt <= i && i <= gt && gt <= hi);
         match buf[i].cmp(pivot) {
             Ordering::Less => {
                 buf.swap(lt, i);
@@ -51,6 +60,9 @@ pub fn partition3<T: Ord>(buf: &mut [T], lo: usize, hi: usize, pivot: &T) -> (us
             Ordering::Equal => i += 1,
         }
     }
+    debug_assert!(buf[lo..lt].iter().all(|x| x < pivot));
+    debug_assert!(buf[lt..gt].iter().all(|x| x == pivot));
+    debug_assert!(buf[gt..hi].iter().all(|x| x > pivot));
     (lt, gt)
 }
 

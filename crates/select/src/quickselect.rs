@@ -6,6 +6,14 @@ use crate::partition::{insertion_sort, median_of_five, partition3};
 /// Ranges shorter than this are solved by insertion sort.
 const SMALL: usize = 24;
 
+/// Out-of-line panic for the `k >= len` contract violation, keeping the
+/// cold formatting machinery off the selection hot path.
+#[cold]
+#[inline(never)]
+fn index_out_of_range(k: usize, len: usize) -> ! {
+    panic!("selection index {k} out of range {len}");
+}
+
 /// Rearranges `buf` so that its `k`-th smallest element (0-based) is at
 /// index `k`, everything before it is `<=` it, and everything after is
 /// `>=` it. Returns a reference to the element at index `k`.
@@ -18,11 +26,9 @@ const SMALL: usize = 24;
 ///
 /// Panics if `k >= buf.len()`.
 pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
-    assert!(
-        k < buf.len(),
-        "selection index {k} out of range {}",
-        buf.len()
-    );
+    if k >= buf.len() {
+        index_out_of_range(k, buf.len());
+    }
     let n = buf.len();
     // 2 * log2(n) pivot rounds before falling back to MoM pivots.
     let mut depth_budget = 2 * (usize::BITS - n.leading_zeros()) as usize + 2;
@@ -64,6 +70,7 @@ pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
         buf.swap(lo, plo - 1);
         let eq_lo = plo - 1;
         let eq_hi = phi;
+        debug_assert!(lo < eq_lo + 1 && eq_lo < eq_hi && eq_hi <= hi);
         if target < eq_lo {
             hi = eq_lo;
         } else if target >= eq_hi {
@@ -71,14 +78,17 @@ pub fn nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
         } else {
             return &buf[target];
         }
+        debug_assert!(lo <= target && target < hi);
     }
 }
 
 /// Three-way partition of `tail[..len]` around `pivot`; relative indices.
+#[inline]
 fn partition3_rel<T: Ord>(tail: &mut [T], len: usize, pivot: &T) -> (usize, usize) {
     partition3(tail, 0, len, pivot)
 }
 
+#[inline]
 fn median3_index<T: Ord>(buf: &[T], a: usize, b: usize, c: usize) -> usize {
     let (x, y, z) = (&buf[a], &buf[b], &buf[c]);
     if (x <= y) == (y <= z) {
@@ -115,11 +125,9 @@ fn mom_pivot<T: Ord>(buf: &mut [T], lo: usize, hi: usize) -> usize {
 ///
 /// Same contract as [`nth_smallest`].
 pub fn mom_nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
-    assert!(
-        k < buf.len(),
-        "selection index {k} out of range {}",
-        buf.len()
-    );
+    if k >= buf.len() {
+        index_out_of_range(k, buf.len());
+    }
     let mut lo = 0usize;
     let mut hi = buf.len();
     let target = k;
@@ -154,9 +162,12 @@ pub fn mom_nth_smallest<T: Ord>(buf: &mut [T], k: usize) -> &T {
 /// larger elements after it. Returns a reference to that element.
 ///
 /// Convenience wrapper over [`nth_smallest`].
+#[inline]
 pub fn nth_largest<T: Ord>(buf: &mut [T], k: usize) -> &T {
     let n = buf.len();
-    assert!(k < n, "selection index {k} out of range {n}");
+    if k >= n {
+        index_out_of_range(k, n);
+    }
     nth_smallest(buf, n - 1 - k)
 }
 
