@@ -1,8 +1,7 @@
 //! KMV count-distinct estimation (Bar-Yossef et al., RANDOM 2002).
 
-use qmax_core::{Minimal, QMax};
+use qmax_core::{FlowIndex, IndexFamily, KeyIndex, Minimal, QMax};
 use qmax_traces::hash;
-use std::collections::HashSet;
 
 /// Estimates the number of distinct keys in a stream by keeping the `q`
 /// smallest distinct hash values (the "k minimum values" estimator).
@@ -29,23 +28,21 @@ use std::collections::HashSet;
 /// assert!((est - 10_000.0).abs() / 10_000.0 < 0.25, "estimate {est}");
 /// ```
 #[derive(Debug, Clone)]
-pub struct CountDistinct<Q> {
+pub struct CountDistinct<Q, F: IndexFamily = FlowIndex> {
     reservoir: Q,
     seed: u64,
     /// `Some` in interval mode (suppress re-insertions of hashes already
     /// admitted once); `None` in windowed mode, where a re-occurrence
-    /// must refresh the key's position in the window.
-    admitted: Option<HashSet<u64>>,
+    /// must refresh the key's position in the window. By default a
+    /// SIMD-probed [`qmax_core::FlowTable`] used as a set: this
+    /// membership test runs once per observed key.
+    admitted: Option<F::Index<u64, ()>>,
 }
 
-impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
+impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q, FlowIndex> {
     /// Creates an interval estimator over the given q-MIN backend.
     pub fn new(reservoir: Q, seed: u64) -> Self {
-        CountDistinct {
-            reservoir,
-            seed,
-            admitted: Some(HashSet::new()),
-        }
+        Self::new_in(reservoir, seed)
     }
 
     /// Creates a sliding-window estimator: pair with a slack-window
@@ -53,6 +50,25 @@ impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
     /// re-inserted (so recent duplicates keep a key alive in the
     /// window); the estimator de-duplicates hashes at query time.
     pub fn new_windowed(reservoir: Q, seed: u64) -> Self {
+        Self::new_windowed_in(reservoir, seed)
+    }
+}
+
+impl<Q: QMax<u64, Minimal<u64>>, F: IndexFamily> CountDistinct<Q, F> {
+    /// Like [`CountDistinct::new`], but with an explicit
+    /// [`IndexFamily`] for the admitted-hash set (e.g.
+    /// [`qmax_core::StdIndex`] for the HashMap-era baseline).
+    pub fn new_in(reservoir: Q, seed: u64) -> Self {
+        CountDistinct {
+            reservoir,
+            seed,
+            admitted: Some(F::Index::with_capacity(0)),
+        }
+    }
+
+    /// Like [`CountDistinct::new_windowed`], but with an explicit
+    /// [`IndexFamily`].
+    pub fn new_windowed_in(reservoir: Q, seed: u64) -> Self {
         CountDistinct {
             reservoir,
             seed,
@@ -64,12 +80,12 @@ impl<Q: QMax<u64, Minimal<u64>>> CountDistinct<Q> {
     pub fn observe(&mut self, key: u64) -> bool {
         let h = hash::hash64(key, self.seed);
         if let Some(admitted) = &mut self.admitted {
-            if admitted.contains(&h) {
+            if admitted.contains_key(&h) {
                 return false;
             }
             let ok = self.reservoir.insert(key, Minimal(h));
             if ok {
-                admitted.insert(h);
+                admitted.insert(h, ());
             }
             ok
         } else {

@@ -1,6 +1,6 @@
 //! Priority-Based Aggregation (Duffield et al., CIKM 2017).
 
-use qmax_core::{OrderedF64, QMax};
+use qmax_core::{FlowIndex, IndexFamily, KeyIndex, OrderedF64, QMax};
 use qmax_traces::hash;
 use std::collections::HashMap;
 
@@ -40,23 +40,34 @@ pub struct PbaSample {
 /// assert!(pba.sample().len() <= 10);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Pba<Q> {
+pub struct Pba<Q, F: IndexFamily = FlowIndex> {
     reservoir: Q,
     seed: u64,
-    /// Running aggregate weight per key still relevant to the sample.
-    agg: HashMap<u64, f64>,
+    /// Running aggregate weight per key still relevant to the sample —
+    /// by default a SIMD-probed [`qmax_core::FlowTable`], hit once per
+    /// arrival.
+    agg: F::Index<u64, f64>,
     /// Purge the aggregate map when it exceeds this many entries.
     purge_at: usize,
 }
 
-impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
+impl<Q: QMax<u64, OrderedF64>> Pba<Q, FlowIndex> {
     /// Creates a PBA instance over the given reservoir backend.
     pub fn new(reservoir: Q, seed: u64) -> Self {
+        Self::new_in(reservoir, seed)
+    }
+}
+
+impl<Q: QMax<u64, OrderedF64>, F: IndexFamily> Pba<Q, F> {
+    /// Like [`Pba::new`], but with an explicit [`IndexFamily`] for the
+    /// aggregation map (e.g. [`qmax_core::StdIndex`] for the
+    /// HashMap-era baseline).
+    pub fn new_in(reservoir: Q, seed: u64) -> Self {
         let purge_at = (reservoir.q() * 8).max(1024);
         Pba {
             reservoir,
             seed,
-            agg: HashMap::new(),
+            agg: F::Index::with_capacity(0),
             purge_at,
         }
     }
@@ -72,9 +83,17 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
             "weights must be positive and finite"
         );
         let u = hash::to_unit_open(key, self.seed);
-        let total = self.agg.entry(key).or_insert(0.0);
-        *total += weight;
-        let priority = *total / u;
+        let total = match self.agg.get_mut(&key) {
+            Some(t) => {
+                *t += weight;
+                *t
+            }
+            None => {
+                self.agg.insert(key, weight);
+                weight
+            }
+        };
+        let priority = total / u;
         let admitted = self.reservoir.insert(key, OrderedF64(priority));
         if self.agg.len() > self.purge_at {
             self.purge();
@@ -91,7 +110,7 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
             return;
         };
         let seed = self.seed;
-        self.agg.retain(|&key, &mut total| {
+        self.agg.retain_with(|&key, &mut total| {
             let u = hash::to_unit_open(key, seed);
             OrderedF64(total / u) >= threshold
         });
@@ -128,7 +147,7 @@ impl<Q: QMax<u64, OrderedF64>> Pba<Q> {
     /// using the priority-sampling estimator over aggregates: with `τ`
     /// the smallest priority in a full sample, every other sampled key
     /// in the subset contributes `max(weight, τ)`.
-    pub fn estimate_subset<F: Fn(u64) -> bool>(&mut self, subset: F) -> f64 {
+    pub fn estimate_subset<P: Fn(u64) -> bool>(&mut self, subset: P) -> f64 {
         let sample = self.sample();
         if sample.len() < self.reservoir.q() {
             return sample

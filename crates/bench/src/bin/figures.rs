@@ -6,7 +6,7 @@
 //! experiments:
 //!   fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11
 //!   fig12 fig13 fig14 fig15 fig16 fig17 sec3
-//!   pmd-scaling sharded-scaling soa kernels windows-backend
+//!   pmd-scaling sharded-scaling soa kernels windows-backend lrfu
 //!   ablate-deamortize ablate-select ablate-gamma ablate-window
 //!   all        (everything above, in order)
 //!
@@ -40,7 +40,7 @@ fn main() {
         eprintln!("usage: figures <experiment|all> [--scale F] [--full]");
         eprintln!("experiments: fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11");
         eprintln!("             fig12 fig13 fig14 fig15 fig16 fig17 sec3");
-        eprintln!("             pmd-scaling sharded-scaling soa kernels windows-backend");
+        eprintln!("             pmd-scaling sharded-scaling soa kernels windows-backend lrfu");
         eprintln!("             ablate-deamortize ablate-select ablate-gamma ablate-window");
         std::process::exit(2);
     }
@@ -67,6 +67,7 @@ fn main() {
         "soa",
         "kernels",
         "windows-backend",
+        "lrfu",
         "ablate-deamortize",
         "ablate-select",
         "ablate-gamma",
@@ -103,6 +104,7 @@ fn main() {
             "soa" => soa::soa_compare(&scale),
             "kernels" => kernels::kernel_compare(&scale),
             "windows-backend" => windows::windows_backend(&scale),
+            "lrfu" => lrfu::lrfu_flow_table(&scale),
             "ablate-deamortize" => ablate::ablate_deamortize(&scale),
             "ablate-select" => ablate::ablate_select(&scale),
             "ablate-gamma" => ablate::ablate_gamma(&scale),

@@ -12,9 +12,9 @@
 //! so at least `⌈qγ⌉` arrivals separate consecutive compactions.
 
 use crate::entry::Entry;
+use crate::flow_table::{FlowIndex, IndexFamily, KeyIndex};
 use crate::traits::QMax;
 use qmax_select::nth_smallest;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Amortized q-MAX over `(key, value)` streams where keys repeat and
@@ -32,17 +32,24 @@ use std::hash::Hash;
 /// ids.sort();
 /// assert_eq!(ids, vec!["hot", "warm"]);
 /// ```
+/// The duplicate-merge index defaults to the SIMD-probed
+/// [`crate::FlowTable`] ([`FlowIndex`]); [`crate::StdIndex`] restores
+/// the `std::collections::HashMap` merge, kept as the differential
+/// oracle.
 #[derive(Debug, Clone)]
-pub struct DedupQMax<I, V> {
+pub struct DedupQMax<I: Clone + Hash + Eq, V: Clone, F: IndexFamily = FlowIndex> {
     q: usize,
     cap: usize,
     buf: Vec<Entry<I, V>>,
+    /// Persistent merge scratch for [`Self::compact`] (always empty
+    /// between compactions, so merging allocates nothing steady-state).
+    best: F::Index<I, V>,
     threshold: Option<V>,
     compactions: u64,
     filtered: u64,
 }
 
-impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
+impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V, FlowIndex> {
     /// Creates a duplicate-merging q-MAX for the `q` largest distinct
     /// keys with space-slack parameter `gamma`.
     ///
@@ -50,6 +57,14 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
     ///
     /// Panics if `q == 0` or `gamma` is not a positive finite number.
     pub fn new(q: usize, gamma: f64) -> Self {
+        Self::new_in(q, gamma)
+    }
+}
+
+impl<I: Clone + Hash + Eq, V: Ord + Clone, F: IndexFamily> DedupQMax<I, V, F> {
+    /// Like [`DedupQMax::new`], but with an explicit [`IndexFamily`]
+    /// (e.g. `StdIndex` for the HashMap-era merge baseline).
+    pub fn new_in(q: usize, gamma: f64) -> Self {
         assert!(q > 0, "q must be positive");
         assert!(
             gamma > 0.0 && gamma.is_finite(),
@@ -60,6 +75,7 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
             q,
             cap,
             buf: Vec::with_capacity(cap),
+            best: F::Index::with_capacity(cap),
             threshold: None,
             compactions: 0,
             filtered: 0,
@@ -80,17 +96,18 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
     /// if more than `q` distinct candidates remain — discards everything
     /// below the q-th largest and raises the threshold.
     fn compact(&mut self) {
-        let mut best: HashMap<I, V> = HashMap::with_capacity(self.buf.len());
+        debug_assert!(self.best.is_empty());
         for e in self.buf.drain(..) {
-            match best.get(&e.id) {
+            match self.best.get(&e.id) {
                 Some(old) if *old >= e.val => {}
                 _ => {
-                    best.insert(e.id, e.val);
+                    self.best.insert(e.id, e.val);
                 }
             }
         }
-        self.buf
-            .extend(best.into_iter().map(|(id, val)| Entry::new(id, val)));
+        let buf = &mut self.buf;
+        self.best
+            .drain_each(|id, val| buf.push(Entry::new(id, val)));
         if self.buf.len() > self.q {
             let cut = self.buf.len() - self.q;
             nth_smallest(&mut self.buf, cut);
@@ -105,7 +122,7 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> DedupQMax<I, V> {
     }
 }
 
-impl<I: Clone + Hash + Eq, V: Ord + Clone> QMax<I, V> for DedupQMax<I, V> {
+impl<I: Clone + Hash + Eq, V: Ord + Clone, F: IndexFamily> QMax<I, V> for DedupQMax<I, V, F> {
     fn insert(&mut self, id: I, val: V) -> bool {
         if let Some(t) = &self.threshold {
             if val <= *t {
@@ -153,6 +170,7 @@ impl<I: Clone + Hash + Eq, V: Ord + Clone> QMax<I, V> for DedupQMax<I, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn keeps_largest_value_per_key() {

@@ -55,6 +55,7 @@ mod dedup;
 mod entry;
 mod error;
 mod exp_decay;
+pub mod flow_table;
 pub mod heap;
 pub mod indexed_heap;
 pub mod skiplist;
@@ -70,6 +71,7 @@ pub use dedup::DedupQMax;
 pub use entry::{Entry, Minimal, OrderedF64};
 pub use error::QMaxError;
 pub use exp_decay::ExpDecayQMax;
+pub use flow_table::{FixedState, FlowIndex, FlowTable, IndexFamily, KeyIndex, StdIndex};
 pub use heap::HeapQMax;
 pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};
 pub use skiplist::{KeyedSkipListQMax, SkipListQMax};

@@ -32,8 +32,9 @@
 
 use crate::score::DecayScore;
 use crate::Cache;
-use qmax_core::{AmortizedQMax, IntervalBackend, OrderedF64, SoaAmortizedQMax};
-use std::collections::HashMap;
+use qmax_core::{
+    AmortizedQMax, FlowIndex, IndexFamily, IntervalBackend, KeyIndex, OrderedF64, SoaAmortizedQMax,
+};
 use std::hash::Hash;
 
 #[derive(Debug, Clone, Copy)]
@@ -73,13 +74,23 @@ pub struct DeamortizedLrfuStats {
 
 /// LRFU with worst-case `O(γ⁻¹)` charged work per request and
 /// population between `q` and roughly `q(1+γ) + 3⌈qγ/2⌉` keys.
+///
+/// The key registry index defaults to the SIMD-probed
+/// [`qmax_core::FlowTable`] ([`FlowIndex`]) — important here, since a
+/// registry lookup is the *entire* `O(1)` hit path —
+/// [`qmax_core::StdIndex`] restores the `std::collections::HashMap`
+/// index as baseline and replay oracle.
 #[derive(Debug)]
-pub struct DeamortizedLrfu<K, B = AmortizedQMax<u64, OrderedF64>> {
+pub struct DeamortizedLrfu<
+    K: Clone + Hash + Eq,
+    B = AmortizedQMax<u64, OrderedF64>,
+    F: IndexFamily = FlowIndex,
+> {
     q: usize,
     /// Pipeline granularity `⌈qγ/2⌉`.
     g: usize,
     score: DecayScore,
-    map: HashMap<K, Info>,
+    map: F::Index<K, Info>,
     keys: Vec<K>,
     /// Snapshot backend: refreshed from the registry each round; its
     /// threshold Ψ after a full refresh is the eviction cutoff.
@@ -96,9 +107,10 @@ pub struct DeamortizedLrfu<K, B = AmortizedQMax<u64, OrderedF64>> {
 }
 
 /// [`DeamortizedLrfu`] with a structure-of-arrays snapshot backend.
-pub type SoaDeamortizedLrfu<K> = DeamortizedLrfu<K, SoaAmortizedQMax<u64, OrderedF64>>;
+pub type SoaDeamortizedLrfu<K, F = FlowIndex> =
+    DeamortizedLrfu<K, SoaAmortizedQMax<u64, OrderedF64>, F>;
 
-impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
+impl<K: Clone + Hash + Eq> DeamortizedLrfu<K, AmortizedQMax<u64, OrderedF64>, FlowIndex> {
     /// Creates a de-amortized LRFU cache that never evicts the `q`
     /// highest-score keys, holds at most about `q(1+γ) + 3⌈qγ/2⌉` keys,
     /// and decays with parameter `c`.
@@ -108,6 +120,14 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
     /// Panics if `q == 0`, `gamma` is not positive and finite, or `c`
     /// is outside `(0, 1)`.
     pub fn new(q: usize, gamma: f64, c: f64) -> Self {
+        Self::new_in(q, gamma, c)
+    }
+}
+
+impl<K: Clone + Hash + Eq, F: IndexFamily> DeamortizedLrfu<K, AmortizedQMax<u64, OrderedF64>, F> {
+    /// Like [`DeamortizedLrfu::new`], but with an explicit
+    /// [`IndexFamily`] (e.g. `StdIndex` for the HashMap-era baseline).
+    pub fn new_in(q: usize, gamma: f64, c: f64) -> Self {
         assert!(q > 0, "q must be positive");
         assert!(
             gamma > 0.0 && gamma.is_finite(),
@@ -117,11 +137,19 @@ impl<K: Clone + Hash + Eq> DeamortizedLrfu<K> {
     }
 }
 
-impl<K: Clone + Hash + Eq> SoaDeamortizedLrfu<K> {
+impl<K: Clone + Hash + Eq> SoaDeamortizedLrfu<K, FlowIndex> {
     /// Like [`DeamortizedLrfu::new`], but the snapshot lives in a
     /// structure-of-arrays backend, so the refresh feed runs the
     /// branchless batched kernel.
     pub fn new_soa(q: usize, gamma: f64, c: f64) -> Self {
+        Self::new_soa_in(q, gamma, c)
+    }
+}
+
+impl<K: Clone + Hash + Eq, F: IndexFamily> SoaDeamortizedLrfu<K, F> {
+    /// Like [`SoaDeamortizedLrfu::new_soa`], but with an explicit
+    /// [`IndexFamily`].
+    pub fn new_soa_in(q: usize, gamma: f64, c: f64) -> Self {
         assert!(q > 0, "q must be positive");
         assert!(
             gamma > 0.0 && gamma.is_finite(),
@@ -131,7 +159,9 @@ impl<K: Clone + Hash + Eq> SoaDeamortizedLrfu<K> {
     }
 }
 
-impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> DeamortizedLrfu<K, B> {
+impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>, F: IndexFamily>
+    DeamortizedLrfu<K, B, F>
+{
     /// Creates a de-amortized LRFU cache around the given snapshot
     /// backend prototype; `proto.q()` is the cache target `q`.
     ///
@@ -156,7 +186,7 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> DeamortizedLrfu<
             q,
             g,
             score: DecayScore::new(c),
-            map: HashMap::new(),
+            map: F::Index::with_capacity(hi),
             keys: Vec::new(),
             snap: proto.fresh(),
             snap_len: 0,
@@ -268,7 +298,9 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> DeamortizedLrfu<
     }
 }
 
-impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>> Cache<K> for DeamortizedLrfu<K, B> {
+impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>, F: IndexFamily> Cache<K>
+    for DeamortizedLrfu<K, B, F>
+{
     fn request(&mut self, key: K) -> bool {
         self.time += 1;
         let t = self.time;
@@ -321,6 +353,7 @@ mod tests {
     use crate::{hit_ratio, HeapLrfu};
     use qmax_traces::gen::arc_like;
     use qmax_traces::rng::SplitMix64;
+    use std::collections::HashMap;
 
     #[test]
     fn hits_and_misses() {

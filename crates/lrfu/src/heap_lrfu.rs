@@ -13,7 +13,7 @@ use std::hash::Hash;
 /// had no sift operation and degenerated to `O(q)`; see
 /// [`crate::ScanLrfu`] for that behaviour).
 #[derive(Debug, Clone)]
-pub struct HeapLrfu<K> {
+pub struct HeapLrfu<K: Clone + Hash + Eq> {
     q: usize,
     score: DecayScore,
     heap: IndexedMinHeap<K, OrderedF64>,

@@ -3,9 +3,11 @@
 
 use crate::score::DecayScore;
 use crate::Cache;
-use qmax_core::{AmortizedQMax, Entry, IntervalBackend, OrderedF64, SoaAmortizedQMax};
+use qmax_core::{
+    AmortizedQMax, Entry, FlowIndex, IndexFamily, IntervalBackend, KeyIndex, OrderedF64,
+    SoaAmortizedQMax,
+};
 use qmax_select::nth_smallest;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// LRFU via exponential-decay q-MAX with duplicate merging.
@@ -32,8 +34,17 @@ use std::hash::Hash;
 /// The cache population floats between `q` and `⌈q(1+γ)⌉` distinct
 /// keys, and — like the paper's construction — the `q` highest-score
 /// keys are never evicted.
+///
+/// The cache index defaults to the SIMD-probed [`qmax_core::FlowTable`]
+/// ([`FlowIndex`]); [`qmax_core::StdIndex`] restores the
+/// `std::collections::HashMap` index, kept as the baseline and as the
+/// replay oracle for the differential tests.
 #[derive(Debug, Clone)]
-pub struct QMaxLrfu<K, B = AmortizedQMax<K, OrderedF64>> {
+pub struct QMaxLrfu<
+    K: Clone + Hash + Eq,
+    B = AmortizedQMax<K, OrderedF64>,
+    F: IndexFamily = FlowIndex,
+> {
     q: usize,
     cap: usize,
     score: DecayScore,
@@ -41,17 +52,38 @@ pub struct QMaxLrfu<K, B = AmortizedQMax<K, OrderedF64>> {
     /// one merged entry per surviving key. Hosted in a q-MAX backend
     /// sized to never self-compact (maintenance runs first).
     buf: B,
-    /// Cached keys (the cache content) with their entry multiplicity.
-    cached: HashMap<K, u32>,
+    /// Cached keys (the cache content). The value is per-pass merge
+    /// bookkeeping for [`Self::maintain`], which folds the log through
+    /// this index in one probe per entry instead of building a second
+    /// hash table: `epoch` stamps whether the key was already seen this
+    /// pass, `slot` points at its accumulator in the survivors scratch.
+    cached: F::Index<K, MergeSlot>,
+    /// Maintenance-pass counter for [`MergeSlot::epoch`] (starts at 1;
+    /// 0 is the fresh-insert sentinel).
+    epoch: u32,
+    /// Persistent scratch buffers so maintenance allocates nothing
+    /// steady-state.
+    log_scratch: Vec<Entry<K, OrderedF64>>,
+    kept_scratch: Vec<(K, OrderedF64)>,
     time: u64,
     maintenance_passes: u64,
 }
 
+/// Per-key merge bookkeeping: `epoch` identifies the maintenance pass
+/// that last touched the key, `slot` its accumulator index within that
+/// pass. Both are only meaningful inside one [`QMaxLrfu::maintain`]
+/// call; between passes the values are simply stale.
+#[derive(Debug, Clone, Copy, Default)]
+struct MergeSlot {
+    epoch: u32,
+    slot: u32,
+}
+
 /// [`QMaxLrfu`] whose request log lives in the structure-of-arrays
 /// backend (requires `Copy` keys).
-pub type SoaQMaxLrfu<K> = QMaxLrfu<K, SoaAmortizedQMax<K, OrderedF64>>;
+pub type SoaQMaxLrfu<K, F = FlowIndex> = QMaxLrfu<K, SoaAmortizedQMax<K, OrderedF64>, F>;
 
-impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
+impl<K: Clone + Hash + Eq> QMaxLrfu<K, AmortizedQMax<K, OrderedF64>, FlowIndex> {
     /// Creates a q-MAX LRFU cache that always retains the `q`
     /// highest-score keys, holds at most `⌈q(1+γ)⌉` keys, and decays
     /// with parameter `c`.
@@ -61,23 +93,40 @@ impl<K: Clone + Hash + Eq> QMaxLrfu<K> {
     /// Panics if `q == 0`, `gamma` is not positive and finite, or `c`
     /// is outside `(0, 1)`.
     pub fn new(q: usize, gamma: f64, c: f64) -> Self {
+        Self::new_in(q, gamma, c)
+    }
+}
+
+impl<K: Clone + Hash + Eq, F: IndexFamily> QMaxLrfu<K, AmortizedQMax<K, OrderedF64>, F> {
+    /// Like [`QMaxLrfu::new`], but with an explicit [`IndexFamily`]
+    /// (e.g. `QMaxLrfu::<u64, _, StdIndex>::new_in(...)` for the
+    /// HashMap-era baseline).
+    pub fn new_in(q: usize, gamma: f64, c: f64) -> Self {
         let cap = Self::log_capacity(q, gamma);
         Self::with_buffer(q, c, AmortizedQMax::new(cap, gamma))
     }
 }
 
-impl<K: Copy + Hash + Eq + 'static> SoaQMaxLrfu<K> {
+impl<K: Copy + Clone + Hash + Eq + 'static> SoaQMaxLrfu<K, FlowIndex> {
     /// Like [`QMaxLrfu::new`], but the request log is a
     /// structure-of-arrays [`SoaAmortizedQMax`]. Behaviorally identical
     /// to the default backend — same hits and evictions on the same
     /// trace — but batch appends run the branchless lane kernel.
     pub fn new_soa(q: usize, gamma: f64, c: f64) -> Self {
+        Self::new_soa_in(q, gamma, c)
+    }
+}
+
+impl<K: Copy + Clone + Hash + Eq + 'static, F: IndexFamily> SoaQMaxLrfu<K, F> {
+    /// Like [`SoaQMaxLrfu::new_soa`], but with an explicit
+    /// [`IndexFamily`].
+    pub fn new_soa_in(q: usize, gamma: f64, c: f64) -> Self {
         let cap = Self::log_capacity(q, gamma);
         Self::with_buffer(q, c, SoaAmortizedQMax::new(cap, gamma))
     }
 }
 
-impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
+impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QMaxLrfu<K, B, F> {
     fn log_capacity(q: usize, gamma: f64) -> usize {
         assert!(q > 0, "q must be positive");
         assert!(
@@ -105,7 +154,10 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
             cap,
             score: DecayScore::new(c),
             buf: proto.fresh(),
-            cached: HashMap::new(),
+            cached: F::Index::with_capacity(cap),
+            epoch: 0,
+            log_scratch: Vec::new(),
+            kept_scratch: Vec::new(),
             time: 0,
             maintenance_passes: 0,
         }
@@ -124,22 +176,39 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
     /// Merges duplicate entries (log-sum-exp per key) and, if more than
     /// `q` distinct keys remain, evicts all keys below the q-th largest
     /// log-score.
+    ///
+    /// The merge runs through the `cached` index itself — one probe per
+    /// log entry — using epoch-stamped accumulator slots, so the pass
+    /// needs no second hash table, no survivor reinsertion (survivors
+    /// are already resident; only evicted keys are touched again), and
+    /// no steady-state allocation. Survivors accumulate in
+    /// first-occurrence log order, which is identical for every index
+    /// family — so eviction decisions cannot depend on index iteration
+    /// order even through value ties.
     fn maintain(&mut self) {
-        let mut log: Vec<Entry<K, OrderedF64>> = Vec::with_capacity(self.buf.len());
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.epoch = 1; // skip the fresh-insert sentinel on wrap
+        }
+        let mut log = std::mem::take(&mut self.log_scratch);
+        log.clear();
         self.buf.candidates_into(&mut log);
-        let mut merged: HashMap<K, f64> = HashMap::with_capacity(log.len());
+        let mut survivors: Vec<Entry<K, OrderedF64>> = Vec::with_capacity(log.len());
         for e in log.drain(..) {
-            match merged.get_mut(&e.id) {
-                Some(w) => *w = crate::score::logaddexp(*w, e.val.get()),
-                None => {
-                    merged.insert(e.id, e.val.get());
-                }
+            let ms = self
+                .cached
+                .get_mut(&e.id)
+                .expect("every logged key is resident until maintenance evicts it");
+            if ms.epoch == self.epoch {
+                let w = &mut survivors[ms.slot as usize].val;
+                *w = OrderedF64(crate::score::logaddexp(w.get(), e.val.get()));
+            } else {
+                ms.epoch = self.epoch;
+                ms.slot = survivors.len() as u32;
+                survivors.push(e);
             }
         }
-        let mut survivors: Vec<Entry<K, OrderedF64>> = merged
-            .into_iter()
-            .map(|(k, w)| Entry::new(k, OrderedF64(w)))
-            .collect();
+        self.log_scratch = log;
         if survivors.len() > self.q {
             let cut = survivors.len() - self.q;
             nth_smallest(&mut survivors, cut);
@@ -148,29 +217,24 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
             }
         }
         self.buf.reset();
-        let kept: Vec<(K, OrderedF64)> = survivors.into_iter().map(|e| (e.id, e.val)).collect();
+        let mut kept = std::mem::take(&mut self.kept_scratch);
+        kept.clear();
+        kept.extend(survivors.into_iter().map(|e| (e.id, e.val)));
         self.buf.insert_batch(&kept);
-        for (k, _) in kept {
-            self.cached.insert(k, 1);
-        }
+        self.kept_scratch = kept;
         self.maintenance_passes += 1;
     }
 
     /// Registers a request for `key` in the cache index and returns
-    /// `(hit, log entry to append)`.
+    /// `(hit, log entry to append)`. Hits are read-only probes; only
+    /// misses write to the index.
     fn account(&mut self, key: K) -> (bool, (K, OrderedF64)) {
         self.time += 1;
         let w = OrderedF64(self.score.access(self.time));
-        let hit = match self.cached.get_mut(&key) {
-            Some(mult) => {
-                *mult += 1;
-                true
-            }
-            None => {
-                self.cached.insert(key.clone(), 1);
-                false
-            }
-        };
+        let hit = self.cached.contains_key(&key);
+        if !hit {
+            self.cached.insert(key.clone(), MergeSlot::default());
+        }
         (hit, (key, w))
     }
 
@@ -200,7 +264,9 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> QMaxLrfu<K, B> {
     }
 }
 
-impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> Cache<K> for QMaxLrfu<K, B> {
+impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> Cache<K>
+    for QMaxLrfu<K, B, F>
+{
     fn request(&mut self, key: K) -> bool {
         let (hit, (key, w)) = self.account(key);
         self.buf.insert(key, w);
@@ -234,6 +300,7 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>> Cache<K> for QMaxL
 mod tests {
     use super::*;
     use crate::HeapLrfu;
+    use std::collections::HashMap;
 
     #[test]
     fn hits_and_misses() {

@@ -58,7 +58,10 @@ mod avx2;
 mod avx512;
 #[cfg(target_arch = "aarch64")]
 mod neon;
+mod probe;
 mod scalar;
+
+pub use probe::{ProbeKernel, GROUP_WIDTH};
 
 /// Which implementation a [`Kernel`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

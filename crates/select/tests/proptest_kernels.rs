@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use qmax_select::kernels::{sample_size, PIVOT_SEED};
-use qmax_select::{Kernel, RunPred};
+use qmax_select::{Kernel, ProbeKernel, RunPred, GROUP_WIDTH};
 
 /// Order-preserving, NaN-free mapping from `f64` to the `u64` lane
 /// domain: `a < b` (by `total_cmp`) iff `key(a) < key(b)`.
@@ -211,6 +211,35 @@ proptest! {
         prop_assert_eq!(b, c);
         prop_assert!(vals.contains(&a));
         prop_assert_eq!(scratch.len(), sample_size(vals.len()));
+    }
+
+    /// Group probe: dispatched kernel == scalar == naive per-byte scan
+    /// over control-byte mixes a flow table actually produces (random
+    /// tags, sentinel-heavy groups, all-equal groups).
+    #[test]
+    fn probe_match_byte_matches_scalar(
+        raw in prop::collection::vec(any::<u8>(), GROUP_WIDTH),
+        mode in 0u8..3,
+        tag in any::<u8>(),
+    ) {
+        let mut group = [0u8; GROUP_WIDTH];
+        for (g, &r) in group.iter_mut().zip(&raw) {
+            *g = match mode {
+                0 => r,          // arbitrary bytes
+                1 => r & 0x81,   // only sentinels 0x00/0x80/0x81/0x01
+                _ => raw[0],     // all-equal group
+            };
+        }
+        let s = ProbeKernel::scalar();
+        let d = ProbeKernel::detect();
+        for t in [tag, group[0], 0x80, 0x81] {
+            let naive = group
+                .iter()
+                .enumerate()
+                .fold(0u16, |m, (i, &b)| m | (u16::from(b == t) << i));
+            prop_assert_eq!(s.match_byte(&group, t), naive);
+            prop_assert_eq!(d.match_byte(&group, t), naive);
+        }
     }
 
     /// The f64→u64 lane mapping is strictly order-preserving on the

@@ -179,6 +179,39 @@ proptest! {
     }
 }
 
+/// Pinned counterpart of the `cc` case recorded in
+/// `proptest_invariants.proptest-regressions` (shrunk to a ~1000-item
+/// stream with `q = 6`, `tau_inv = 2` — the smallest slack fraction,
+/// where block-boundary coverage is tightest). The original literal
+/// array is impractical to inline, so this reconstructs the same
+/// failure-mode class deterministically: a full-entropy u64 stream at
+/// those exact shrunk parameters, checked against every valid slack
+/// length (see DESIGN.md §7 for the regression-corpus convention).
+#[test]
+fn pinned_slack_window_small_q_half_tau() {
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    let vals: Vec<u64> = (0..1000)
+        .map(|_| {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect();
+    let (q, w) = (6usize, 256);
+    let mut sw = BasicSlackQMax::new(q, 0.5, w, 0.5);
+    let (w_eff, blk) = (sw.effective_window(), sw.block_size());
+    for (i, &v) in vals.iter().enumerate() {
+        sw.insert(i as u32, v);
+    }
+    let mut got: Vec<u64> = sw.query().into_iter().map(|(_, v)| v).collect();
+    got.sort_unstable();
+    let n = vals.len();
+    let ok =
+        (w_eff - blk..=w_eff).any(|len| len <= n && reference_top_q(&vals[n - len..], q) == got);
+    assert!(ok, "no valid window explains {got:?}");
+}
+
 // The worst-case guarantees get a deeper sweep: these are the paper's
 // headline de-amortization claims, so run them at 256 cases.
 proptest! {
