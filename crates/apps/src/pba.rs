@@ -101,6 +101,32 @@ impl<Q: QMax<u64, OrderedF64>, F: IndexFamily> Pba<Q, F> {
         admitted
     }
 
+    /// Processes a span of arrivals, returning how many were admitted.
+    /// Observationally identical to calling [`Pba::observe`] per
+    /// arrival — the aggregate map can be purged *mid-span*, so the
+    /// per-arrival sequencing must be preserved exactly — but each
+    /// [`qmax_core::PROBE_PIPELINE`]-arrival stage issues the
+    /// aggregation-map prefetches up front, overlapping the per-key
+    /// probe misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is not positive and finite.
+    pub fn observe_batch(&mut self, arrivals: &[(u64, f64)]) -> usize {
+        let mut admitted = 0;
+        let mut keys = [0u64; qmax_core::PROBE_PIPELINE];
+        for chunk in arrivals.chunks(qmax_core::PROBE_PIPELINE) {
+            for (j, &(k, _)) in chunk.iter().enumerate() {
+                keys[j] = k;
+            }
+            self.agg.prefetch_keys(&keys[..chunk.len()]);
+            for &(k, w) in chunk {
+                admitted += usize::from(self.observe(k, w));
+            }
+        }
+        admitted
+    }
+
     /// Drops aggregates whose priority can no longer reach the
     /// reservoir (their key would be filtered on arrival), bounding the
     /// map to keys that still matter. Keys at or above the admission
@@ -269,6 +295,28 @@ mod tests {
         let est = pba.estimate_subset(|k| k % 2 == 0);
         let rel = (est - truth).abs() / truth;
         assert!(rel < 0.15, "est {est} truth {truth} rel {rel}");
+    }
+
+    #[test]
+    fn observe_batch_matches_singletons() {
+        // Includes enough distinct keys that purges fire mid-span, the
+        // case that forbids reordering arrivals within a batch.
+        let mut one = Pba::new(DedupQMax::new(16, 0.5), 4);
+        let mut batched = Pba::new(DedupQMax::new(16, 0.5), 4);
+        let arrivals: Vec<(u64, f64)> = (0..40_000u64)
+            .map(|i| (i * i % 9173, 1.0 + (i % 11) as f64))
+            .collect();
+        let mut a1 = 0usize;
+        for &(k, w) in &arrivals {
+            a1 += usize::from(one.observe(k, w));
+        }
+        let mut a2 = 0usize;
+        for span in arrivals.chunks(701) {
+            a2 += batched.observe_batch(span);
+        }
+        assert_eq!(a1, a2);
+        assert_eq!(one.tracked_keys(), batched.tracked_keys());
+        assert_eq!(one.sample(), batched.sample());
     }
 
     #[test]

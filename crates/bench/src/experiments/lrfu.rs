@@ -4,8 +4,11 @@
 use crate::scale::Scale;
 use crate::{fmt, mpps, Report};
 use qmax_apps::{CountDistinct, Pba};
-use qmax_core::{AmortizedQMax, DedupQMax, IndexedHeapQMax, Minimal, OrderedF64, QMax, StdIndex};
-use qmax_lrfu::{hit_ratio, Cache, DeamortizedLrfu, HeapLrfu, QMaxLrfu, ScanLrfu};
+use qmax_core::{
+    AmortizedQMax, BatchInsert, DedupQMax, FlowTable, IndexedHeapQMax, Minimal, OrderedF64, QMax,
+    StdIndex,
+};
+use qmax_lrfu::{hit_ratio, Cache, DeamortizedLrfu, DecayScore, HeapLrfu, QMaxLrfu, ScanLrfu};
 use qmax_traces::gen::{arc_like, random_u64_stream};
 use qmax_traces::zipf::ZipfSampler;
 use std::io::Write;
@@ -95,8 +98,23 @@ const HASHMAP_ERA_LRFU_G1_MIPS: f64 = 5.936;
 
 struct IndexRow {
     workload: String,
+    batch: usize,
     std_mips: f64,
     flow_mips: f64,
+}
+
+/// Per-component cost estimates for one LRFU request (nanoseconds),
+/// measured by standalone micro-loops on the same machine and stream.
+struct ComponentNs {
+    /// One batched flow-table probe on a warm q-sized table.
+    flow_probe: f64,
+    /// One exact `logaddexp` score merge (dependent chain).
+    exact_merge: f64,
+    /// One table-interpolated fast score merge (dependent chain).
+    fast_merge: f64,
+    /// Total per-request cost of the flow-table `lrfu-g1` run; the
+    /// remainder after probes and the merge is selection + bookkeeping.
+    lrfu_g1_total: f64,
 }
 
 /// Keyed-path comparison: every structure whose hot loop is dominated
@@ -104,7 +122,13 @@ struct IndexRow {
 /// [`StdIndex`] and once with the SIMD-probed [`qmax_core::FlowTable`]
 /// (the default). Both runs feed identical streams and every pair is
 /// cross-checked (hits, stats, query multisets, estimates) so the
-/// speedups cannot come from divergent behavior. Series mirror to
+/// speedups cannot come from divergent behavior. Both throughput levers
+/// from the batched-probe PR are on for *both* sides: arrivals go
+/// through the batch entry points (pipelined hash+prefetch probing) and
+/// LRFU scores merge via the bounded-error fast `logaddexp` — so the
+/// flow-vs-std ratio still isolates the index. A batch-size sweep
+/// (1/64/256/1024) on `lrfu-g1` shows how much of the win is
+/// memory-level parallelism. Series mirror to
 /// `results/lrfu_flow_table.csv` and `BENCH_lrfu.json`.
 pub fn lrfu_flow_table(scale: &Scale) {
     println!("# Keyed paths: SIMD-probed flow table vs std HashMap index");
@@ -114,54 +138,71 @@ pub fn lrfu_flow_table(scale: &Scale) {
     let trace = arc_like(reqs, 200_000, 11);
     let mut rep = Report::new(
         "lrfu_flow_table",
-        &["workload", "std_mips", "flow_mips", "speedup"],
+        &["workload", "batch", "std_mips", "flow_mips", "speedup"],
     );
     let mut rows: Vec<IndexRow> = Vec::new();
 
-    // q-MAX LRFU (batched requests), the structures BENCH_windows.json
-    // showed at 3–6 MIPS against 237–428 MIPS for the core reservoirs.
+    // q-MAX LRFU (batched requests + fast merge), the structures
+    // BENCH_windows.json showed at 3–6 MIPS against 237–428 MIPS for
+    // the core reservoirs. The γ=1 point also sweeps the request batch
+    // size: span 1 disables the probe pipeline (each request resolves
+    // its own miss chain), spans ≥ 64 fill at least two
+    // PROBE_PIPELINE stages.
     for gamma in [0.25, 1.0] {
-        let mut std_cache = QMaxLrfu::<u64, _, StdIndex>::new_in(q, gamma, c);
-        let mut flow_cache = QMaxLrfu::new(q, gamma, c);
-        let (mut std_hits, mut flow_hits) = (0usize, 0usize);
+        let sweep: &[usize] = if gamma == 1.0 {
+            &[1, 64, 256, BATCH]
+        } else {
+            &[BATCH]
+        };
+        for &b in sweep {
+            let mut std_cache =
+                QMaxLrfu::<u64, _, StdIndex>::new_in(q, gamma, c).with_fast_merge(true);
+            let mut flow_cache = QMaxLrfu::new(q, gamma, c).with_fast_merge(true);
+            let (mut std_hits, mut flow_hits) = (0usize, 0usize);
+            let start = Instant::now();
+            for chunk in trace.chunks(b) {
+                std_hits += std_cache.request_batch(chunk);
+            }
+            let std_mips = mpps(reqs, start.elapsed());
+            let start = Instant::now();
+            for chunk in trace.chunks(b) {
+                flow_hits += flow_cache.request_batch(chunk);
+            }
+            let flow_mips = mpps(reqs, start.elapsed());
+            assert_eq!(std_hits, flow_hits, "indexes diverged at gamma={gamma}");
+            rows.push(IndexRow {
+                workload: format!("lrfu-g{gamma}"),
+                batch: b,
+                std_mips,
+                flow_mips,
+            });
+        }
+    }
+
+    // De-amortized LRFU: batched requests prefetch-warm the index ahead
+    // of each per-request step (the hit path is too stateful to
+    // reorder), and the refresh feed probes through `get_mut_batch`.
+    {
+        let mut std_cache =
+            DeamortizedLrfu::<u64, _, StdIndex>::new_in(q, 0.25, c).with_fast_merge(true);
+        let mut flow_cache = DeamortizedLrfu::new(q, 0.25, c).with_fast_merge(true);
         let start = Instant::now();
+        let mut std_hits = 0usize;
         for chunk in trace.chunks(BATCH) {
             std_hits += std_cache.request_batch(chunk);
         }
         let std_mips = mpps(reqs, start.elapsed());
         let start = Instant::now();
+        let mut flow_hits = 0usize;
         for chunk in trace.chunks(BATCH) {
             flow_hits += flow_cache.request_batch(chunk);
-        }
-        let flow_mips = mpps(reqs, start.elapsed());
-        assert_eq!(std_hits, flow_hits, "indexes diverged at gamma={gamma}");
-        rows.push(IndexRow {
-            workload: format!("lrfu-g{gamma}"),
-            std_mips,
-            flow_mips,
-        });
-    }
-
-    // De-amortized LRFU: singleton requests (no batch entry point).
-    {
-        let mut std_cache = DeamortizedLrfu::<u64, _, StdIndex>::new_in(q, 0.25, c);
-        let mut flow_cache = DeamortizedLrfu::new(q, 0.25, c);
-        let start = Instant::now();
-        let mut std_hits = 0usize;
-        for &k in &trace {
-            std_hits += usize::from(std_cache.request(k));
-        }
-        let std_mips = mpps(reqs, start.elapsed());
-        let start = Instant::now();
-        let mut flow_hits = 0usize;
-        for &k in &trace {
-            flow_hits += usize::from(flow_cache.request(k));
         }
         let flow_mips = mpps(reqs, start.elapsed());
         assert_eq!(std_hits, flow_hits, "de-amortized indexes diverged");
         assert_eq!(std_cache.stats(), flow_cache.stats());
         rows.push(IndexRow {
             workload: "lrfu-wc-g0.25".into(),
+            batch: BATCH,
             std_mips,
             flow_mips,
         });
@@ -174,12 +215,14 @@ pub fn lrfu_flow_table(scale: &Scale) {
         .map(|v| (ids.sample() as u64, v))
         .collect();
 
-    // Duplicate-merging q-MAX (PBA's reservoir).
+    // Duplicate-merging q-MAX (PBA's reservoir): spans go through
+    // `insert_batch`, so every triggered compaction merges through the
+    // pipelined `entry_batch` upsert.
     {
         let mut std_qm = DedupQMax::<u64, u64, StdIndex>::new_in(app_q, 0.25);
         let mut flow_qm = DedupQMax::new(app_q, 0.25);
-        let std_mips = time_inserts(&mut std_qm, &pairs);
-        let flow_mips = time_inserts(&mut flow_qm, &pairs);
+        let std_mips = time_insert_batches(&mut std_qm, &pairs);
+        let flow_mips = time_insert_batches(&mut flow_qm, &pairs);
         assert_eq!(
             sorted_query_vals(&mut std_qm),
             sorted_query_vals(&mut flow_qm),
@@ -187,12 +230,14 @@ pub fn lrfu_flow_table(scale: &Scale) {
         );
         rows.push(IndexRow {
             workload: "dedup".into(),
+            batch: BATCH,
             std_mips,
             flow_mips,
         });
     }
 
-    // Indexed-heap keyed baseline (update-in-place top-q).
+    // Indexed-heap keyed baseline (update-in-place top-q, singleton —
+    // the sift chain is inherently serial).
     {
         let mut std_qm = IndexedHeapQMax::<u64, u64, StdIndex>::new_in(app_q);
         let mut flow_qm = IndexedHeapQMax::new(app_q);
@@ -205,12 +250,14 @@ pub fn lrfu_flow_table(scale: &Scale) {
         );
         rows.push(IndexRow {
             workload: "indexed-heap".into(),
+            batch: 1,
             std_mips,
             flow_mips,
         });
     }
 
-    // KMV count-distinct: one admitted-set membership test per key.
+    // KMV count-distinct: one admitted-set membership test per key,
+    // hashed and prefetched a PROBE_PIPELINE stage ahead.
     {
         let mut std_cd = CountDistinct::<_, StdIndex>::new_in(
             AmortizedQMax::<u64, Minimal<u64>>::new(app_q, 0.5),
@@ -218,14 +265,15 @@ pub fn lrfu_flow_table(scale: &Scale) {
         );
         let mut flow_cd =
             CountDistinct::new(AmortizedQMax::<u64, Minimal<u64>>::new(app_q, 0.5), 3);
+        let keys: Vec<u64> = pairs.iter().map(|&(id, _)| id).collect();
         let start = Instant::now();
-        for &(id, _) in &pairs {
-            std_cd.observe(id);
+        for span in keys.chunks(BATCH) {
+            std_cd.observe_batch(span);
         }
         let std_mips = mpps(reqs, start.elapsed());
         let start = Instant::now();
-        for &(id, _) in &pairs {
-            flow_cd.observe(id);
+        for span in keys.chunks(BATCH) {
+            flow_cd.observe_batch(span);
         }
         let flow_mips = mpps(reqs, start.elapsed());
         assert_eq!(
@@ -236,26 +284,33 @@ pub fn lrfu_flow_table(scale: &Scale) {
         assert_eq!(std_cd.admitted_count(), flow_cd.admitted_count());
         rows.push(IndexRow {
             workload: "count-distinct".into(),
+            batch: BATCH,
             std_mips,
             flow_mips,
         });
     }
 
-    // Priority-based aggregation: one aggregate upsert per arrival.
+    // Priority-based aggregation: one aggregate upsert per arrival,
+    // prefetch-warmed per stage (purges can fire mid-span, so arrival
+    // order is preserved exactly).
     {
         let mut std_pba = Pba::<_, StdIndex>::new_in(
             DedupQMax::<u64, OrderedF64, StdIndex>::new_in(app_q, 0.25),
             1,
         );
         let mut flow_pba = Pba::new(DedupQMax::<u64, OrderedF64>::new(app_q, 0.25), 1);
+        let arrivals: Vec<(u64, f64)> = pairs
+            .iter()
+            .map(|&(id, v)| (id, 1.0 + (v % 1024) as f64))
+            .collect();
         let start = Instant::now();
-        for &(id, v) in &pairs {
-            std_pba.observe(id, 1.0 + (v % 1024) as f64);
+        for span in arrivals.chunks(BATCH) {
+            std_pba.observe_batch(span);
         }
         let std_mips = mpps(reqs, start.elapsed());
         let start = Instant::now();
-        for &(id, v) in &pairs {
-            flow_pba.observe(id, 1.0 + (v % 1024) as f64);
+        for span in arrivals.chunks(BATCH) {
+            flow_pba.observe_batch(span);
         }
         let flow_mips = mpps(reqs, start.elapsed());
         assert_eq!(
@@ -266,6 +321,7 @@ pub fn lrfu_flow_table(scale: &Scale) {
         assert_eq!(std_pba.sample().len(), flow_pba.sample().len());
         rows.push(IndexRow {
             workload: "pba".into(),
+            batch: BATCH,
             std_mips,
             flow_mips,
         });
@@ -274,18 +330,94 @@ pub fn lrfu_flow_table(scale: &Scale) {
     for r in &rows {
         rep.row(&[
             r.workload.clone(),
+            r.batch.to_string(),
             fmt(r.std_mips),
             fmt(r.flow_mips),
             fmt(r.flow_mips / r.std_mips),
         ]);
     }
-    write_lrfu_bench_json(&rows, reqs, q);
+
+    let lrfu_g1_total = rows
+        .iter()
+        .find(|r| r.workload == "lrfu-g1" && r.batch == BATCH)
+        .map_or(0.0, |r| 1e3 / r.flow_mips);
+    let comps = component_estimates(&trace, q, c, lrfu_g1_total);
+    println!("# per-request component estimates (ns)");
+    println!(
+        "flow-probe {:.1}  exact-merge {:.1}  fast-merge {:.1}  lrfu-g1 total {:.1}  \
+         selection+bookkeeping residual {:.1}",
+        comps.flow_probe,
+        comps.exact_merge,
+        comps.fast_merge,
+        comps.lrfu_g1_total,
+        comps.residual(),
+    );
+    write_lrfu_bench_json(&rows, &comps, reqs, q);
+}
+
+impl ComponentNs {
+    /// What is left of one `lrfu-g1` request after its single index
+    /// probe (the request-path upsert; maintenance folds through
+    /// request-time arena hints and probes nothing) and one score
+    /// merge: the selection pass, eviction removes, log append, and
+    /// buffer bookkeeping.
+    fn residual(&self) -> f64 {
+        (self.lrfu_g1_total - self.flow_probe - self.fast_merge).max(0.0)
+    }
+}
+
+/// Standalone micro-loops sizing the components of one LRFU request.
+fn component_estimates(trace: &[u64], q: usize, c: f64, lrfu_g1_total: f64) -> ComponentNs {
+    // Batched probes against a warm q-sized flow table, keys remapped
+    // so every probe hits (the request path's common case).
+    let mut table: FlowTable<u64, u64> = FlowTable::new();
+    for i in 0..q as u64 {
+        table.insert(i, i);
+    }
+    let keys: Vec<u64> = trace.iter().map(|&k| k % q as u64).collect();
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for span in keys.chunks(BATCH) {
+        table.probe_batch(span, |_, v| acc += v.copied().unwrap_or(0));
+    }
+    let flow_probe = start.elapsed().as_secs_f64() * 1e9 / keys.len() as f64;
+    std::hint::black_box(acc);
+
+    // Score merges as a dependent chain (each merge waits on the last,
+    // like a key's running score does).
+    let merge_ns = |ds: DecayScore| {
+        let iters = 2_000_000u64.min(trace.len() as u64 * 4).max(100_000);
+        let mut w = ds.access(1);
+        let start = Instant::now();
+        for t in 2..iters {
+            w = ds.bump(w, t);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (iters - 2) as f64;
+        std::hint::black_box(w);
+        ns
+    };
+    let exact_merge = merge_ns(DecayScore::new(c));
+    let fast_merge = merge_ns(DecayScore::new_fast(c));
+    ComponentNs {
+        flow_probe,
+        exact_merge,
+        fast_merge,
+        lrfu_g1_total,
+    }
 }
 
 fn time_inserts<Q: QMax<u64, u64>>(qm: &mut Q, pairs: &[(u64, u64)]) -> f64 {
     let start = Instant::now();
     for &(id, v) in pairs {
         qm.insert(id, v);
+    }
+    mpps(pairs.len(), start.elapsed())
+}
+
+fn time_insert_batches<Q: BatchInsert<u64, u64>>(qm: &mut Q, pairs: &[(u64, u64)]) -> f64 {
+    let start = Instant::now();
+    for span in pairs.chunks(BATCH) {
+        qm.insert_batch(span);
     }
     mpps(pairs.len(), start.elapsed())
 }
@@ -297,7 +429,7 @@ fn sorted_query_vals<Q: QMax<u64, u64>>(qm: &mut Q) -> Vec<u64> {
 }
 
 /// Hand-rolled JSON mirror (no serde in the dependency-free build).
-fn write_lrfu_bench_json(rows: &[IndexRow], stream_len: usize, q: usize) {
+fn write_lrfu_bench_json(rows: &[IndexRow], comps: &ComponentNs, stream_len: usize, q: usize) {
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -309,10 +441,11 @@ fn write_lrfu_bench_json(rows: &[IndexRow], stream_len: usize, q: usize) {
         }
         body.push_str(&format!(
             concat!(
-                "    {{\"workload\": \"{}\", \"std_mips\": {:.3}, ",
+                "    {{\"workload\": \"{}\", \"batch\": {}, \"std_mips\": {:.3}, ",
                 "\"flow_mips\": {:.3}, \"speedup\": {:.3}}}"
             ),
             r.workload,
+            r.batch,
             r.std_mips,
             r.flow_mips,
             r.flow_mips / r.std_mips,
@@ -326,18 +459,28 @@ fn write_lrfu_bench_json(rows: &[IndexRow], stream_len: usize, q: usize) {
             "  \"lrfu_q\": {q},\n",
             "  \"stream_len\": {n},\n",
             "  \"batch\": {batch},\n",
+            "  \"fast_merge\": true,\n",
             "  \"hashmap_era_baseline\": {{\"source\": \"BENCH_windows.json\", ",
             "\"lrfu_g1_aos_mips\": {base}}},\n",
             "  \"machine_caveats\": \"wall-clock timing on a shared, unpinned machine ",
             "(no CPU isolation, no frequency control, container noise); ",
             "relative flow-vs-std speedups are the signal, absolute MIPS are not ",
-            "comparable across machines or runs\",\n",
-            "  \"target_note\": \"the issue's 5x absolute target (~34 ns/request) sits ",
-            "below the per-request algorithmic floor measured on this machine: one ",
-            "logaddexp score merge alone costs ~29 ns, and the amortized maintain pass ",
-            "adds ~2 index probes plus a selection share per request; the flow table ",
-            "removes the index share of that budget (probe ~16 ns vs ~33 ns for std ",
-            "HashMap), which is the speedup recorded here\",\n",
+            "comparable across machines or runs — use the unchanged indexed-heap row ",
+            "as the cross-run anchor when comparing against an earlier recording\",\n",
+            "  \"target_note\": \"both throughput levers from the batched-probe PR are ",
+            "on for both index variants: requests resolve through the batched upsert ",
+            "pipeline and record each key's score-arena slot at probe time, so a ",
+            "maintenance pass folds its log with zero additional index probes (one ",
+            "probe per request total, down from two) and survivors are never ",
+            "reinserted into the log; score merges use the bounded-error fast ",
+            "logaddexp (abs err <= 2e-8, proptest-enforced), which cuts the exact ",
+            "merge's measured cost (see component_ns) out of the per-request floor; ",
+            "the lrfu-g1 batch sweep shows the span-size sensitivity of the upsert ",
+            "pipeline, and the flow-vs-std ratio still isolates the index because ",
+            "both sides run the same levers\",\n",
+            "  \"component_ns\": {{\"flow_probe\": {probe:.1}, \"exact_merge\": ",
+            "{exact:.1}, \"fast_merge\": {fast:.1}, \"lrfu_g1_total\": {total:.1}, ",
+            "\"selection_and_bookkeeping_residual\": {resid:.1}}},\n",
             "  \"series\": [\n{body}\n  ]\n",
             "}}\n"
         ),
@@ -346,6 +489,11 @@ fn write_lrfu_bench_json(rows: &[IndexRow], stream_len: usize, q: usize) {
         n = stream_len,
         batch = BATCH,
         base = HASHMAP_ERA_LRFU_G1_MIPS,
+        probe = comps.flow_probe,
+        exact = comps.exact_merge,
+        fast = comps.fast_merge,
+        total = comps.lrfu_g1_total,
+        resid = comps.residual(),
         body = body,
     );
     match std::fs::File::create("BENCH_lrfu.json").and_then(|mut f| f.write_all(json.as_bytes())) {

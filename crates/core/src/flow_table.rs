@@ -68,7 +68,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, Hash, Hasher};
 
-use qmax_select::{ProbeKernel, GROUP_WIDTH};
+use qmax_select::{prefetch_read, ProbeKernel, GROUP_WIDTH};
 
 /// Control byte for a never-used (or deleted-and-reclosed) slot.
 /// Probes stop at the first group containing one.
@@ -89,6 +89,14 @@ pub const MIGRATE_GROUPS_PER_STEP: usize = 2;
 
 const LOAD_NUM: usize = 7;
 const LOAD_DEN: usize = 8;
+
+/// Keys processed per stage of the batched-probe software pipeline:
+/// each stage hashes this many keys and issues a prefetch for every
+/// home group *before* resolving any of the probes, so up to this many
+/// cache-miss chains are in flight at once. 32 comfortably exceeds the
+/// line-fill-buffer depth of current cores (10–16) without pushing the
+/// oldest prefetched line out of L1 before its resolve runs.
+pub const PROBE_PIPELINE: usize = 32;
 
 // ---------------------------------------------------------------------------
 // Fixed-seed multiplicative hasher
@@ -258,7 +266,7 @@ impl<K: Hash + Eq, V> Core<K, V> {
     /// Place a key known to be absent at the first empty slot on its
     /// chain. The caller guarantees at least one `EMPTY` byte exists.
     #[inline]
-    fn insert_fresh(&mut self, h: u64, key: K, val: V, probe: &ProbeKernel) {
+    fn insert_fresh(&mut self, h: u64, key: K, val: V, probe: &ProbeKernel) -> usize {
         let (mut g, tag) = split_hash(h, self.group_mask);
         loop {
             let ctrl = group_ctrl(&self.ctrl, g);
@@ -268,7 +276,7 @@ impl<K: Hash + Eq, V> Core<K, V> {
                 self.ctrl[s] = tag;
                 self.slots[s] = Some((key, val));
                 self.len += 1;
-                return;
+                return s;
             }
             g = (g + 1) & self.group_mask;
         }
@@ -499,6 +507,11 @@ impl<K: Hash + Eq, V> FlowTable<K, V> {
     #[inline]
     pub fn get(&self, key: &K) -> Option<&V> {
         let h = self.hash(key);
+        self.get_prehashed(h, key)
+    }
+
+    #[inline]
+    fn get_prehashed(&self, h: u64, key: &K) -> Option<&V> {
         if let Some(s) = self.live.find(h, key, &self.probe) {
             return self.live.slots[s].as_ref().map(|(_, v)| v);
         }
@@ -511,6 +524,11 @@ impl<K: Hash + Eq, V> FlowTable<K, V> {
     #[inline]
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let h = self.hash(key);
+        self.get_mut_prehashed(h, key)
+    }
+
+    #[inline]
+    fn get_mut_prehashed(&mut self, h: u64, key: &K) -> Option<&mut V> {
         if let Some(s) = self.live.find(h, key, &self.probe) {
             return self.live.slots[s].as_mut().map(|(_, v)| v);
         }
@@ -519,16 +537,159 @@ impl<K: Hash + Eq, V> FlowTable<K, V> {
         old.slots[s].as_mut().map(|(_, v)| v)
     }
 
+    /// Borrow-free residence check: which core holds `key`, and at
+    /// which slot. Lets the batch upsert branch on presence and then
+    /// take the mutable borrow it needs without re-probing.
+    #[inline]
+    fn locate(&self, h: u64, key: &K) -> Option<(bool, usize)> {
+        if let Some(s) = self.live.find(h, key, &self.probe) {
+            return Some((true, s));
+        }
+        let old = self.old.as_ref()?;
+        old.find(h, key, &self.probe).map(|s| (false, s))
+    }
+
     /// Whether `key` is resident.
     #[inline]
     pub fn contains_key(&self, key: &K) -> bool {
         self.get(key).is_some()
     }
 
+    /// Best-effort prefetch of the home control group (and candidate
+    /// slot span) for hash `h` in both cores. Purely a hint: issued for
+    /// the *home* group only, which resolves the overwhelming majority
+    /// of probes at 7/8 load; chain walks past it pay their misses as
+    /// before.
+    #[inline]
+    fn prefetch_groups(&self, h: u64) {
+        let g = split_hash(h, self.live.group_mask).0;
+        prefetch_read(&self.live.ctrl, g * GROUP_WIDTH);
+        prefetch_read(&self.live.slots, g * GROUP_WIDTH);
+        if let Some(old) = &self.old {
+            let og = split_hash(h, old.group_mask).0;
+            prefetch_read(&old.ctrl, og * GROUP_WIDTH);
+            prefetch_read(&old.slots, og * GROUP_WIDTH);
+        }
+    }
+
+    /// Issue prefetch hints for every key's home group without
+    /// resolving any probe — the warm-up half of the batch pipeline,
+    /// for callers whose per-key work is too stateful to batch (e.g. a
+    /// cache hit path that mutates as it goes) but who still know the
+    /// next span of keys in advance.
+    pub fn prefetch_keys(&self, keys: &[K]) {
+        for k in keys {
+            self.prefetch_groups(self.hash(k));
+        }
+    }
+
+    /// Batched lookup: calls `f(i, value)` once per key, in order.
+    ///
+    /// Observationally identical to `keys.iter().map(|k| self.get(k))`
+    /// — the differential battery replays exactly that equivalence —
+    /// but executed as a software pipeline: each [`PROBE_PIPELINE`]-key
+    /// stage hashes every key and prefetches every home group before
+    /// resolving any probe, so the N dependent cache-miss chains of a
+    /// singleton loop overlap into (at most) ⌈N/32⌉ memory round-trips.
+    pub fn probe_batch(&self, keys: &[K], mut f: impl FnMut(usize, Option<&V>)) {
+        let mut hashes = [0u64; PROBE_PIPELINE];
+        for (stage, chunk) in keys.chunks(PROBE_PIPELINE).enumerate() {
+            for (j, k) in chunk.iter().enumerate() {
+                let h = self.hash(k);
+                hashes[j] = h;
+                self.prefetch_groups(h);
+            }
+            let base = stage * PROBE_PIPELINE;
+            for (j, k) in chunk.iter().enumerate() {
+                f(base + j, self.get_prehashed(hashes[j], k));
+            }
+        }
+    }
+
+    /// Batched mutable lookup: `f(i, value)` once per key, in order.
+    /// The pipelined twin of a `get_mut` loop; see [`Self::probe_batch`].
+    pub fn get_mut_batch(&mut self, keys: &[K], mut f: impl FnMut(usize, Option<&mut V>)) {
+        let mut hashes = [0u64; PROBE_PIPELINE];
+        for (stage, chunk) in keys.chunks(PROBE_PIPELINE).enumerate() {
+            for (j, k) in chunk.iter().enumerate() {
+                let h = self.hash(k);
+                hashes[j] = h;
+                self.prefetch_groups(h);
+            }
+            let base = stage * PROBE_PIPELINE;
+            for (j, k) in chunk.iter().enumerate() {
+                f(base + j, self.get_mut_prehashed(hashes[j], k));
+            }
+        }
+    }
+
+    /// Batched upsert: for each key in order, visit the resident value
+    /// (`present = true`) or insert `or_insert(i)` and visit the fresh
+    /// value (`present = false`).
+    ///
+    /// Equivalent, op for op, to the singleton sequence `if let Some(v)
+    /// = get_mut(k) { visit } else { insert(k, or_insert(i)); visit }`
+    /// — inserts step the incremental migration exactly as
+    /// [`Self::insert`] does, so the resize schedule is unchanged. The
+    /// hash for each stage is computed once and its home group
+    /// prefetched up front; keys are re-probed per op, so a resize
+    /// triggered mid-stage only wastes hints, never correctness.
+    pub fn entry_batch(
+        &mut self,
+        keys: &[K],
+        mut or_insert: impl FnMut(usize) -> V,
+        mut visit: impl FnMut(usize, &mut V, bool),
+    ) where
+        K: Clone,
+    {
+        let mut hashes = [0u64; PROBE_PIPELINE];
+        for (stage, chunk) in keys.chunks(PROBE_PIPELINE).enumerate() {
+            for (j, k) in chunk.iter().enumerate() {
+                let h = self.hash(k);
+                hashes[j] = h;
+                self.prefetch_groups(h);
+            }
+            let base = stage * PROBE_PIPELINE;
+            for (j, k) in chunk.iter().enumerate() {
+                let i = base + j;
+                let h = hashes[j];
+                match self.locate(h, k) {
+                    Some((true, s)) => {
+                        let (_, v) = self.live.slots[s].as_mut().expect("located slot");
+                        visit(i, v, true);
+                    }
+                    Some((false, s)) => {
+                        let old = self.old.as_mut().expect("old core located");
+                        let (_, v) = old.slots[s].as_mut().expect("located slot");
+                        visit(i, v, true);
+                    }
+                    None => {
+                        // `locate` proved the key absent from both
+                        // cores; stepping the migration or growing
+                        // cannot make it appear, so skip the re-find
+                        // that singleton `insert` pays and write the
+                        // fresh slot directly.
+                        self.step_migration();
+                        self.maybe_grow();
+                        let s = self
+                            .live
+                            .insert_fresh(h, k.clone(), or_insert(i), &self.probe);
+                        let (_, v) = self.live.slots[s].as_mut().expect("just inserted");
+                        visit(i, v, false);
+                    }
+                }
+            }
+        }
+    }
+
     /// Insert or update; returns the previous value if any.
     pub fn insert(&mut self, key: K, val: V) -> Option<V> {
-        self.step_migration();
         let h = self.hash(&key);
+        self.insert_prehashed(h, key, val)
+    }
+
+    fn insert_prehashed(&mut self, h: u64, key: K, val: V) -> Option<V> {
+        self.step_migration();
         if let Some(s) = self.live.find(h, &key, &self.probe) {
             let (_, v) = self.live.slots[s].as_mut().expect("found slot is occupied");
             return Some(std::mem::replace(v, val));
@@ -658,6 +819,57 @@ pub trait KeyIndex<K, V> {
     fn drain_each(&mut self, f: impl FnMut(K, V));
     /// Keep only the entries `f` approves.
     fn retain_with(&mut self, f: impl FnMut(&K, &mut V) -> bool);
+
+    /// Hint that `keys` are about to be probed. Purely advisory — the
+    /// default is a no-op, which is also the correct oracle semantics;
+    /// [`FlowTable`] overrides it with home-group prefetches.
+    fn prefetch_keys(&self, keys: &[K]) {
+        let _ = keys;
+    }
+
+    /// Batched lookup: `f(i, value)` once per key, in order. The
+    /// default is the plain singleton loop — exactly the semantics an
+    /// oracle index must have — so [`StdKeyIndex`] stays a valid
+    /// differential baseline; [`FlowTable`] overrides it with the
+    /// prefetch-pipelined probe.
+    fn probe_batch(&self, keys: &[K], mut f: impl FnMut(usize, Option<&V>)) {
+        for (i, k) in keys.iter().enumerate() {
+            f(i, self.get(k));
+        }
+    }
+
+    /// Batched mutable lookup: `f(i, value)` once per key, in order.
+    /// Default is the singleton `get_mut` loop (see
+    /// [`probe_batch`](KeyIndex::probe_batch)).
+    fn get_mut_batch(&mut self, keys: &[K], mut f: impl FnMut(usize, Option<&mut V>)) {
+        for (i, k) in keys.iter().enumerate() {
+            f(i, self.get_mut(k));
+        }
+    }
+
+    /// Batched upsert: per key in order, visit the resident value
+    /// (`present = true`) or insert `or_insert(i)` and visit the fresh
+    /// value (`present = false`). Default is the equivalent singleton
+    /// sequence (see [`probe_batch`](KeyIndex::probe_batch)).
+    fn entry_batch(
+        &mut self,
+        keys: &[K],
+        mut or_insert: impl FnMut(usize) -> V,
+        mut visit: impl FnMut(usize, &mut V, bool),
+    ) where
+        K: Clone,
+    {
+        for (i, k) in keys.iter().enumerate() {
+            if self.contains_key(k) {
+                let v = self.get_mut(k).expect("probed above");
+                visit(i, v, true);
+            } else {
+                self.insert(k.clone(), or_insert(i));
+                let v = self.get_mut(k).expect("just inserted");
+                visit(i, v, false);
+            }
+        }
+    }
 }
 
 impl<K: Hash + Eq, V> KeyIndex<K, V> for FlowTable<K, V> {
@@ -693,6 +905,25 @@ impl<K: Hash + Eq, V> KeyIndex<K, V> for FlowTable<K, V> {
     }
     fn retain_with(&mut self, f: impl FnMut(&K, &mut V) -> bool) {
         FlowTable::retain_with(self, f)
+    }
+    fn prefetch_keys(&self, keys: &[K]) {
+        FlowTable::prefetch_keys(self, keys)
+    }
+    fn probe_batch(&self, keys: &[K], f: impl FnMut(usize, Option<&V>)) {
+        FlowTable::probe_batch(self, keys, f)
+    }
+    fn get_mut_batch(&mut self, keys: &[K], f: impl FnMut(usize, Option<&mut V>)) {
+        FlowTable::get_mut_batch(self, keys, f)
+    }
+    fn entry_batch(
+        &mut self,
+        keys: &[K],
+        or_insert: impl FnMut(usize) -> V,
+        visit: impl FnMut(usize, &mut V, bool),
+    ) where
+        K: Clone,
+    {
+        FlowTable::entry_batch(self, keys, or_insert, visit)
     }
 }
 
@@ -888,6 +1119,154 @@ mod tests {
             }
             assert_eq!(a.len(), b.len());
         }
+    }
+
+    /// `probe_batch` must be the singleton `get` loop, observationally
+    /// — over spans longer than the pipeline, shorter than it, empty,
+    /// and with duplicate keys inside one stage.
+    #[test]
+    fn probe_batch_matches_singleton_gets() {
+        let mut t: FlowTable<u64, u64> = FlowTable::new();
+        for i in 0..300u64 {
+            t.insert(i * 3, i);
+        }
+        for span in [0usize, 1, 7, PROBE_PIPELINE, PROBE_PIPELINE + 1, 257] {
+            let keys: Vec<u64> = (0..span as u64).map(|i| (i % 180) * 2).collect();
+            let mut got: Vec<Option<u64>> = Vec::new();
+            t.probe_batch(&keys, |i, v| {
+                assert_eq!(i, got.len(), "indices must arrive in order");
+                got.push(v.copied());
+            });
+            let want: Vec<Option<u64>> = keys.iter().map(|k| t.get(k).copied()).collect();
+            assert_eq!(got, want, "span {span}");
+        }
+    }
+
+    #[test]
+    fn get_mut_batch_mutates_like_singletons() {
+        let mut a: FlowTable<u64, u64> = FlowTable::new();
+        for i in 0..200u64 {
+            a.insert(i, i);
+        }
+        let mut b = a.clone();
+        let keys: Vec<u64> = (0..300u64).map(|i| i * 7 % 250).collect();
+        a.get_mut_batch(&keys, |_, v| {
+            if let Some(v) = v {
+                *v += 1000;
+            }
+        });
+        for k in &keys {
+            if let Some(v) = b.get_mut(k) {
+                *v += 1000;
+            }
+        }
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        a.for_each(|&k, &v| sa.push((k, v)));
+        b.for_each(|&k, &v| sb.push((k, v)));
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+    }
+
+    /// `entry_batch` ≡ the singleton contains/get_mut/insert sequence,
+    /// including while the inserts it performs trigger and then drive
+    /// an incremental resize mid-batch.
+    #[test]
+    fn entry_batch_upserts_like_singletons_through_a_resize() {
+        let mut a: FlowTable<u64, u64> = FlowTable::new();
+        let mut b: FlowTable<u64, u64> = FlowTable::new();
+        // Enough fresh keys to force resizes inside one entry_batch
+        // call, with repeats interleaved so hits and misses mix.
+        let keys: Vec<u64> = (0..600u64).map(|i| i % 400).collect();
+        let mut seen_a: Vec<(usize, bool)> = Vec::new();
+        a.entry_batch(
+            &keys,
+            |i| i as u64,
+            |i, v, present| {
+                *v += 1;
+                seen_a.push((i, present));
+            },
+        );
+        let mut seen_b: Vec<(usize, bool)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            if b.contains_key(k) {
+                let v = b.get_mut(k).unwrap();
+                *v += 1;
+                seen_b.push((i, true));
+            } else {
+                b.insert(*k, i as u64);
+                let v = b.get_mut(k).unwrap();
+                *v += 1;
+                seen_b.push((i, false));
+            }
+        }
+        assert_eq!(seen_a, seen_b, "hit/miss pattern diverged");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.resizes(), b.resizes(), "resize schedule diverged");
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        a.for_each(|&k, &v| sa.push((k, v)));
+        b.for_each(|&k, &v| sb.push((k, v)));
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+    }
+
+    /// Batch probes during an in-flight migration must hit both cores.
+    #[test]
+    fn probe_batch_spans_both_cores_mid_migration() {
+        let mut t: FlowTable<u64, u64> = FlowTable::new();
+        let mut n = 0u64;
+        while !t.is_migrating() {
+            t.insert(n, n * 2);
+            n += 1;
+        }
+        let keys: Vec<u64> = (0..n + 10).collect();
+        let mut hits = 0usize;
+        t.probe_batch(&keys, |i, v| {
+            let want = if (i as u64) < n {
+                Some(2 * i as u64)
+            } else {
+                None
+            };
+            assert_eq!(v.copied(), want, "key {i} while migrating");
+            hits += usize::from(v.is_some());
+        });
+        assert_eq!(hits, n as usize);
+    }
+
+    /// The `KeyIndex` defaults and the `FlowTable` overrides agree —
+    /// the property that keeps `StdIndex` a valid oracle for batches.
+    #[test]
+    fn keyindex_batch_defaults_agree_with_flow_overrides() {
+        let mut flow: FlowTable<u64, u64> = KeyIndex::with_capacity(0);
+        let mut std: StdKeyIndex<u64, u64> = KeyIndex::with_capacity(0);
+        let keys: Vec<u64> = (0..300u64).map(|i| i * i % 157).collect();
+        let mut out_f: Vec<(usize, bool)> = Vec::new();
+        let mut out_s: Vec<(usize, bool)> = Vec::new();
+        KeyIndex::entry_batch(
+            &mut flow,
+            &keys,
+            |i| i as u64,
+            |i, v, p| {
+                *v ^= 1;
+                out_f.push((i, p));
+            },
+        );
+        KeyIndex::entry_batch(
+            &mut std,
+            &keys,
+            |i| i as u64,
+            |i, v, p| {
+                *v ^= 1;
+                out_s.push((i, p));
+            },
+        );
+        assert_eq!(out_f, out_s);
+        let mut probe_f: Vec<Option<u64>> = Vec::new();
+        let mut probe_s: Vec<Option<u64>> = Vec::new();
+        KeyIndex::probe_batch(&flow, &keys, |_, v| probe_f.push(v.copied()));
+        KeyIndex::probe_batch(&std, &keys, |_, v| probe_s.push(v.copied()));
+        assert_eq!(probe_f, probe_s);
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub use dedup::DedupQMax;
 pub use entry::{Entry, Minimal, OrderedF64};
 pub use error::QMaxError;
 pub use exp_decay::ExpDecayQMax;
-pub use flow_table::{FixedState, FlowIndex, FlowTable, IndexFamily, KeyIndex, StdIndex};
+pub use flow_table::{
+    FixedState, FlowIndex, FlowTable, IndexFamily, KeyIndex, StdIndex, PROBE_PIPELINE,
+};
 pub use heap::HeapQMax;
 pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};
 pub use skiplist::{KeyedSkipListQMax, SkipListQMax};

@@ -198,6 +198,33 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>, F: IndexFamily>
         }
     }
 
+    /// Routes score bumps through the bounded-error
+    /// [`crate::fast_logaddexp`] (error ≤
+    /// [`crate::FAST_LOGADDEXP_ABS_ERR`] per merge) instead of the
+    /// exact `exp`/`ln_1p` pair.
+    pub fn with_fast_merge(mut self, fast: bool) -> Self {
+        self.score = self.score.with_fast_merge(fast);
+        self
+    }
+
+    /// Processes a span of requests, returning the number of hits.
+    /// Observationally identical to calling [`Cache::request`] per key
+    /// — the hit path is too stateful to reorder — but each
+    /// [`qmax_core::PROBE_PIPELINE`]-key stage issues the registry
+    /// prefetches for the whole stage up front, so the per-request
+    /// probe miss overlaps the previous request's bookkeeping instead
+    /// of serializing behind it.
+    pub fn request_batch(&mut self, keys: &[K]) -> usize {
+        let mut hits = 0;
+        for chunk in keys.chunks(qmax_core::PROBE_PIPELINE) {
+            self.map.prefetch_keys(chunk);
+            for key in chunk {
+                hits += usize::from(self.request(key.clone()));
+            }
+        }
+        hits
+    }
+
     /// Execution counters.
     pub fn stats(&self) -> DeamortizedLrfuStats {
         self.stats
@@ -257,13 +284,18 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<u64, OrderedF64>, F: IndexFamily>
                     } else {
                         let take = (self.snap_len - next).min(rem as usize);
                         scratch.clear();
-                        for i in next..next + take {
-                            let key = &self.keys[i];
-                            let info = self.map.get_mut(key).expect("registry in sync");
-                            info.snap_w = info.w;
-                            info.snap_round = self.round;
-                            scratch.push((i as u64, OrderedF64(info.w)));
-                        }
+                        // Batched registry probes: the refresh feed is
+                        // the pipeline's only index-bound loop, so run
+                        // it through the prefetch-pipelined
+                        // `get_mut_batch` (slot order preserved).
+                        let round = self.round;
+                        self.map
+                            .get_mut_batch(&self.keys[next..next + take], |j, info| {
+                                let info = info.expect("registry in sync");
+                                info.snap_w = info.w;
+                                info.snap_round = round;
+                                scratch.push(((next + j) as u64, OrderedF64(info.w)));
+                            });
                         self.snap.insert_batch(&scratch);
                         self.phase = Phase::Refresh { next: next + take };
                         rem -= take as i64;
@@ -448,6 +480,24 @@ mod tests {
         }
         assert_eq!(aos.len(), soa.len());
         assert_eq!(aos.stats().iterations, soa.stats().iterations);
+    }
+
+    #[test]
+    fn request_batch_matches_singletons() {
+        let trace = arc_like(40_000, 4_000, 23);
+        let mut one = DeamortizedLrfu::new(300, 0.5, 0.75);
+        let mut batched = DeamortizedLrfu::new(300, 0.5, 0.75);
+        let mut h1 = 0usize;
+        for &k in &trace {
+            h1 += usize::from(one.request(k));
+        }
+        let mut h2 = 0usize;
+        for span in trace.chunks(513) {
+            h2 += batched.request_batch(span);
+        }
+        assert_eq!(h1, h2, "prefetch warm-up must not change behaviour");
+        assert_eq!(one.len(), batched.len());
+        assert_eq!(one.stats().iterations, batched.stats().iterations);
     }
 
     #[test]

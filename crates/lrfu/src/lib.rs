@@ -37,7 +37,7 @@ pub use deamortized::{DeamortizedLrfu, DeamortizedLrfuStats, SoaDeamortizedLrfu}
 pub use heap_lrfu::HeapLrfu;
 pub use qmax_lrfu::{QMaxLrfu, SoaQMaxLrfu};
 pub use scan_lrfu::ScanLrfu;
-pub use score::{logaddexp, DecayScore};
+pub use score::{fast_logaddexp, logaddexp, DecayScore, FAST_LOGADDEXP_ABS_ERR};
 
 /// The cache-policy interface shared by all LRFU implementations.
 pub trait Cache<K> {

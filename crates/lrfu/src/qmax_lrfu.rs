@@ -12,13 +12,18 @@ use std::hash::Hash;
 
 /// LRFU via exponential-decay q-MAX with duplicate merging.
 ///
-/// Requests append `(key, λt)` entries to a `⌈q(1+γ)⌉`-slot buffer —
-/// *including* requests for keys already cached, which simply gain an
-/// extra entry (an exact log-sum-exp contribution). When the buffer
-/// fills, a maintenance pass merges each key's entries into one
-/// log-score, finds the q-th largest score with a linear-time
-/// selection, and evicts everything below it. The pass costs `O(q)` and
-/// runs at most once per `⌈qγ⌉` requests, so requests cost `O(1 + 1/γ)`
+/// Requests append `(key, λt)` entries to a log buffer — *including*
+/// requests for keys already cached, which simply gain an extra entry
+/// (an exact log-sum-exp contribution). When the log plus the carried
+/// survivor set reaches `⌈q(1+γ)⌉`, a maintenance pass folds each new
+/// entry into its key's accumulator in a stable score arena, finds the
+/// q-th largest score with a linear-time selection, and evicts
+/// everything below it. Survivors stay in the arena rather than being
+/// reinserted into the log, so a pass probes the cache index once per
+/// *request* of the period, not once per resident key — the same
+/// maintenance schedule as the paper's construction but with roughly
+/// half the probe traffic at γ=1. The pass costs `O(q)` and runs at
+/// most once per `⌈qγ⌉` requests, so requests cost `O(1 + 1/γ)`
 /// amortized — versus `O(log q)` for the heap and `O(q)` for the scan
 /// baseline.
 ///
@@ -48,35 +53,70 @@ pub struct QMaxLrfu<
     q: usize,
     cap: usize,
     score: DecayScore,
-    /// Request log: one entry per request since the last merge, plus
-    /// one merged entry per surviving key. Hosted in a q-MAX backend
-    /// sized to never self-compact (maintenance runs first).
+    /// Request log: one entry per request since the last maintenance
+    /// pass. Hosted in a q-MAX backend sized to never self-compact
+    /// (maintenance runs first). Unlike earlier revisions, survivors
+    /// are **not** reinserted here — their merged scores persist in
+    /// [`Self::arena`], so each pass touches each request exactly once.
     buf: B,
-    /// Cached keys (the cache content). The value is per-pass merge
-    /// bookkeeping for [`Self::maintain`], which folds the log through
-    /// this index in one probe per entry instead of building a second
-    /// hash table: `epoch` stamps whether the key was already seen this
-    /// pass, `slot` points at its accumulator in the survivors scratch.
+    /// Cached keys (the cache content). The value points at the key's
+    /// score accumulator in [`Self::arena`] (or is the fresh-insert
+    /// sentinel until the first maintenance pass touches the key).
     cached: F::Index<K, MergeSlot>,
-    /// Maintenance-pass counter for [`MergeSlot::epoch`] (starts at 1;
-    /// 0 is the fresh-insert sentinel).
-    epoch: u32,
+    /// Stable score arena, stored as parallel key/score columns so
+    /// the maintenance fold and the selection scan walk dense `f64`
+    /// memory: one slot per resident key, holding the key's running
+    /// log-sum-exp fold. A slot never moves while the key stays
+    /// resident, which is what lets maintenance fold only the *new*
+    /// log entries — untouched survivors keep their slot and score
+    /// as-is. Slots of evicted keys are recycled through
+    /// [`Self::arena_free`].
+    arena_keys: Vec<K>,
+    /// Score column of the arena (see [`Self::arena_keys`]).
+    arena_vals: Vec<f64>,
+    /// Liveness mask for [`Self::arena`] (freed slots are holes until
+    /// reused).
+    arena_live: Vec<bool>,
+    /// Recycled arena slots, reused in LIFO order.
+    arena_free: Vec<u32>,
+    /// One arena-slot hint per log entry, recorded in request order by
+    /// the probe the request path already pays: hits read the slot off
+    /// the resident [`MergeSlot`], misses allocate the slot on the
+    /// spot (seeded with `-∞`, the exact identity of `logaddexp`).
+    /// Maintenance folds the log straight into `arena[hints[j]]` with
+    /// **zero** additional index probes.
+    hints: Vec<u32>,
+    /// Number of live arena slots (keys carried across the last pass).
+    /// The maintenance trigger is `buf.len() + carried == cap`, which
+    /// is exactly the old "survivors reinserted into the log" schedule.
+    carried: usize,
     /// Persistent scratch buffers so maintenance allocates nothing
     /// steady-state.
     log_scratch: Vec<Entry<K, OrderedF64>>,
-    kept_scratch: Vec<(K, OrderedF64)>,
+    ranked_scratch: Vec<(OrderedF64, u32)>,
     time: u64,
     maintenance_passes: u64,
 }
 
-/// Per-key merge bookkeeping: `epoch` identifies the maintenance pass
-/// that last touched the key, `slot` its accumulator index within that
-/// pass. Both are only meaningful inside one [`QMaxLrfu::maintain`]
-/// call; between passes the values are simply stale.
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-key pointer into the score arena. Every resident key owns a
+/// slot from the moment it is inserted (misses allocate on the spot);
+/// `INVALID` only exists transiently as the pre-allocation value the
+/// batched upsert writes before its visit callback claims a slot.
+#[derive(Debug, Clone, Copy)]
 struct MergeSlot {
-    epoch: u32,
-    slot: u32,
+    arena: u32,
+}
+
+impl MergeSlot {
+    const INVALID: u32 = u32::MAX;
+}
+
+impl Default for MergeSlot {
+    fn default() -> Self {
+        MergeSlot {
+            arena: MergeSlot::INVALID,
+        }
+    }
 }
 
 /// [`QMaxLrfu`] whose request log lives in the structure-of-arrays
@@ -155,12 +195,28 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
             score: DecayScore::new(c),
             buf: proto.fresh(),
             cached: F::Index::with_capacity(cap),
-            epoch: 0,
+            arena_keys: Vec::new(),
+            arena_vals: Vec::new(),
+            arena_live: Vec::new(),
+            arena_free: Vec::new(),
+            hints: Vec::new(),
+            carried: 0,
             log_scratch: Vec::new(),
-            kept_scratch: Vec::new(),
+            ranked_scratch: Vec::new(),
             time: 0,
             maintenance_passes: 0,
         }
+    }
+
+    /// Routes maintenance score merges through the bounded-error
+    /// [`crate::fast_logaddexp`] (error ≤
+    /// [`crate::FAST_LOGADDEXP_ABS_ERR`] per merge) instead of the
+    /// exact `exp`/`ln_1p` pair. Rank decisions are unaffected at
+    /// default tolerance; see the replay property in
+    /// `tests/proptest_score.rs`.
+    pub fn with_fast_merge(mut self, fast: bool) -> Self {
+        self.score = self.score.with_fast_merge(fast);
+        self
     }
 
     /// Maximum number of distinct keys the cache may hold.
@@ -173,90 +229,166 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
         self.maintenance_passes
     }
 
-    /// Merges duplicate entries (log-sum-exp per key) and, if more than
-    /// `q` distinct keys remain, evicts all keys below the q-th largest
-    /// log-score.
-    ///
-    /// The merge runs through the `cached` index itself — one probe per
-    /// log entry — using epoch-stamped accumulator slots, so the pass
-    /// needs no second hash table, no survivor reinsertion (survivors
-    /// are already resident; only evicted keys are touched again), and
-    /// no steady-state allocation. Survivors accumulate in
-    /// first-occurrence log order, which is identical for every index
-    /// family — so eviction decisions cannot depend on index iteration
-    /// order even through value ties.
-    fn maintain(&mut self) {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.epoch = 1; // skip the fresh-insert sentinel on wrap
+    /// Claims a score-arena slot for a freshly-missed `key`, seeded
+    /// with `-∞` — the exact identity of `logaddexp` on both the exact
+    /// and fast paths (see the pinned infinity tests), so the key's
+    /// first log entry folds to exactly its own score.
+    fn alloc_slot(
+        arena_keys: &mut Vec<K>,
+        arena_vals: &mut Vec<f64>,
+        arena_live: &mut Vec<bool>,
+        arena_free: &mut Vec<u32>,
+        key: K,
+    ) -> u32 {
+        match arena_free.pop() {
+            Some(idx) => {
+                arena_keys[idx as usize] = key;
+                arena_vals[idx as usize] = f64::NEG_INFINITY;
+                arena_live[idx as usize] = true;
+                idx
+            }
+            None => {
+                arena_keys.push(key);
+                arena_vals.push(f64::NEG_INFINITY);
+                arena_live.push(true);
+                (arena_keys.len() - 1) as u32
+            }
         }
+    }
+
+    /// Merges the period's log entries into the per-key score arena
+    /// (log-sum-exp per key) and, if more than `q` distinct keys are
+    /// resident, evicts all keys below the q-th largest log-score.
+    ///
+    /// The merge does **zero** index probes: the request path already
+    /// paid one probe per request and recorded each key's arena slot
+    /// in [`Self::hints`], so the fold is a straight scatter into the
+    /// score arena in log order. Keys untouched this period keep their
+    /// slot and score and cost nothing — no reprobe, no reinsertion
+    /// into the log. The fold order per key is carried-score-first,
+    /// then log order, which is exactly the order the old
+    /// survivor-reinsertion scheme produced, so the merged scores are
+    /// bit-identical. Selection ranks `(score, arena slot)` pairs;
+    /// slot numbers are assigned in miss order and recycled in
+    /// eviction order, both of which are identical for every index
+    /// family — so eviction decisions cannot depend on index iteration
+    /// order even through exact score ties.
+    fn maintain(&mut self) {
         let mut log = std::mem::take(&mut self.log_scratch);
         log.clear();
         self.buf.candidates_into(&mut log);
-        let mut survivors: Vec<Entry<K, OrderedF64>> = Vec::with_capacity(log.len());
-        for e in log.drain(..) {
-            let ms = self
-                .cached
-                .get_mut(&e.id)
-                .expect("every logged key is resident until maintenance evicts it");
-            if ms.epoch == self.epoch {
-                let w = &mut survivors[ms.slot as usize].val;
-                *w = OrderedF64(crate::score::logaddexp(w.get(), e.val.get()));
-            } else {
-                ms.epoch = self.epoch;
-                ms.slot = survivors.len() as u32;
-                survivors.push(e);
-            }
+        debug_assert_eq!(log.len(), self.hints.len());
+        let score = self.score;
+        for (e, &h) in log.iter().zip(self.hints.iter()) {
+            debug_assert!(self.arena_keys[h as usize] == e.id, "stale arena hint");
+            let w = &mut self.arena_vals[h as usize];
+            *w = score.merge(*w, e.val.get());
         }
+        self.hints.clear();
+        log.clear();
         self.log_scratch = log;
-        if survivors.len() > self.q {
-            let cut = survivors.len() - self.q;
-            nth_smallest(&mut survivors, cut);
-            for evicted in survivors.drain(..cut) {
-                self.cached.remove(&evicted.id);
+        // Rank live slots as (score, slot) pairs — 12 bytes instead of
+        // shuffling whole key entries through the selection.
+        let mut ranked = std::mem::take(&mut self.ranked_scratch);
+        ranked.clear();
+        ranked.extend(
+            self.arena_vals
+                .iter()
+                .zip(self.arena_live.iter())
+                .enumerate()
+                .filter(|(_, (_, &live))| live)
+                .map(|(i, (&w, _))| (OrderedF64(w), i as u32)),
+        );
+        if ranked.len() > self.q {
+            let cut = ranked.len() - self.q;
+            nth_smallest(&mut ranked, cut);
+            for &(_, idx) in &ranked[..cut] {
+                self.cached.remove(&self.arena_keys[idx as usize]);
+                self.arena_live[idx as usize] = false;
+                self.arena_free.push(idx);
             }
+            self.carried = self.q;
+        } else {
+            self.carried = ranked.len();
         }
+        self.ranked_scratch = ranked;
         self.buf.reset();
-        let mut kept = std::mem::take(&mut self.kept_scratch);
-        kept.clear();
-        kept.extend(survivors.into_iter().map(|e| (e.id, e.val)));
-        self.buf.insert_batch(&kept);
-        self.kept_scratch = kept;
         self.maintenance_passes += 1;
     }
 
-    /// Registers a request for `key` in the cache index and returns
-    /// `(hit, log entry to append)`. Hits are read-only probes; only
-    /// misses write to the index.
+    /// Registers a request for `key` in the cache index, records the
+    /// key's arena-slot hint, and returns `(hit, log entry to
+    /// append)`. Hits are read-only probes; only misses write to the
+    /// index (and claim an arena slot).
     fn account(&mut self, key: K) -> (bool, (K, OrderedF64)) {
         self.time += 1;
         let w = OrderedF64(self.score.access(self.time));
-        let hit = self.cached.contains_key(&key);
-        if !hit {
-            self.cached.insert(key.clone(), MergeSlot::default());
-        }
+        let (hit, hint) = match self.cached.get_mut(&key) {
+            Some(ms) => (true, ms.arena),
+            None => {
+                let idx = Self::alloc_slot(
+                    &mut self.arena_keys,
+                    &mut self.arena_vals,
+                    &mut self.arena_live,
+                    &mut self.arena_free,
+                    key.clone(),
+                );
+                self.cached.insert(key.clone(), MergeSlot { arena: idx });
+                (false, idx)
+            }
+        };
+        self.hints.push(hint);
         (hit, (key, w))
     }
 
     /// Processes a span of requests, returning the number of hits.
     /// Semantically identical to calling [`Cache::request`] per key,
     /// but appends each between-maintenance run of entries to the log
-    /// in one backend batch call.
+    /// in one backend batch call, and registers the whole span in the
+    /// cache index through one batched-upsert pipeline
+    /// ([`KeyIndex::entry_batch`]) — the index probes for up to
+    /// [`qmax_core::PROBE_PIPELINE`] requests overlap instead of each
+    /// paying a dependent cache-miss chain. A duplicate key inside one
+    /// span hits from its second occurrence on, exactly as the
+    /// singleton loop behaves.
     pub fn request_batch(&mut self, keys: &[K]) -> usize {
         let mut hits = 0;
         let mut scratch: Vec<(K, OrderedF64)> = Vec::new();
         let mut i = 0;
         while i < keys.len() {
-            let take = (self.cap - self.buf.len()).min(keys.len() - i);
+            let take = (self.cap - self.carried - self.buf.len()).min(keys.len() - i);
+            let span = &keys[i..i + take];
             scratch.clear();
-            for key in &keys[i..i + take] {
-                let (hit, entry) = self.account(key.clone());
-                hits += usize::from(hit);
-                scratch.push(entry);
-            }
+            let t0 = self.time;
+            let score = self.score;
+            let arena_keys = &mut self.arena_keys;
+            let arena_vals = &mut self.arena_vals;
+            let arena_live = &mut self.arena_live;
+            let arena_free = &mut self.arena_free;
+            let hints = &mut self.hints;
+            self.cached.entry_batch(
+                span,
+                |_| MergeSlot::default(),
+                |j, slot, present| {
+                    hits += usize::from(present);
+                    if !present {
+                        slot.arena = Self::alloc_slot(
+                            arena_keys,
+                            arena_vals,
+                            arena_live,
+                            arena_free,
+                            span[j].clone(),
+                        );
+                    }
+                    hints.push(slot.arena);
+                    let w = OrderedF64(score.access(t0 + j as u64 + 1));
+                    scratch.push((span[j].clone(), w));
+                },
+            );
+            self.time = t0 + take as u64;
             self.buf.insert_batch(&scratch);
             i += take;
-            if self.buf.len() == self.cap {
+            if self.buf.len() + self.carried == self.cap {
                 self.maintain();
             }
         }
@@ -270,7 +402,7 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> Ca
     fn request(&mut self, key: K) -> bool {
         let (hit, (key, w)) = self.account(key);
         self.buf.insert(key, w);
-        if self.buf.len() == self.cap {
+        if self.buf.len() + self.carried == self.cap {
             self.maintain();
         }
         hit
@@ -287,6 +419,12 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> Ca
     fn reset(&mut self) {
         self.buf.reset();
         self.cached.clear();
+        self.arena_keys.clear();
+        self.arena_vals.clear();
+        self.arena_live.clear();
+        self.arena_free.clear();
+        self.hints.clear();
+        self.carried = 0;
         self.time = 0;
         self.maintenance_passes = 0;
     }

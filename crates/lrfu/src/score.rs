@@ -1,7 +1,25 @@
 //! Log-domain exponential-decay score arithmetic.
+//!
+//! Two merge paths are provided. [`logaddexp`] is the exact form:
+//! `max + ln(1 + e^(min−max))` with libm's `exp`/`ln_1p` — the
+//! reference every replay oracle uses. [`fast_logaddexp`] replaces the
+//! `exp().ln_1p()` pair with a table-driven cubic-Hermite evaluation of
+//! the softplus `ln(1 + e^x)` over the bounded argument range the
+//! factored form guarantees (`x = min − max ≤ 0`), with the absolute
+//! error bound [`FAST_LOGADDEXP_ABS_ERR`] (derivation on the constant;
+//! proven against the exact form by `tests/proptest_score.rs`).
+//! [`DecayScore`] selects between them per instance, so callers trade
+//! a bounded score perturbation for roughly halving the per-request
+//! merge cost.
+
+use std::sync::OnceLock;
 
 /// `ln(e^a + e^b)` computed without overflow: the larger argument is
 /// factored out, leaving `max + ln(1 + e^(min−max))`.
+///
+/// Edge cases: `−∞` acts as the identity (`ln(e^a + 0) = a`), and
+/// `+∞` dominates — including `logaddexp(+∞, +∞) = +∞`, which the
+/// factored form alone would turn into `∞ − ∞ = NaN`.
 #[inline]
 pub fn logaddexp(a: f64, b: f64) -> f64 {
     if a == f64::NEG_INFINITY {
@@ -11,7 +29,103 @@ pub fn logaddexp(a: f64, b: f64) -> f64 {
         return a;
     }
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::INFINITY {
+        // ln(e^∞ + e^lo) = ∞ exactly; evaluating the factored form
+        // with lo == hi == ∞ would compute (∞ − ∞).exp() = NaN.
+        return hi;
+    }
     hi + (lo - hi).exp().ln_1p()
+}
+
+/// Absolute error bound of [`fast_logaddexp`] against [`logaddexp`]:
+/// `|fast − exact| ≤ 2·10⁻⁸` for all argument pairs.
+///
+/// Derivation. With `x = min − max ≤ 0` the fast path returns
+/// `max + p(x)` where `p` approximates the softplus `f(x) = ln(1+e^x)`:
+///
+/// * `x < −20` (cutoff): returns `max` outright; the discarded term is
+///   `f(x) ≤ f(−20) = ln(1 + e⁻²⁰) < 2.07·10⁻⁹`.
+/// * `x ∈ [−20, 0]`: piecewise cubic Hermite interpolation of `f` on
+///   256 uniform segments of width `h = 20/256 = 0.078125`. The
+///   standard two-point Hermite bound gives
+///   `|p − f| ≤ (h⁴/384)·max|f⁗|`; with `s = σ(x) ∈ (0, ½]`,
+///   `f⁗ = s(1−s)(1−6s+6s²)` and `max|f⁗| = ⅛` (at `s = ½`), so the
+///   interpolation error is `≤ 0.078125⁴/384/8 < 1.22·10⁻⁸`.
+///
+/// Both branches sit well under `2·10⁻⁸`; the slack absorbs the few
+/// ulps of evaluation rounding (all intermediate quantities are `O(1)`).
+pub const FAST_LOGADDEXP_ABS_ERR: f64 = 2e-8;
+
+/// Cutoff below which the fast path returns `max` outright (see
+/// [`FAST_LOGADDEXP_ABS_ERR`]).
+const SOFTPLUS_CUT: f64 = -20.0;
+
+/// Segment count of the softplus interpolation table over
+/// `[SOFTPLUS_CUT, 0]`.
+const SOFTPLUS_SEGS: usize = 256;
+
+/// Segment width `20/256` — exactly representable (`5/64`), so knot
+/// positions carry no placement rounding.
+const SOFTPLUS_H: f64 = 0.078125;
+
+/// Per-segment cubic coefficients `[f0, d0, c2, c3]` for
+/// `p(u) = f0 + d0·u + c2·u² + c3·u³`, `u = x − x0` within the segment.
+fn softplus_table() -> &'static [[f64; 4]; SOFTPLUS_SEGS] {
+    static TABLE: OnceLock<Box<[[f64; 4]; SOFTPLUS_SEGS]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let softplus = |x: f64| x.exp().ln_1p();
+        let sigmoid = |x: f64| {
+            let e = x.exp();
+            e / (1.0 + e)
+        };
+        let mut t = Box::new([[0.0f64; 4]; SOFTPLUS_SEGS]);
+        for (i, seg) in t.iter_mut().enumerate() {
+            let x0 = SOFTPLUS_CUT + i as f64 * SOFTPLUS_H;
+            let x1 = x0 + SOFTPLUS_H;
+            let (f0, f1) = (softplus(x0), softplus(x1));
+            let (d0, d1) = (sigmoid(x0), sigmoid(x1));
+            let h = SOFTPLUS_H;
+            let slope = (f1 - f0) / h;
+            let c2 = (3.0 * slope - 2.0 * d0 - d1) / h;
+            let c3 = (d0 + d1 - 2.0 * slope) / (h * h);
+            *seg = [f0, d0, c2, c3];
+        }
+        t
+    })
+}
+
+/// Table-driven `ln(1 + e^x)` for `x ≤ 0`; error per
+/// [`FAST_LOGADDEXP_ABS_ERR`]. Callers guarantee `x ≤ 0` and finite.
+#[inline]
+fn softplus_fast(x: f64) -> f64 {
+    debug_assert!(x <= 0.0);
+    if x < SOFTPLUS_CUT {
+        return 0.0;
+    }
+    let t = (x - SOFTPLUS_CUT) * (SOFTPLUS_SEGS as f64 / -SOFTPLUS_CUT);
+    let i = (t as usize).min(SOFTPLUS_SEGS - 1);
+    let u = x - (SOFTPLUS_CUT + i as f64 * SOFTPLUS_H);
+    let [f0, d0, c2, c3] = softplus_table()[i];
+    f0 + u * (d0 + u * (c2 + u * c3))
+}
+
+/// Bounded-error `ln(e^a + e^b)`: identical edge-case handling to
+/// [`logaddexp`], with the softplus term evaluated by the interpolation
+/// table instead of `exp`/`ln_1p`. `|fast − exact|` never exceeds
+/// [`FAST_LOGADDEXP_ABS_ERR`].
+#[inline]
+pub fn fast_logaddexp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::INFINITY {
+        return hi;
+    }
+    hi + softplus_fast(lo - hi)
 }
 
 /// Exponential-decay score bookkeeping shared by the LRFU variants.
@@ -21,20 +135,55 @@ pub fn logaddexp(a: f64, b: f64) -> f64 {
 /// `w = ln Σ exp(λ·iⱼ)`; its LRFU score at time `t` is `exp(w − λt)`.
 /// Ordering by `w` therefore orders by score, and a fresh access at
 /// time `t` folds in as `w ← logaddexp(w, λt)`.
+///
+/// The `fast` knob routes [`bump`](DecayScore::bump) through
+/// [`fast_logaddexp`]: each merge then perturbs `w` by at most
+/// [`FAST_LOGADDEXP_ABS_ERR`] — far below the score gaps any realistic
+/// request stream produces, so rank decisions are unchanged at default
+/// tolerance (pinned by the replay property in
+/// `tests/proptest_score.rs`).
 #[derive(Debug, Clone, Copy)]
 pub struct DecayScore {
     lambda: f64,
+    fast: bool,
 }
 
 impl DecayScore {
-    /// Creates score bookkeeping for decay parameter `c`.
+    /// Creates score bookkeeping for decay parameter `c`, using the
+    /// exact merge.
     ///
     /// # Panics
     ///
     /// Panics if `c` is not in `(0, 1)`.
     pub fn new(c: f64) -> Self {
         assert!(c > 0.0 && c < 1.0, "decay parameter must be in (0, 1)");
-        DecayScore { lambda: -c.ln() }
+        DecayScore {
+            lambda: -c.ln(),
+            fast: false,
+        }
+    }
+
+    /// Creates score bookkeeping for decay parameter `c` with the
+    /// bounded-error fast merge enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in `(0, 1)`.
+    pub fn new_fast(c: f64) -> Self {
+        DecayScore::new(c).with_fast_merge(true)
+    }
+
+    /// Selects the merge path: `true` routes every
+    /// [`bump`](DecayScore::bump) through [`fast_logaddexp`].
+    pub fn with_fast_merge(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self
+    }
+
+    /// Whether bumps use the bounded-error fast merge.
+    #[inline]
+    pub fn is_fast(&self) -> bool {
+        self.fast
     }
 
     /// The log-contribution of a single access at time `t`.
@@ -46,7 +195,17 @@ impl DecayScore {
     /// Folds an access at time `t` into an existing log-score.
     #[inline]
     pub fn bump(&self, w: f64, t: u64) -> f64 {
-        logaddexp(w, self.access(t))
+        self.merge(w, self.access(t))
+    }
+
+    /// Merges two log-scores through the selected path.
+    #[inline]
+    pub fn merge(&self, a: f64, b: f64) -> f64 {
+        if self.fast {
+            fast_logaddexp(a, b)
+        } else {
+            logaddexp(a, b)
+        }
     }
 
     /// The decayed absolute score at time `t` of a stored log-score
@@ -79,6 +238,64 @@ mod tests {
         assert_eq!(logaddexp(5.0, f64::NEG_INFINITY), 5.0);
     }
 
+    /// The `+∞` edges from the issue: the factored form used to compute
+    /// `(∞ − ∞).exp()` = NaN on equal infinite arguments.
+    #[test]
+    fn logaddexp_infinity_edges() {
+        for f in [logaddexp as fn(f64, f64) -> f64, fast_logaddexp] {
+            assert_eq!(f(f64::INFINITY, f64::INFINITY), f64::INFINITY);
+            assert_eq!(f(f64::INFINITY, 5.0), f64::INFINITY);
+            assert_eq!(f(5.0, f64::INFINITY), f64::INFINITY);
+            assert_eq!(f(f64::INFINITY, f64::NEG_INFINITY), f64::INFINITY);
+            assert_eq!(f(f64::NEG_INFINITY, f64::INFINITY), f64::INFINITY);
+            assert_eq!(f(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
+        }
+    }
+
+    /// Equal finite arguments are the other half of the `a == b` edge:
+    /// the answer is exactly `a + ln 2`, not `a`.
+    #[test]
+    fn logaddexp_equal_args_add_ln2() {
+        for a in [-1e6, -37.0, -1.0, 0.0, 1.0, 42.5, 1e6] {
+            assert_eq!(logaddexp(a, a), a + std::f64::consts::LN_2, "exact {a}");
+            assert!(
+                (fast_logaddexp(a, a) - (a + std::f64::consts::LN_2)).abs()
+                    <= FAST_LOGADDEXP_ABS_ERR,
+                "fast {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_merge_meets_documented_bound_on_a_grid() {
+        // Dense sweep of the softplus argument, crossing every table
+        // segment several times plus the cutoff; the proptest in
+        // tests/proptest_score.rs covers the randomized + subnormal
+        // cases, this pins a deterministic grid into the unit suite.
+        let mut worst = 0.0f64;
+        for i in 0..200_000 {
+            let x = -25.0 * (i as f64) / 200_000.0;
+            let exact = logaddexp(0.0, x);
+            let fast = fast_logaddexp(0.0, x);
+            worst = worst.max((fast - exact).abs());
+        }
+        assert!(
+            worst <= FAST_LOGADDEXP_ABS_ERR,
+            "worst grid error {worst:e} exceeds bound"
+        );
+    }
+
+    #[test]
+    fn fast_merge_is_symmetric_and_ordered() {
+        let ds = DecayScore::new_fast(0.5);
+        assert!(ds.is_fast());
+        for (a, b) in [(0.0, -3.0), (10.0, 9.5), (-7.0, -7.0), (5.0, -40.0)] {
+            assert_eq!(fast_logaddexp(a, b), fast_logaddexp(b, a));
+            // The merge dominates both inputs.
+            assert!(fast_logaddexp(a, b) >= a.max(b));
+        }
+    }
+
     #[test]
     fn scores_match_naive_lrfu() {
         // Naive: score at time t = sum over accesses of c^(t-i).
@@ -92,6 +309,21 @@ mod tests {
             w = ds.bump(w, i);
         }
         assert!((ds.decayed(w, t) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_scores_match_naive_lrfu_within_bound() {
+        let c = 0.75f64;
+        let ds = DecayScore::new_fast(c);
+        let accesses = [3u64, 7, 8, 15];
+        let mut w = f64::NEG_INFINITY;
+        let mut exact = f64::NEG_INFINITY;
+        for &i in &accesses {
+            w = ds.bump(w, i);
+            exact = logaddexp(exact, ds.access(i));
+        }
+        // Per-merge errors accumulate at most linearly.
+        assert!((w - exact).abs() <= accesses.len() as f64 * FAST_LOGADDEXP_ABS_ERR);
     }
 
     #[test]

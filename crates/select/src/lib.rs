@@ -47,7 +47,7 @@ mod quickselect;
 mod soa;
 mod topk;
 
-pub use kernels::{Kernel, KernelKind, ProbeKernel, RunPred, GROUP_WIDTH};
+pub use kernels::{prefetch_read, Kernel, KernelKind, ProbeKernel, RunPred, GROUP_WIDTH};
 pub use machine::{
     Direction, MachineStatus, NthElementMachine, PartitionMachine, WORK_BOUND_FACTOR,
 };

@@ -1,0 +1,158 @@
+//! Differential battery for the bounded-error fast `logaddexp` path
+//! ([`qmax_lrfu::fast_logaddexp`]) against the exact log-domain merge:
+//!
+//! * the documented absolute error bound [`FAST_LOGADDEXP_ABS_ERR`]
+//!   must hold over the full argument range — random finite pairs,
+//!   pairs whose difference is tiny (down to subnormal, where the
+//!   softplus argument sits in the last table segment next to 0), and
+//!   pairs straddling the exact-`hi` cutoff at `lo - hi < -20`;
+//! * the infinity edge cases fixed in this PR must agree between the
+//!   exact and fast paths (`logaddexp(+∞, +∞)` is `+∞`, not NaN);
+//! * an **LRFU replay** property: a q-MAX LRFU cache scored with the
+//!   fast merge must produce the *identical hit/miss sequence* as the
+//!   exact cache on Zipf-skewed traces — the 2e-8 score perturbation
+//!   must never reorder the top-q cut on realistic workloads, which is
+//!   what licenses shipping the fast path as a benchmark default.
+//!
+//! The in-tree proptest shim does not persist shrunk failures; fixed
+//! boundary cases live in the `pinned_*` tests below (DESIGN.md §7).
+
+use proptest::prelude::*;
+use qmax_lrfu::{fast_logaddexp, logaddexp, Cache, QMaxLrfu, FAST_LOGADDEXP_ABS_ERR};
+use qmax_traces::zipf::ZipfSampler;
+
+/// Asserts the documented bound at one pair (both argument orders).
+fn assert_within_bound(a: f64, b: f64) {
+    let exact = logaddexp(a, b);
+    for (x, y) in [(a, b), (b, a)] {
+        let fast = fast_logaddexp(x, y);
+        assert!(
+            (fast - exact).abs() <= FAST_LOGADDEXP_ABS_ERR,
+            "fast_logaddexp({x}, {y}) = {fast}, exact {exact}, \
+             err {} > {FAST_LOGADDEXP_ABS_ERR}",
+            (fast - exact).abs()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random finite pairs across the whole useful magnitude range:
+    /// |fast − exact| ≤ FAST_LOGADDEXP_ABS_ERR, in both argument orders.
+    #[test]
+    fn fast_logaddexp_meets_bound_on_random_pairs(
+        a in -1e9f64..1e9,
+        b in -1e9f64..1e9,
+    ) {
+        assert_within_bound(a, b);
+    }
+
+    /// Pairs with a controlled difference `b = a − 2^e`, sweeping `e`
+    /// from far below the −20 cutoff down past the subnormal floor
+    /// (where `2^e` underflows to 0 and the args become exactly equal).
+    /// This walks the softplus argument through every regime: cutoff
+    /// tail, every table segment, and the equal-args `+ln 2` corner.
+    #[test]
+    fn fast_logaddexp_meets_bound_on_tiny_and_cutoff_differences(
+        a in -1e6f64..1e6,
+        e in -1080i32..8,
+    ) {
+        let delta = 2.0f64.powi(e);
+        assert_within_bound(a, a - delta);
+        assert_within_bound(a, a + delta);
+    }
+
+    /// The LRFU score-merge recurrence under the fast path stays within
+    /// k·bound of the exact recurrence after k merges (errors add, they
+    /// do not compound — both paths are monotone in `w`).
+    #[test]
+    fn fast_merge_chain_error_grows_at_most_linearly(
+        c in 0.3f64..0.999,
+        times in prop::collection::vec(0u64..10_000, 1..64),
+    ) {
+        let exact_ds = qmax_lrfu::DecayScore::new(c);
+        let fast_ds = qmax_lrfu::DecayScore::new_fast(c);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut we = exact_ds.access(sorted[0]);
+        let mut wf = we;
+        for &t in &sorted[1..] {
+            we = exact_ds.bump(we, t);
+            wf = fast_ds.bump(wf, t);
+        }
+        let tol = sorted.len() as f64 * FAST_LOGADDEXP_ABS_ERR;
+        prop_assert!(
+            (we - wf).abs() <= tol,
+            "after {} merges: exact {we}, fast {wf}, tol {tol}",
+            sorted.len()
+        );
+    }
+
+    /// Replay property: q-MAX LRFU with the fast merge produces the
+    /// identical hit/miss sequence and final occupancy as the exact
+    /// cache on Zipf-skewed traces. The generation stream is fully
+    /// deterministic (in-tree shim), so this is a fixed battery of
+    /// trace shapes, not a flake source.
+    #[test]
+    fn lrfu_replay_agrees_exact_vs_fast(
+        seed in any::<u64>(),
+        q in 32usize..128,
+        theta in 0.8f64..1.2,
+        c in 0.5f64..0.99,
+    ) {
+        let mut zipf = ZipfSampler::new(2_000, theta, seed);
+        let trace: Vec<u64> = (0..4_000).map(|_| zipf.sample() as u64).collect();
+        let mut exact = QMaxLrfu::new(q, 0.5, c);
+        let mut fast = QMaxLrfu::new(q, 0.5, c).with_fast_merge(true);
+        for (i, &k) in trace.iter().enumerate() {
+            let he = exact.request(k);
+            let hf = fast.request(k);
+            prop_assert_eq!(he, hf, "hit sequence diverged at request {}", i);
+        }
+        prop_assert_eq!(exact.len(), fast.len());
+        // Top-q agreement, observed through behaviour: a second pass
+        // over the hottest keys must hit/miss identically too.
+        for k in 0..(q as u64) {
+            prop_assert_eq!(exact.request(k), fast.request(k), "second-pass diverged");
+        }
+    }
+}
+
+/// Pinned boundary cases for the softplus table: the exact cutoff
+/// `lo − hi = −20` (last interpolated point vs first truncated point),
+/// the segment joints around it, and the x→0⁻ end of the table where
+/// the function value approaches ln 2.
+#[test]
+fn pinned_softplus_cutoff_and_segment_edges() {
+    for d in [
+        19.999, 20.0, 20.001, 25.0, 700.0, // cutoff straddle
+        0.078125, 0.15625, // exact segment joints (h = 20/256)
+        1e-300, 4.9e-324, 0.0, // tiny and subnormal differences
+    ] {
+        assert_within_bound(0.0, -d);
+        assert_within_bound(1e9, 1e9 - d);
+        assert_within_bound(-1e9, -1e9 - d);
+    }
+}
+
+/// Pinned infinity edges: the satellite fix makes `logaddexp(+∞, +∞)`
+/// return `+∞` (the factored form used to produce `∞ − ∞ = NaN`), and
+/// the fast path must mirror every edge exactly.
+#[test]
+fn pinned_infinity_edges_agree() {
+    let inf = f64::INFINITY;
+    for f in [logaddexp as fn(f64, f64) -> f64, fast_logaddexp] {
+        assert_eq!(f(inf, inf), inf);
+        assert_eq!(f(inf, 3.0), inf);
+        assert_eq!(f(3.0, inf), inf);
+        assert_eq!(f(-inf, 3.0), 3.0);
+        assert_eq!(f(3.0, -inf), 3.0);
+        assert_eq!(f(-inf, -inf), -inf);
+    }
+    // Equal finite args are NOT `hi` — they are `hi + ln 2`.
+    assert!((logaddexp(5.0, 5.0) - (5.0 + std::f64::consts::LN_2)).abs() < 1e-15);
+    assert!(
+        (fast_logaddexp(5.0, 5.0) - (5.0 + std::f64::consts::LN_2)).abs() <= FAST_LOGADDEXP_ABS_ERR
+    );
+}
