@@ -227,10 +227,42 @@ impl<I: Clone, V: Ord + Clone> QMax<I, V> for AmortizedQMax<I, V> {
 }
 
 impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for AmortizedQMax<I, V> {
+    /// Chunked hoisted-Ψ admit loop — the array-of-structs small-block
+    /// fast path (no kernel handle anywhere). Ψ can only change at a
+    /// compaction, and compactions coincide with chunk boundaries
+    /// (chunks are sized to the remaining buffer room), so reading Ψ
+    /// once per chunk is exact, not an approximation: admissions,
+    /// filtered counts, and Ψ trajectory are identical to the
+    /// singleton loop.
     fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
-        let mut admitted = 0;
-        for (id, val) in items {
-            admitted += usize::from(self.insert(id.clone(), val.clone()));
+        let mut admitted = 0usize;
+        let mut i = 0;
+        while i < items.len() {
+            let take = (self.cap - self.buf.len()).min(items.len() - i);
+            let before = self.buf.len();
+            match &self.threshold {
+                Some(t) => {
+                    for (id, val) in &items[i..i + take] {
+                        if *val > *t {
+                            self.buf.push(Entry::new(id.clone(), val.clone()));
+                        } else {
+                            self.filtered += 1;
+                        }
+                    }
+                }
+                None => {
+                    self.buf.extend(
+                        items[i..i + take]
+                            .iter()
+                            .map(|(id, val)| Entry::new(id.clone(), val.clone())),
+                    );
+                }
+            }
+            admitted += self.buf.len() - before;
+            i += take;
+            if self.buf.len() == self.cap {
+                self.compact();
+            }
         }
         admitted
     }

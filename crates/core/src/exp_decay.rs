@@ -271,6 +271,12 @@ impl<I, Q: QMax<I, OrderedF64>> QMax<I, OrderedF64> for ExpDecayQMax<Q> {
     fn name(&self) -> &'static str {
         "exp-decay"
     }
+
+    /// The wrapped reservoir's label — lets the adaptive backend's
+    /// decision show through the decay wrapper.
+    fn backend_label(&self) -> &'static str {
+        self.backend.backend_label()
+    }
 }
 
 impl<I: Clone, Q: BatchInsert<I, OrderedF64>> BatchInsert<I, OrderedF64> for ExpDecayQMax<Q> {

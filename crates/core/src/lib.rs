@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod amortized;
 mod deamortized;
 mod dedup;
@@ -65,6 +66,7 @@ mod time_window;
 mod traits;
 pub mod window;
 
+pub use adaptive::AdaptiveBackend;
 pub use amortized::AmortizedQMax;
 pub use deamortized::{DeamortizedQMax, DeamortizedStats};
 pub use dedup::DedupQMax;
@@ -79,9 +81,12 @@ pub use indexed_heap::{IndexedHeapQMax, IndexedMinHeap};
 pub use skiplist::{KeyedSkipListQMax, SkipListQMax};
 pub use soa::{SoaAmortizedQMax, SoaDeamortizedQMax};
 pub use sorted_vec::SortedVecQMax;
-pub use time_window::{SoaTimeSlackQMax, TimeSlackQMax};
+pub use time_window::{AdaptiveTimeSlackQMax, SoaTimeSlackQMax, TimeSlackQMax};
 pub use traits::{BatchInsert, IntervalBackend, QMax};
+// Backend-policy types re-exported so callers configuring adaptive
+// structures need not depend on `qmax_select` directly.
+pub use qmax_select::{BackendChoice, BackendPolicy, CostModel, PolicyMode};
 pub use window::{
-    BasicSlackQMax, HierSlackQMax, LazySlackQMax, SoaBasicSlackQMax, SoaHierSlackQMax,
-    SoaLazySlackQMax,
+    AdaptiveBasicSlackQMax, AdaptiveHierSlackQMax, AdaptiveLazySlackQMax, BasicSlackQMax,
+    HierSlackQMax, LazySlackQMax, SoaBasicSlackQMax, SoaHierSlackQMax, SoaLazySlackQMax,
 };

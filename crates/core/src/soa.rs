@@ -63,7 +63,9 @@ pub struct SoaAmortizedQMax<I, V> {
     compactions: u64,
     filtered: u64,
     /// Output lanes for the sampled-pivot partition; swapped with the
-    /// primary lanes after each partition pass.
+    /// primary lanes after each partition pass. Materialized lazily at
+    /// the first sampled compaction — a block that never fills (or
+    /// stays below [`SAMPLED_COMPACT_MIN`]) never allocates them.
     scratch_ids: Vec<I>,
     scratch_vals: Vec<V>,
     /// Reusable buffer for the pivot sample.
@@ -145,16 +147,24 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaAmortizedQMax<I, V> {
         self.kernel
     }
 
-    /// Materializes both lanes to full capacity on first use, seeding the
-    /// scratch slots with copies of the given item (avoids a `Default`
-    /// bound; the slots beyond `len` are never read).
+    /// Grows the primary lanes to at least `need` slots, seeding the new
+    /// slots with copies of the given item (avoids a `Default` bound;
+    /// the slots beyond `len` are never read until overwritten).
+    ///
+    /// Growth is geometric but **bounded by the block capacity and the
+    /// demanded length**: a block in a many-block window that only ever
+    /// sees `W·τ ≪ cap` items per epoch pays for the lanes it actually
+    /// fills, not for `⌈q(1+γ)⌉` slots × 4 lanes up front (the eager
+    /// materialization was the per-block fixed cost that inverted the
+    /// SoA layout from win to ~10× collapse at small τ). The scratch
+    /// lanes are not touched here at all — see [`Self::compact_sampled`].
     #[inline]
-    fn ensure_storage(&mut self, id: I, val: V) {
-        if self.vals.len() != self.cap {
-            self.vals.resize(self.cap, val);
-            self.ids.resize(self.cap, id);
-            self.scratch_vals.resize(self.cap, val);
-            self.scratch_ids.resize(self.cap, id);
+    fn ensure_lanes(&mut self, need: usize, id: I, val: V) {
+        debug_assert!(need <= self.cap);
+        if self.vals.len() < need {
+            let target = need.max((self.vals.len() * 2).min(self.cap));
+            self.vals.resize(target, val);
+            self.ids.resize(target, id);
         }
     }
 
@@ -210,6 +220,14 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaAmortizedQMax<I, V> {
         let pivot = self
             .kernel
             .sample_pivot(&self.vals[..n], n - q, seed, &mut self.sample);
+        // First sampled compaction materializes the scratch lanes (the
+        // mn == mx early exit above needs none, and exact compactions
+        // below `SAMPLED_COMPACT_MIN` partition in place).
+        if self.scratch_vals.len() < n {
+            let seed_id = self.ids[0];
+            self.scratch_vals.resize(n, mn);
+            self.scratch_ids.resize(n, seed_id);
+        }
         let (ngt, eq_end) = self.kernel.partition3_desc(
             &self.vals[..n],
             &self.ids[..n],
@@ -266,7 +284,7 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> QMax<I, V> for SoaAmortizedQMax
                 return false;
             }
         }
-        self.ensure_storage(id, val);
+        self.ensure_lanes(self.len + 1, id, val);
         self.vals[self.len] = val;
         self.ids[self.len] = id;
         self.len += 1;
@@ -326,19 +344,24 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> BatchInsert<I, V> for SoaAmorti
         let Some(&(id0, val0)) = items.first() else {
             return 0;
         };
-        self.ensure_storage(id0, val0);
         let mut admitted = 0usize;
         let mut i = 0;
         while i < items.len() {
             let take = (self.cap - self.len).min(items.len() - i);
-            // In-bounds: cursor < len + take <= cap for every store.
+            // The lanes only ever grow to the chunk's own high-water
+            // mark `len + take` (≤ cap), so a block that never fills
+            // never materializes its full capacity.
+            let hard_end = self.len + take;
+            self.ensure_lanes(hard_end, id0, val0);
+            // In-bounds: cursor < len + take <= lane length for every
+            // store (the kernel contract forbids stores past hard_end).
             let w = self.kernel.admit_pairs(
                 &items[i..i + take],
                 self.threshold,
                 &mut self.vals,
                 &mut self.ids,
                 self.len,
-                self.cap,
+                hard_end,
             );
             let kept = w - self.len;
             admitted += kept;

@@ -94,6 +94,30 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaTimeSlackQMax<I, V> {
     }
 }
 
+/// [`TimeSlackQMax`] with per-block adaptive backends. Time blocks have
+/// no a-priori item count, so the policy sees no fill hint and keys on
+/// block capacity alone.
+pub type AdaptiveTimeSlackQMax<I, V> = TimeSlackQMax<I, V, crate::AdaptiveBackend<I, V>>;
+
+impl<I: Copy + 'static, V: Ord + Copy + 'static> AdaptiveTimeSlackQMax<I, V> {
+    /// Like [`TimeSlackQMax::new`], but every block delegates to the
+    /// layout the global backend policy picks for its capacity.
+    pub fn new_adaptive(q: usize, gamma: f64, window_ns: u64, tau: f64) -> Self {
+        Self::try_new_adaptive(q, gamma, window_ns, tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AdaptiveTimeSlackQMax::new_adaptive`].
+    pub fn try_new_adaptive(
+        q: usize,
+        gamma: f64,
+        window_ns: u64,
+        tau: f64,
+    ) -> Result<Self, crate::QMaxError> {
+        let proto = crate::AdaptiveBackend::try_with_fill_hint(q, gamma, None)?;
+        Self::try_with_backend(window_ns, tau, proto)
+    }
+}
+
 impl<I, V: Ord, B: IntervalBackend<I, V>> TimeSlackQMax<I, V, B> {
     /// Creates a time-based slack-window q-MAX whose blocks are stamped
     /// out of the given backend prototype via

@@ -50,6 +50,14 @@ pub trait QMax<I, V> {
     /// A short human-readable implementation name (used by the benchmark
     /// harness to label series).
     fn name(&self) -> &'static str;
+
+    /// Which concrete layout this structure (or its delegate) runs on —
+    /// observability for the adaptive backend selection. Defaults to
+    /// [`name`](QMax::name); [`crate::AdaptiveBackend`] overrides it to
+    /// report the layout its policy actually chose.
+    fn backend_label(&self) -> &'static str {
+        self.name()
+    }
 }
 
 /// Bulk insertion for [`QMax`] structures.
@@ -156,6 +164,10 @@ impl<I, V, Q: QMax<I, V> + ?Sized> QMax<I, V> for Box<Q> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn backend_label(&self) -> &'static str {
+        (**self).backend_label()
     }
 }
 

@@ -24,6 +24,7 @@
 //! batch at block boundaries, so batched and singleton insertion are
 //! observably identical.
 
+use crate::adaptive::AdaptiveBackend;
 use crate::amortized::AmortizedQMax;
 use crate::entry::Entry;
 use crate::soa::SoaAmortizedQMax;
@@ -177,6 +178,45 @@ impl<I: Clone, V: Ord + Clone> BasicSlackQMax<I, V> {
     }
 }
 
+/// [`BasicSlackQMax`] with per-block adaptive backends: each block's
+/// layout (array-of-structs vs structure-of-arrays) is picked by the
+/// calibrated [`BackendPolicy`](crate::BackendPolicy) from the block's
+/// lifetime fill `⌈w·τ⌉` — a basic-window block receives exactly one
+/// block's worth of arrivals, then recycles. When that lifetime fill
+/// sits below the block capacity the block never compacts, and the
+/// policy routes it to the append-fast AoS layout (the small-τ regime
+/// where forced SoA measurably loses).
+pub type AdaptiveBasicSlackQMax<I, V> = BasicSlackQMax<I, V, AdaptiveBackend<I, V>>;
+
+impl<I: Copy + 'static, V: Ord + Copy + 'static> AdaptiveBasicSlackQMax<I, V> {
+    /// Like [`BasicSlackQMax::new`], but every block delegates to the
+    /// layout the global backend policy picks for a lifetime fill of
+    /// one block's worth of arrivals (`⌈w/⌈1/τ⌉⌉` items).
+    pub fn new_adaptive(q: usize, gamma: f64, w: usize, tau: f64) -> Self {
+        Self::try_new_adaptive(q, gamma, w, tau).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AdaptiveBasicSlackQMax::new_adaptive`].
+    pub fn try_new_adaptive(
+        q: usize,
+        gamma: f64,
+        w: usize,
+        tau: f64,
+    ) -> Result<Self, crate::QMaxError> {
+        // Same geometry `try_with_backend` will derive; computed here
+        // because the prototype's layout must be chosen before the ring
+        // can be stamped out of it.
+        let n_blocks = if tau > 0.0 && tau <= 1.0 {
+            ((1.0 / tau).ceil() as usize).max(1)
+        } else {
+            1
+        };
+        let block_size = w.div_ceil(n_blocks.max(1)).max(1);
+        let proto = AdaptiveBackend::try_with_fill_hint(q, gamma, Some(block_size))?;
+        Self::try_with_backend(w, tau, proto)
+    }
+}
+
 impl<I: Copy + 'static, V: Ord + Copy + 'static> SoaBasicSlackQMax<I, V> {
     /// Like [`BasicSlackQMax::new`], but every block is a
     /// structure-of-arrays [`SoaAmortizedQMax`].
@@ -297,6 +337,12 @@ impl<I, V: Ord, B: IntervalBackend<I, V>> QMax<I, V> for BasicSlackQMax<I, V, B>
     fn name(&self) -> &'static str {
         "slack-basic"
     }
+
+    /// The per-block backend's label (all blocks are stamped from one
+    /// prototype, so any block's answer describes the whole ring).
+    fn backend_label(&self) -> &'static str {
+        self.ring.blocks[0].backend_label()
+    }
 }
 
 impl<I, V: Ord, B: IntervalBackend<I, V>> BatchInsert<I, V> for BasicSlackQMax<I, V, B> {
@@ -380,6 +426,34 @@ impl<I: Clone, V: Ord + Clone> HierSlackQMax<I, V> {
         c: usize,
     ) -> Result<Self, crate::QMaxError> {
         Self::try_with_backend(w, tau, c, AmortizedQMax::try_new(q, gamma)?)
+    }
+}
+
+/// [`HierSlackQMax`] with per-block adaptive backends keyed on the
+/// finest layer's expected block fill.
+pub type AdaptiveHierSlackQMax<I, V> = HierSlackQMax<I, V, AdaptiveBackend<I, V>>;
+
+impl<I: Copy + 'static, V: Ord + Copy + 'static> AdaptiveHierSlackQMax<I, V> {
+    /// Like [`HierSlackQMax::new`], but every block delegates to the
+    /// layout the global backend policy picks. No lifetime fill hint is
+    /// passed: the coarser rings absorb merged batches from every block
+    /// below them, so each block's lifetime arrivals are amplified far
+    /// past the finest layer's base block size — the compaction-heavy
+    /// regime the hint-less (unbounded) policy path models.
+    pub fn new_adaptive(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        Self::try_new_adaptive(q, gamma, w, tau, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AdaptiveHierSlackQMax::new_adaptive`].
+    pub fn try_new_adaptive(
+        q: usize,
+        gamma: f64,
+        w: usize,
+        tau: f64,
+        c: usize,
+    ) -> Result<Self, crate::QMaxError> {
+        let proto = AdaptiveBackend::try_with_fill_hint(q, gamma, None)?;
+        Self::try_with_backend(w, tau, c, proto)
     }
 }
 
@@ -537,6 +611,12 @@ impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> QMax<I, V> for HierSlac
     fn name(&self) -> &'static str {
         "slack-hier"
     }
+
+    /// The per-block backend's label (every layer's blocks are stamped
+    /// from the same prototype).
+    fn backend_label(&self) -> &'static str {
+        self.rings[0].blocks[0].backend_label()
+    }
 }
 
 impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> BatchInsert<I, V>
@@ -626,6 +706,43 @@ impl<I: Clone, V: Ord + Clone> LazySlackQMax<I, V> {
     pub fn new_deamortized(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
         assert!(q > 0, "q must be positive");
         Self::with_backend_deamortized(w, tau, c, AmortizedQMax::new(q, gamma))
+    }
+}
+
+/// [`LazySlackQMax`] with an adaptive front buffer and blocks.
+pub type AdaptiveLazySlackQMax<I, V> = LazySlackQMax<I, V, AdaptiveBackend<I, V>>;
+
+impl<I: Copy + 'static, V: Ord + Copy + 'static> AdaptiveLazySlackQMax<I, V> {
+    /// Like [`LazySlackQMax::new`], but the front buffer and every
+    /// block delegate to the layout the global backend policy picks. No
+    /// lifetime fill hint is passed: the front buffer and the coarser
+    /// rings absorb merged batches (every arrival funnels through the
+    /// front; coarse blocks absorb every block below them), so block
+    /// lifetimes sit in the compaction-heavy regime the hint-less
+    /// policy path models.
+    pub fn new_adaptive(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        Self::try_new_adaptive(q, gamma, w, tau, c).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AdaptiveLazySlackQMax::new_adaptive`].
+    pub fn try_new_adaptive(
+        q: usize,
+        gamma: f64,
+        w: usize,
+        tau: f64,
+        c: usize,
+    ) -> Result<Self, crate::QMaxError> {
+        let proto = AdaptiveBackend::try_with_fill_hint(q, gamma, None)?;
+        Self::try_with_backend(w, tau, c, proto)
+    }
+
+    /// [`LazySlackQMax::new_deamortized`] over adaptive backends.
+    pub fn new_adaptive_deamortized(q: usize, gamma: f64, w: usize, tau: f64, c: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(c > 0, "c must be positive");
+        let proto =
+            AdaptiveBackend::try_with_fill_hint(q, gamma, None).unwrap_or_else(|e| panic!("{e}"));
+        Self::with_backend_deamortized(w, tau, c, proto)
     }
 }
 
@@ -741,13 +858,15 @@ impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> LazySlackQMax<I, V, B> 
             pending.extend(summary.into_iter().take(base).map(|e| (e.id, e.val)));
         } else {
             // Immediate mode: push the block's top-q summary into
-            // every layer, then pad the layers' item counters to
-            // keep block boundaries aligned with real stream
-            // positions.
+            // every layer through the batch path (identical admissions
+            // and ring advances to the singleton loop, without a
+            // per-item dispatch on the summary — the merge feed is as
+            // hot as the arrival path at small τ), then pad the
+            // layers' item counters to keep block boundaries aligned
+            // with real stream positions.
             let pad = self.hier.base_block() - summary.len().min(self.hier.base_block());
-            for e in summary {
-                self.hier.insert(e.id, e.val);
-            }
+            let batch: Vec<(I, V)> = summary.into_iter().map(|e| (e.id, e.val)).collect();
+            self.hier.insert_batch(&batch);
             self.hier.count += pad as u64;
             for (ring, &size) in self.hier.rings.iter_mut().zip(&self.hier.sizes) {
                 let before = (self.hier.count - pad as u64) / size as u64;
@@ -835,6 +954,12 @@ impl<I: Clone, V: Ord + Clone, B: IntervalBackend<I, V>> QMax<I, V> for LazySlac
         } else {
             "slack-lazy"
         }
+    }
+
+    /// The front buffer's backend label (the layers' blocks are stamped
+    /// from the same prototype).
+    fn backend_label(&self) -> &'static str {
+        self.front.backend_label()
     }
 }
 

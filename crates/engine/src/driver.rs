@@ -124,6 +124,11 @@ pub struct DriverReport {
     pub per_shard_quarantined: Vec<u64>,
     /// One entry per quarantined shard, in shard order.
     pub failures: Vec<ShardFailure>,
+    /// Each shard's [`qmax_core::QMax::backend_label`] after the run
+    /// (a quarantined shard reports its rebuilt backend's label) —
+    /// surfaces which layout the adaptive backend policy chose per
+    /// shard.
+    pub per_shard_backend: Vec<&'static str>,
 }
 
 impl DriverReport {
@@ -400,6 +405,7 @@ where
             }
         }
         self.restore_shards(returned);
+        let per_shard_backend = self.shard_backend_labels();
         DriverReport {
             items: per_shard_items.iter().sum(),
             elapsed,
@@ -409,6 +415,7 @@ where
             per_shard_dropped,
             per_shard_quarantined,
             failures,
+            per_shard_backend,
         }
     }
 }
@@ -481,6 +488,7 @@ mod tests {
         assert_eq!(agg.admitted, report.per_shard_admitted.iter().sum::<u64>());
         assert!(report.throughput_mips() > 0.0);
         assert!(report.max_load_factor() >= 1.0);
+        assert_eq!(report.per_shard_backend, vec!["qmax-deamortized"; 4]);
     }
 
     #[test]
@@ -605,6 +613,7 @@ mod tests {
                 message: "boom".into(),
                 items_lost: 130,
             }],
+            per_shard_backend: vec!["qmax-deamortized"; 3],
         };
         // Healthy shards carry 100 and 50 items: mean 75, max 100.
         assert!((report.max_load_factor() - 100.0 / 75.0).abs() < 1e-12);
@@ -623,6 +632,7 @@ mod tests {
             items: 250,
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0, 0],
+            per_shard_backend: vec!["qmax-deamortized"; 2],
         };
         assert_eq!(one_left.max_load_factor(), 1.0);
 
@@ -640,6 +650,7 @@ mod tests {
             items: 100,
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0],
+            per_shard_backend: vec!["qmax-deamortized"],
         };
         assert_eq!(none_left.max_load_factor(), 0.0);
     }

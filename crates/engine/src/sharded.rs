@@ -2,8 +2,9 @@
 
 use crate::shard_key::ShardKey;
 use qmax_core::{
-    BatchInsert, DeamortizedQMax, DeamortizedStats, Entry, ExpDecayQMax, OrderedF64, QMax,
-    QMaxError, SoaAmortizedQMax, SoaBasicSlackQMax, SoaDeamortizedQMax,
+    AdaptiveBackend, AdaptiveBasicSlackQMax, BatchInsert, DeamortizedQMax, DeamortizedStats, Entry,
+    ExpDecayQMax, OrderedF64, QMax, QMaxError, SoaAmortizedQMax, SoaBasicSlackQMax,
+    SoaDeamortizedQMax,
 };
 use qmax_select::nth_smallest;
 use qmax_traces::hash;
@@ -229,6 +230,14 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
         &self.shards
     }
 
+    /// Each shard's [`QMax::backend_label`], indexed by shard —
+    /// observability for the adaptive backend selection (which layout
+    /// the policy actually chose per shard). Empty while a threaded run
+    /// has the backends moved into workers.
+    pub fn shard_backend_labels(&self) -> Vec<&'static str> {
+        self.shards.iter().map(|s| s.backend_label()).collect()
+    }
+
     /// Items dropped by the batched pre-filter (cheap compare against a
     /// cached Ψ) without touching a shard. Not counted in any shard's
     /// own `filtered` statistic.
@@ -397,6 +406,58 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> ShardedQMax<I, V, SoaBasicSlack
         let per_shard_w = (w / shards).max(1);
         Self::with_backends(q, shards, move |_| {
             SoaBasicSlackQMax::new_soa(q, gamma, per_shard_w, tau)
+        })
+    }
+}
+
+impl<I: Copy + 'static, V: Ord + Copy + 'static> ShardedQMax<I, V, AdaptiveBasicSlackQMax<I, V>> {
+    /// Creates `shards` slack-window shards whose per-block layout is
+    /// chosen by the calibrated backend policy (see
+    /// [`qmax_core::BackendPolicy`]): each shard's expected per-block
+    /// fill `⌈(w/S)·τ⌉` decides between the array-of-structs and
+    /// structure-of-arrays block, ending the small-τ collapse of the
+    /// hand-picked SoA configuration while keeping its large-fill wins.
+    ///
+    /// This is the recommended windowed constructor;
+    /// [`ShardedQMax::new_windowed_soa`] remains for pinning the layout
+    /// by hand. Inspect the per-shard decisions with
+    /// [`ShardedQMax::shard_backend_labels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, `gamma` is not positive and
+    /// finite, `w == 0`, or `tau` is outside `(0, 1]`.
+    pub fn new_windowed(q: usize, gamma: f64, shards: usize, w: usize, tau: f64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(w > 0, "window must be positive");
+        let per_shard_w = (w / shards).max(1);
+        Self::with_backends(q, shards, move |_| {
+            AdaptiveBasicSlackQMax::new_adaptive(q, gamma, per_shard_w, tau)
+        })
+    }
+}
+
+impl<I: Copy + 'static> ShardedQMax<I, OrderedF64, ExpDecayQMax<AdaptiveBackend<I, OrderedF64>>> {
+    /// Creates `shards` exponential-decay shards whose reservoir layout
+    /// is chosen by the calibrated backend policy. Decayed reservoirs
+    /// score in [`OrderedF64`], a lane the SIMD kernels cannot
+    /// vectorize, so the `auto` policy resolves these shards to the
+    /// array-of-structs layout; `QMAX_BACKEND_POLICY=force-soa` still
+    /// pins the split-lane layout for comparison runs.
+    ///
+    /// Semantics are identical to [`ShardedQMax::new_decayed_soa`]
+    /// (per-shard decay `c^S`, no admission threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`, `shards == 0`, `gamma` is not positive and
+    /// finite, or `c` is outside `(0, 1]`.
+    pub fn new_decayed(q: usize, gamma: f64, shards: usize, c: f64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(c > 0.0 && c <= 1.0, "decay parameter must be in (0, 1]");
+        let c_shard = c.powf(shards as f64).max(f64::MIN_POSITIVE);
+        Self::with_backends(q, shards, move |_| {
+            ExpDecayQMax::new(AdaptiveBackend::new(q, gamma), c_shard)
         })
     }
 }
@@ -773,6 +834,59 @@ mod tests {
         assert!(!ids.contains(&0), "decayed item survived: {ids:?}");
         assert_eq!(engine.threshold(), None);
         assert_eq!(engine.prefiltered(), 0);
+    }
+
+    #[test]
+    fn adaptive_windowed_shards_match_soa_windowed_shards() {
+        // The adaptive constructor must answer the same windowed
+        // queries as the hand-picked SoA configuration — the policy
+        // only moves the layout, never the semantics.
+        let q = 8;
+        let w = 10_000;
+        let items: Vec<(u64, u64)> = (0..(4 * w) as u64)
+            .map(|i| (i, 1_000 + hash::mix64(i) % 100_000))
+            .collect();
+        let mut ada = ShardedQMax::new_windowed(q, 0.5, 4, w, 0.25);
+        let mut soa = ShardedQMax::new_windowed_soa(q, 0.5, 4, w, 0.25);
+        for chunk in items.chunks(1024) {
+            ada.insert_batch(chunk);
+            soa.insert_batch(chunk);
+        }
+        assert_eq!(sorted_vals(&mut ada), sorted_vals(&mut soa));
+        // Per-shard labels surface the decision the policy made.
+        let labels = ada.shard_backend_labels();
+        assert_eq!(labels.len(), 4);
+        for l in labels {
+            assert!(l.starts_with("qmax-adaptive"), "unexpected label {l}");
+        }
+    }
+
+    #[test]
+    fn adaptive_decayed_shards_match_soa_decayed_shards() {
+        use qmax_core::OrderedF64;
+        let q = 8;
+        let items: Vec<(u64, OrderedF64)> = (0..20_000u64)
+            .map(|i| (i, OrderedF64(1.0 + (hash::mix64(i) % 1_000) as f64)))
+            .collect();
+        let mut ada = ShardedQMax::new_decayed(q, 0.5, 4, 0.999);
+        let mut soa = ShardedQMax::new_decayed_soa(q, 0.5, 4, 0.999);
+        for chunk in items.chunks(512) {
+            ada.insert_batch(chunk);
+            soa.insert_batch(chunk);
+        }
+        let ids = |v: Vec<(u64, OrderedF64)>| {
+            let mut ids: Vec<u64> = v.into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(ids(ada.query()), ids(soa.query()));
+        // The score lane is OrderedF64, which SIMD cannot vectorize, so
+        // the auto policy must resolve decayed shards to AoS.
+        if std::env::var("QMAX_BACKEND_POLICY").is_err() {
+            for l in ada.shard_backend_labels() {
+                assert_eq!(l, "qmax-adaptive-aos");
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod score;
 
 pub use deamortized::{DeamortizedLrfu, DeamortizedLrfuStats, SoaDeamortizedLrfu};
 pub use heap_lrfu::HeapLrfu;
-pub use qmax_lrfu::{QMaxLrfu, SoaQMaxLrfu};
+pub use qmax_lrfu::{AdaptiveQMaxLrfu, QMaxLrfu, SoaQMaxLrfu};
 pub use scan_lrfu::ScanLrfu;
 pub use score::{fast_logaddexp, logaddexp, DecayScore, FAST_LOGADDEXP_ABS_ERR};
 

@@ -4,8 +4,8 @@
 use crate::score::DecayScore;
 use crate::Cache;
 use qmax_core::{
-    AmortizedQMax, Entry, FlowIndex, IndexFamily, IntervalBackend, KeyIndex, OrderedF64,
-    SoaAmortizedQMax,
+    AdaptiveBackend, AmortizedQMax, Entry, FlowIndex, IndexFamily, IntervalBackend, KeyIndex,
+    OrderedF64, SoaAmortizedQMax,
 };
 use qmax_select::nth_smallest;
 use std::hash::Hash;
@@ -166,6 +166,32 @@ impl<K: Copy + Clone + Hash + Eq + 'static, F: IndexFamily> SoaQMaxLrfu<K, F> {
     }
 }
 
+/// [`QMaxLrfu`] whose request-log layout is chosen by the calibrated
+/// backend policy. The log's value lane is [`OrderedF64`] (decayed
+/// scores), which the SIMD kernels cannot vectorize, so under the
+/// `auto` policy this resolves to the array-of-structs log — the
+/// measured-faster layout for the never-self-compacting buffer — while
+/// still honoring `QMAX_BACKEND_POLICY=force-soa` overrides.
+pub type AdaptiveQMaxLrfu<K, F = FlowIndex> = QMaxLrfu<K, AdaptiveBackend<K, OrderedF64>, F>;
+
+impl<K: Copy + Clone + Hash + Eq + 'static> AdaptiveQMaxLrfu<K, FlowIndex> {
+    /// Like [`QMaxLrfu::new`], but the request log delegates to the
+    /// layout the global backend policy picks. Behaviorally identical
+    /// to both fixed-layout constructors on any trace.
+    pub fn new_adaptive(q: usize, gamma: f64, c: f64) -> Self {
+        Self::new_adaptive_in(q, gamma, c)
+    }
+}
+
+impl<K: Copy + Clone + Hash + Eq + 'static, F: IndexFamily> AdaptiveQMaxLrfu<K, F> {
+    /// Like [`AdaptiveQMaxLrfu::new_adaptive`], but with an explicit
+    /// [`IndexFamily`].
+    pub fn new_adaptive_in(q: usize, gamma: f64, c: f64) -> Self {
+        let cap = Self::log_capacity(q, gamma);
+        Self::with_buffer(q, c, AdaptiveBackend::new(cap, gamma))
+    }
+}
+
 impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QMaxLrfu<K, B, F> {
     fn log_capacity(q: usize, gamma: f64) -> usize {
         assert!(q > 0, "q must be positive");
@@ -227,6 +253,13 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
     /// Number of `O(q)` maintenance passes run so far.
     pub fn maintenance_passes(&self) -> u64 {
         self.maintenance_passes
+    }
+
+    /// The request log's [`qmax_core::QMax::backend_label`] —
+    /// observability for which layout hosts the log (the adaptive
+    /// backend reports the layout its policy chose).
+    pub fn log_backend_label(&self) -> &'static str {
+        self.buf.backend_label()
     }
 
     /// Claims a score-arena slot for a freshly-missed `key`, seeded
@@ -556,6 +589,20 @@ mod tests {
             assert_eq!(aos.request(k), soa.request(k));
         }
         assert_eq!(aos.len(), soa.len());
+    }
+
+    #[test]
+    fn adaptive_backend_replays_identically() {
+        // Whatever layout the policy picks for the log (AoS under
+        // `auto` — the score lane is OrderedF64), hits and evictions
+        // must match the fixed-layout construction exactly.
+        let trace = qmax_traces::gen::arc_like(60_000, 6_000, 13);
+        let mut aos = QMaxLrfu::new(500, 0.5, 0.75);
+        let mut ada = AdaptiveQMaxLrfu::new_adaptive(500, 0.5, 0.75);
+        for &k in &trace {
+            assert_eq!(aos.request(k), ada.request(k));
+        }
+        assert_eq!(aos.len(), ada.len());
     }
 
     #[test]
