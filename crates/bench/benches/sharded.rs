@@ -5,7 +5,9 @@
 //! multi-threaded driver (one worker per shard over bounded channels).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmax_engine::{DriverConfig, OverloadPolicy, QMax, ShardedQMax};
+use qmax_core::AmortizedQMax;
+use qmax_engine::fault::silence_fault_panics;
+use qmax_engine::{DriverConfig, FaultSchedule, FaultyBackend, OverloadPolicy, QMax, ShardedQMax};
 use qmax_traces::gen::{caida_like, random_u64_stream};
 use qmax_traces::zipf::ZipfSampler;
 
@@ -112,10 +114,58 @@ fn bench_overload_policy(c: &mut Criterion) {
     group.finish();
 }
 
+/// Recovery latency under supervision: a scripted mid-stream panic on
+/// one shard, warm-restored from its last checkpoint, swept over the
+/// checkpoint cadence. The `no-fault` series prices the steady-state
+/// checkpointing tax alone; the `panic-ckpt-*` series add one in-worker
+/// restore (quarantine the batch, reclassify to the checkpoint, backoff,
+/// re-adopt the snapshot), so their delta over `no-fault` is the
+/// end-to-end cost of a single warm recovery at that cadence.
+fn bench_recovery_latency(c: &mut Criterion) {
+    let _silence = silence_fault_panics();
+    let items = zipf_stream(STREAM, 13);
+    let shards = 4;
+    let mut group = c.benchmark_group("sharded_supervised_recovery/zipf");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.sample_size(10);
+    let cadences: [(&str, Option<u64>); 4] = [
+        ("no-fault", None),
+        ("panic-ckpt-256", Some(256)),
+        ("panic-ckpt-1024", Some(1024)),
+        ("panic-ckpt-4096", Some(4096)),
+    ];
+    for (name, fault_ckpt) in cadences {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &fault_ckpt, |b, &fc| {
+            let ckpt = fc.unwrap_or(1024);
+            b.iter(|| {
+                let mut engine: ShardedQMax<u64, u64, FaultyBackend<AmortizedQMax<u64, u64>>> =
+                    ShardedQMax::with_backends(Q, shards, move |s| {
+                        let schedule = if s == 0 && fc.is_some() {
+                            FaultSchedule::panic_at(STREAM as u64 / (2 * shards as u64))
+                        } else {
+                            FaultSchedule::none()
+                        };
+                        FaultyBackend::new(AmortizedQMax::new(Q, 0.25), schedule)
+                    });
+                let report = engine.run_supervised(
+                    items.iter().copied(),
+                    DriverConfig {
+                        checkpoint_every: Some(ckpt),
+                        ..DriverConfig::default()
+                    },
+                );
+                report.recovered()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert_batch,
     bench_threaded_driver,
-    bench_overload_policy
+    bench_overload_policy,
+    bench_recovery_latency
 );
 criterion_main!(benches);

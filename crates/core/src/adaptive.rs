@@ -234,6 +234,27 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> BatchInsert<I, V> for AdaptiveB
     }
 }
 
+impl<I: Copy + 'static, V: Ord + Copy + 'static> crate::checkpoint::Checkpoint<I, V>
+    for AdaptiveBackend<I, V>
+{
+    /// Delegates to the chosen layout; the snapshot format is layout-
+    /// independent, so a snapshot taken from an AoS block restores into
+    /// a SoA block of the same geometry and vice versa.
+    fn snapshot(&self) -> crate::checkpoint::BackendSnapshot<I, V> {
+        match &self.inner {
+            Inner::Aos(b) => b.snapshot(),
+            Inner::Soa(b) => b.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, snap: &crate::checkpoint::BackendSnapshot<I, V>) {
+        match &mut self.inner {
+            Inner::Aos(b) => b.restore(snap),
+            Inner::Soa(b) => b.restore(snap),
+        }
+    }
+}
+
 impl<I: Copy + 'static, V: Ord + Copy + 'static> IntervalBackend<I, V> for AdaptiveBackend<I, V> {
     /// Fresh instances keep the prototype's choice: the policy decided
     /// once for this capacity/fill shape, and a window stamping blocks

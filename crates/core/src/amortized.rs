@@ -268,6 +268,35 @@ impl<I: Clone, V: Ord + Clone> BatchInsert<I, V> for AmortizedQMax<I, V> {
     }
 }
 
+impl<I: Clone, V: Ord + Clone> crate::checkpoint::Checkpoint<I, V> for AmortizedQMax<I, V> {
+    /// A straight copy of the candidate buffer plus Ψ and counters —
+    /// the cheap-memcpy checkpoint the amortized layout was chosen for.
+    fn snapshot(&self) -> crate::checkpoint::BackendSnapshot<I, V> {
+        crate::checkpoint::BackendSnapshot {
+            entries: self.buf.clone(),
+            threshold: self.threshold.clone(),
+            compactions: self.compactions,
+            filtered: self.filtered,
+            pivot_fallbacks: self.pivot_fallbacks,
+        }
+    }
+
+    /// Overwrites buffer, Ψ, and counters with the snapshot's. A
+    /// snapshot is always taken between inserts, so its candidate count
+    /// is below `cap` and no compaction is needed on the way in.
+    fn restore(&mut self, snap: &crate::checkpoint::BackendSnapshot<I, V>) {
+        self.buf.clear();
+        self.buf.extend(snap.entries.iter().cloned());
+        self.threshold = snap.threshold.clone();
+        self.compactions = snap.compactions;
+        self.filtered = snap.filtered;
+        self.pivot_fallbacks = snap.pivot_fallbacks;
+        if self.buf.len() >= self.cap {
+            self.compact();
+        }
+    }
+}
+
 impl<I: Clone, V: Ord + Clone> IntervalBackend<I, V> for AmortizedQMax<I, V> {
     fn fresh(&self) -> Self {
         AmortizedQMax {

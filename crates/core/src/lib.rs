@@ -51,6 +51,7 @@
 
 mod adaptive;
 mod amortized;
+mod checkpoint;
 mod deamortized;
 mod dedup;
 mod entry;
@@ -68,6 +69,7 @@ pub mod window;
 
 pub use adaptive::AdaptiveBackend;
 pub use amortized::AmortizedQMax;
+pub use checkpoint::{BackendSnapshot, Checkpoint};
 pub use deamortized::{DeamortizedQMax, DeamortizedStats};
 pub use dedup::DedupQMax;
 pub use entry::{Entry, Minimal, OrderedF64};

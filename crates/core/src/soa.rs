@@ -376,6 +376,51 @@ impl<I: Copy + 'static, V: Ord + Copy + 'static> BatchInsert<I, V> for SoaAmorti
     }
 }
 
+impl<I: Copy + 'static, V: Ord + Copy + 'static> crate::checkpoint::Checkpoint<I, V>
+    for SoaAmortizedQMax<I, V>
+{
+    /// Copies the live lane prefixes into entry form, plus Ψ and the
+    /// counters. The scratch lanes and the kernel handle are execution
+    /// machinery, not logical state, and are not captured.
+    fn snapshot(&self) -> crate::checkpoint::BackendSnapshot<I, V> {
+        crate::checkpoint::BackendSnapshot {
+            entries: self.ids[..self.len]
+                .iter()
+                .zip(&self.vals[..self.len])
+                .map(|(&id, &v)| Entry::new(id, v))
+                .collect(),
+            threshold: self.threshold,
+            compactions: self.compactions,
+            filtered: self.filtered,
+            pivot_fallbacks: self.pivot_fallbacks,
+        }
+    }
+
+    /// Overwrites the live lane prefixes, Ψ, and counters with the
+    /// snapshot's. Lanes are re-materialized to the restored length if
+    /// the current allocation is shorter (a freshly-recycled block may
+    /// have no lanes at all).
+    fn restore(&mut self, snap: &crate::checkpoint::BackendSnapshot<I, V>) {
+        let n = snap.entries.len();
+        debug_assert!(n < self.cap, "snapshot larger than block capacity");
+        if let Some(first) = snap.entries.first() {
+            self.ensure_lanes(n, first.id, first.val);
+        }
+        for (i, e) in snap.entries.iter().enumerate() {
+            self.vals[i] = e.val;
+            self.ids[i] = e.id;
+        }
+        self.len = n;
+        self.threshold = snap.threshold;
+        self.compactions = snap.compactions;
+        self.filtered = snap.filtered;
+        self.pivot_fallbacks = snap.pivot_fallbacks;
+        if self.len >= self.cap {
+            self.compact();
+        }
+    }
+}
+
 impl<I: Copy + 'static, V: Ord + Copy + 'static> IntervalBackend<I, V> for SoaAmortizedQMax<I, V> {
     fn fresh(&self) -> Self {
         SoaAmortizedQMax {

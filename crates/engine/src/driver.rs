@@ -31,7 +31,8 @@
 //!   a [`ShardFailure`] with the captured panic message.
 
 use crate::shard_key::ShardKey;
-use crate::sharded::ShardedQMax;
+use crate::sharded::{ShardHealth, ShardedQMax};
+use crate::supervisor::{ShardLifecycle, WatchdogConfig};
 use qmax_core::BatchInsert;
 #[cfg(test)]
 use qmax_core::QMax;
@@ -67,6 +68,19 @@ pub struct DriverConfig {
     pub queue_depth: usize,
     /// Producer behavior when a worker's queue is full.
     pub overload: OverloadPolicy,
+    /// Checkpoint cadence for [`ShardedQMax::run_supervised`], in
+    /// drained items per shard (snapshots are taken at batch
+    /// boundaries, so the effective interval is rounded up to the next
+    /// batch). `None` disables checkpointing: panics fall back to the
+    /// cold PR 4 quarantine path. Ignored by
+    /// [`ShardedQMax::run_threaded`].
+    pub checkpoint_every: Option<u64>,
+    /// Stall-watchdog and restart policy for
+    /// [`ShardedQMax::run_supervised`]. `None` disables stall
+    /// detection (panic recovery then uses [`WatchdogConfig::default`]
+    /// for its restart budget and backoff). Ignored by
+    /// [`ShardedQMax::run_threaded`].
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for DriverConfig {
@@ -75,6 +89,8 @@ impl Default for DriverConfig {
             batch_size: 1024,
             queue_depth: 8,
             overload: OverloadPolicy::Block,
+            checkpoint_every: None,
+            watchdog: None,
         }
     }
 }
@@ -122,6 +138,11 @@ pub struct DriverReport {
     /// was quarantined (its worker panicked, or its channel closed
     /// early).
     pub per_shard_quarantined: Vec<u64>,
+    /// Candidate entries re-adopted from checkpoints by warm restores
+    /// of each shard (always zero for [`ShardedQMax::run_threaded`],
+    /// which recovers cold). Entries restore exactly once per recovery:
+    /// [`qmax_core::Checkpoint::restore`] overwrites, never merges.
+    pub per_shard_recovered: Vec<u64>,
     /// One entry per quarantined shard, in shard order.
     pub failures: Vec<ShardFailure>,
     /// Each shard's [`qmax_core::QMax::backend_label`] after the run
@@ -129,6 +150,9 @@ pub struct DriverReport {
     /// surfaces which layout the adaptive backend policy chose per
     /// shard.
     pub per_shard_backend: Vec<&'static str>,
+    /// Supervision state transitions recorded during the run (empty for
+    /// [`ShardedQMax::run_threaded`], which has no supervisor).
+    pub lifecycle: ShardLifecycle,
 }
 
 impl DriverReport {
@@ -148,6 +172,12 @@ impl DriverReport {
     /// Total items lost to quarantined shards across the run.
     pub fn quarantined(&self) -> u64 {
         self.per_shard_quarantined.iter().sum()
+    }
+
+    /// Total candidate entries re-adopted from checkpoints by warm
+    /// restores across shards.
+    pub fn recovered(&self) -> u64 {
+        self.per_shard_recovered.iter().sum()
     }
 
     /// Whether shard `s` finished the run un-quarantined.
@@ -195,13 +225,16 @@ impl DriverReport {
 /// SoA backends route this through the vectorized Ψ-filter admit
 /// kernel; the default implementation degrades to the same Ψ-cached
 /// singleton loop the driver used to inline here.
-fn drain_batch<I, V: Ord, B: BatchInsert<I, V>>(shard: &mut B, batch: Vec<(I, V)>) -> u64 {
+pub(crate) fn drain_batch<I, V: Ord, B: BatchInsert<I, V>>(
+    shard: &mut B,
+    batch: Vec<(I, V)>,
+) -> u64 {
     shard.insert_batch(&batch) as u64
 }
 
 /// Renders a caught panic payload as the message string panics carry in
 /// practice (`panic!("…")` yields `&str` or `String`).
-fn panic_message(payload: Box<dyn Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -373,6 +406,7 @@ where
         let mut per_shard_drained = vec![0u64; n];
         let mut per_shard_quarantined = vec![0u64; n];
         let mut failures = Vec::new();
+        let mut health = Vec::with_capacity(n);
         for (s, joined) in outcomes.into_iter().enumerate() {
             let outcome = match joined {
                 Ok(outcome) => outcome,
@@ -391,7 +425,10 @@ where
             per_shard_drained[s] = outcome.drained;
             per_shard_quarantined[s] = outcome.quarantined + orphaned[s];
             match outcome.shard {
-                Some(shard) => returned.push(shard),
+                Some(shard) => {
+                    returned.push(shard);
+                    health.push(ShardHealth::Healthy);
+                }
                 None => {
                     failures.push(ShardFailure {
                         shard: s,
@@ -401,10 +438,14 @@ where
                         items_lost: per_shard_quarantined[s],
                     });
                     returned.push(self.fresh_shard(s));
+                    // Cold rebuild: the shard's conserved items are not
+                    // represented until new arrivals repopulate it.
+                    health.push(ShardHealth::Degraded);
                 }
             }
         }
         self.restore_shards(returned);
+        self.set_coverage(health, per_shard_drained.clone());
         let per_shard_backend = self.shard_backend_labels();
         DriverReport {
             items: per_shard_items.iter().sum(),
@@ -414,8 +455,10 @@ where
             per_shard_drained,
             per_shard_dropped,
             per_shard_quarantined,
+            per_shard_recovered: vec![0; n],
             failures,
             per_shard_backend,
+            lifecycle: ShardLifecycle::default(),
         }
     }
 }
@@ -517,6 +560,7 @@ mod tests {
                 batch_size: 1,
                 queue_depth: 1,
                 overload: OverloadPolicy::Block,
+                ..DriverConfig::default()
             },
         );
         let mut b: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.5, 3);
@@ -526,7 +570,7 @@ mod tests {
 
     #[test]
     fn panicking_shard_is_quarantined_and_rebuilt() {
-        silence_fault_panics();
+        let _silence = silence_fault_panics();
         let q = 32;
         let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
             ShardedQMax::with_backends(q, 3, move |s| {
@@ -589,6 +633,7 @@ mod tests {
                 overload: OverloadPolicy::Shed {
                     max_dropped: budget,
                 },
+                ..DriverConfig::default()
             },
         );
         assert!(report.failures.is_empty());
@@ -608,12 +653,14 @@ mod tests {
             per_shard_drained: vec![100, 20, 50],
             per_shard_dropped: vec![0, 0, 0],
             per_shard_quarantined: vec![0, 130, 0],
+            per_shard_recovered: vec![0, 0, 0],
             failures: vec![ShardFailure {
                 shard: 1,
                 message: "boom".into(),
                 items_lost: 130,
             }],
             per_shard_backend: vec!["qmax-deamortized"; 3],
+            lifecycle: ShardLifecycle::default(),
         };
         // Healthy shards carry 100 and 50 items: mean 75, max 100.
         assert!((report.max_load_factor() - 100.0 / 75.0).abs() < 1e-12);
@@ -632,7 +679,9 @@ mod tests {
             items: 250,
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0, 0],
+            per_shard_recovered: vec![0, 0],
             per_shard_backend: vec!["qmax-deamortized"; 2],
+            lifecycle: ShardLifecycle::default(),
         };
         assert_eq!(one_left.max_load_factor(), 1.0);
 
@@ -650,7 +699,9 @@ mod tests {
             items: 100,
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0],
+            per_shard_recovered: vec![0],
             per_shard_backend: vec!["qmax-deamortized"],
+            lifecycle: ShardLifecycle::default(),
         };
         assert_eq!(none_left.max_load_factor(), 0.0);
     }

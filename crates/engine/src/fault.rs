@@ -13,7 +13,8 @@
 //! function of the shard's sub-stream under the blocking overload
 //! policy.
 
-use qmax_core::{BatchInsert, QMax};
+use qmax_core::{BackendSnapshot, BatchInsert, Checkpoint, QMax};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
 use std::time::Duration;
 
@@ -110,8 +111,10 @@ impl FaultSchedule {
 
     /// A pseudorandom schedule derived from `seed`: possibly empty,
     /// possibly a one-shot panic / bad value / stall somewhere in
-    /// `1..=horizon`. Identical seeds yield identical schedules — the
-    /// chaos suite's source of reproducible variety.
+    /// `1..=horizon`, possibly a periodic micro-stall (long period,
+    /// sub-millisecond pauses — a slow shard, not a dead one).
+    /// Identical seeds yield identical schedules — the chaos suite's
+    /// source of reproducible variety.
     pub fn seeded(seed: u64, horizon: u64) -> Self {
         let horizon = horizon.max(1);
         let mut x = seed;
@@ -123,11 +126,12 @@ impl FaultSchedule {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        match next() % 4 {
+        match next() % 5 {
             0 => FaultSchedule::none(),
             1 => FaultSchedule::panic_at(next() % horizon + 1),
             2 => FaultSchedule::bad_value_at(next() % horizon + 1),
-            _ => FaultSchedule::stall_at(next() % horizon + 1, next() % 3),
+            3 => FaultSchedule::stall_at(next() % horizon + 1, next() % 3),
+            _ => FaultSchedule::stall_every(horizon / 2 + next() % horizon + 1, next() % 2),
         }
     }
 }
@@ -228,6 +232,21 @@ impl<I, V: Ord, B: QMax<I, V>> QMax<I, V> for FaultyBackend<B> {
     }
 }
 
+impl<I, V: Ord, B: Checkpoint<I, V>> Checkpoint<I, V> for FaultyBackend<B> {
+    fn snapshot(&self) -> BackendSnapshot<I, V> {
+        self.inner.snapshot()
+    }
+
+    /// Restores the wrapped backend's logical state only. `seen` and
+    /// `fired` keep advancing across a warm restore — a one-shot fault
+    /// fires once per [`QMax::reset`] arming, not once per recovery, so
+    /// a supervised shard that panics and warm-restores does not panic
+    /// again on the very next insert.
+    fn restore(&mut self, snap: &BackendSnapshot<I, V>) {
+        self.inner.restore(snap);
+    }
+}
+
 impl<I: Clone, V: Ord + Clone, B: QMax<I, V>> BatchInsert<I, V> for FaultyBackend<B> {
     fn insert_batch(&mut self, items: &[(I, V)]) -> usize {
         let mut admitted = 0;
@@ -240,32 +259,66 @@ impl<I: Clone, V: Ord + Clone, B: QMax<I, V>> BatchInsert<I, V> for FaultyBacken
     }
 }
 
-/// Keeps fault-injected panics out of test output.
+/// Live [`silence_fault_panics`] guards. The filtering hook only
+/// swallows scripted panics while this is non-zero; at zero every
+/// payload falls through to the previously installed hook.
+static SILENCE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Scope token returned by [`silence_fault_panics`]. While at least one
+/// guard is alive, panic payloads containing `"fault-injected"` are
+/// swallowed; dropping the last guard restores the previous hook's
+/// behaviour for *all* panics.
+#[derive(Debug)]
+pub struct FaultSilenceGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for FaultSilenceGuard {
+    fn drop(&mut self) {
+        SILENCE_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Keeps fault-injected panics out of test output — *scoped*.
 ///
 /// Panics caught by the driver still run the global panic hook, which
 /// by default prints a backtrace banner per panic — noise when a chaos
-/// run fires hundreds of *scripted* panics. This installs (once,
-/// process-wide) a hook that swallows payloads containing
-/// `"fault-injected"` and forwards everything else to the previously
-/// installed hook, so real failures still print.
-pub fn silence_fault_panics() {
-    static SILENCE: Once = Once::new();
-    SILENCE.call_once(|| {
+/// run fires hundreds of *scripted* panics. This arms a filter that
+/// swallows payloads containing `"fault-injected"` and forwards
+/// everything else to the previously installed hook, so real failures
+/// still print.
+///
+/// The filter is only active while the returned [`FaultSilenceGuard`]
+/// (or another one) is alive: once every guard has dropped, the
+/// previous hook's behaviour is fully restored, including for scripted
+/// payloads. Earlier revisions installed the filter permanently, which
+/// hid scripted-looking panics escaping from *later*, unrelated tests
+/// in the same process.
+#[must_use = "the panic filter is only active while the guard is alive"]
+pub fn silence_fault_panics() -> FaultSilenceGuard {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let message = info
-                .payload()
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.as_str()));
-            if let Some(m) = message {
-                if m.contains("fault-injected") {
-                    return;
+            if SILENCE_DEPTH.load(Ordering::SeqCst) > 0 {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.as_str()));
+                if let Some(m) = message {
+                    if m.contains("fault-injected") {
+                        return;
+                    }
                 }
             }
             previous(info);
         }));
     });
+    SILENCE_DEPTH.fetch_add(1, Ordering::SeqCst);
+    FaultSilenceGuard {
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 #[cfg(test)]
@@ -291,7 +344,7 @@ mod tests {
 
     #[test]
     fn panic_fires_at_the_scripted_insert_exactly_once() {
-        silence_fault_panics();
+        let _silence = silence_fault_panics();
         let mut faulty = FaultyBackend::new(HeapQMax::new(3), FaultSchedule::panic_at(5));
         for i in 0..4u64 {
             faulty.insert(i, i);

@@ -42,6 +42,14 @@
 //!   of items instead of blocking; and the [`fault`] module provides a
 //!   deterministic fault-injection harness ([`FaultyBackend`]) to test
 //!   all of it reproducibly.
+//! * **Supervision** — [`ShardedQMax::run_supervised`] adds
+//!   checkpointed **warm recovery** (a panicking shard restores from
+//!   its last [`qmax_core::Checkpoint`] snapshot, bounding loss to one
+//!   checkpoint interval), a **stall watchdog** (heartbeat-silent
+//!   workers are replaced under bounded exponential backoff with
+//!   deterministic jitter), a full [`ShardLifecycle`] transition log,
+//!   and coverage-annotated degraded queries
+//!   ([`ShardedQMax::query_with_coverage`]).
 //! * **Observability** — per-shard [`DeamortizedStats`] roll up via
 //!   [`ShardedQMax::aggregate_stats`], so the worst-case-bound
 //!   invariants (`forced_completions == 0`, bounded `max_step_ops`)
@@ -69,12 +77,15 @@ mod driver;
 pub mod fault;
 mod shard_key;
 mod sharded;
+mod supervisor;
 
 pub use driver::{DriverConfig, DriverReport, OverloadPolicy, ShardFailure};
-pub use fault::{FaultKind, FaultSchedule, FaultyBackend};
+pub use fault::{FaultKind, FaultSchedule, FaultSilenceGuard, FaultyBackend};
 pub use shard_key::ShardKey;
-pub use sharded::ShardedQMax;
+pub use sharded::{CoverageQuery, ShardHealth, ShardedQMax};
+pub use supervisor::{LifecycleEvent, ShardLifecycle, ShardState, WatchdogConfig};
 
 pub use qmax_core::{
-    BatchInsert, DeamortizedQMax, DeamortizedStats, QMax, SoaAmortizedQMax, SoaDeamortizedQMax,
+    BackendSnapshot, BatchInsert, Checkpoint, DeamortizedQMax, DeamortizedStats, QMax,
+    SoaAmortizedQMax, SoaDeamortizedQMax,
 };

@@ -68,7 +68,47 @@ pub struct ShardedQMax<I, V, B = DeamortizedQMax<I, V>> {
     seed: u64,
     /// Items dropped by the batched pre-filter before reaching a shard.
     prefiltered: u64,
+    /// Per-shard health as of the most recent threaded/supervised run
+    /// (all [`ShardHealth::Healthy`] for a purely sequential engine).
+    health: Vec<ShardHealth>,
+    /// Per-shard conserved items: items drained into the shard whose
+    /// effect the engine committed to represent, as of the most recent
+    /// threaded/supervised run.
+    conserved: Vec<u64>,
     _marker: ItemMarker<I, V>,
+}
+
+/// How much of a shard's conserved state the current backend actually
+/// represents — the per-shard input to coverage annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The backend holds everything the shard drained.
+    Healthy,
+    /// The backend was warm-restored from a checkpoint: it represents
+    /// the shard's conserved items (post-checkpoint losses were
+    /// reclassified as quarantined), but the shard did fail during the
+    /// run.
+    Restored,
+    /// The backend was rebuilt cold (no checkpoint): the shard's
+    /// conserved items are not represented until new arrivals
+    /// repopulate it.
+    Degraded,
+}
+
+/// A merged top-`q` query annotated with how much of the engine's
+/// conserved state backs it. See [`ShardedQMax::query_with_coverage`].
+#[derive(Debug, Clone)]
+pub struct CoverageQuery<I, V> {
+    /// The merged global top-`q` (same contents as [`QMax::query`]).
+    pub items: Vec<(I, V)>,
+    /// Fraction of conserved items (across all shards) represented by
+    /// currently healthy or warm-restored shards. Exactly 1.0 when
+    /// every shard is healthy or fully restored; dips below 1.0 while
+    /// a cold-rebuilt shard's slice of the state is missing.
+    pub coverage: f64,
+    /// Shards whose results are not exact ([`ShardHealth::Restored`]
+    /// or [`ShardHealth::Degraded`]), in shard order.
+    pub degraded_shards: Vec<usize>,
 }
 
 /// The stored shard constructor (index → backend). Boxed so the engine
@@ -175,6 +215,8 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
             q,
             seed: DEFAULT_SEED,
             prefiltered: 0,
+            health: vec![ShardHealth::Healthy; stated_shards],
+            conserved: vec![0; stated_shards],
             _marker: PhantomData,
         }
     }
@@ -195,7 +237,51 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
     /// with a mismatched `q` (the same invariant construction checks).
     pub fn rebuild_shard(&mut self, s: usize) -> B {
         let fresh = self.fresh_shard(s);
+        if self.conserved[s] > 0 || !self.shards[s].is_empty() {
+            self.health[s] = ShardHealth::Degraded;
+        }
         std::mem::replace(&mut self.shards[s], fresh)
+    }
+
+    /// Warm variant of [`rebuild_shard`](Self::rebuild_shard): replaces
+    /// shard `s`'s backend with a fresh one but salvages the displaced
+    /// backend's local top-`q` into it first, returning the number of
+    /// candidates carried over.
+    ///
+    /// This is the survival move when a shard's *structure* is suspect
+    /// but its candidate set is still trusted (or was validated out of
+    /// band): the rebuilt shard re-adopts exactly the candidates that
+    /// determine every future top-`q` answer, so a merged query over the
+    /// full history stays exact — any global top-`q` item from before
+    /// the rebuild is, by definition, in its shard's local top-`q` and
+    /// survives the salvage. Only the sub-top-`q` slack candidates and
+    /// the admission threshold Ψ are discarded, which merely re-widens
+    /// admission (the safe direction: Ψ may only have been too low,
+    /// never too high). The shard is marked [`ShardHealth::Restored`]
+    /// rather than `Degraded`.
+    ///
+    /// Backends that implement [`qmax_core::Checkpoint`] get the
+    /// stronger per-batch checkpointed recovery through
+    /// [`run_supervised`](Self::run_supervised); this method is the
+    /// fallback for backends that do not (e.g. the default
+    /// de-amortized layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or the factory produces a backend
+    /// with a mismatched `q`.
+    pub fn rebuild_shard_warm(&mut self, s: usize) -> usize {
+        let fresh = self.fresh_shard(s);
+        let mut old = std::mem::replace(&mut self.shards[s], fresh);
+        let salvaged = old.query();
+        let carried = salvaged.len();
+        for (id, v) in salvaged {
+            self.shards[s].insert(id, v);
+        }
+        if carried > 0 {
+            self.health[s] = ShardHealth::Restored;
+        }
+        carried
     }
 
     /// Stamps a fresh backend for shard `s` out of the stored factory
@@ -243,6 +329,62 @@ impl<I, V, B: QMax<I, V>> ShardedQMax<I, V, B> {
     /// own `filtered` statistic.
     pub fn prefiltered(&self) -> u64 {
         self.prefiltered
+    }
+
+    /// Per-shard health as of the most recent threaded/supervised run.
+    pub fn shard_health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Records the per-shard health and conserved-item counts of a
+    /// finished driver run (the inputs to coverage annotation).
+    pub(crate) fn set_coverage(&mut self, health: Vec<ShardHealth>, conserved: Vec<u64>) {
+        debug_assert_eq!(health.len(), self.stated_shards);
+        debug_assert_eq!(conserved.len(), self.stated_shards);
+        self.health = health;
+        self.conserved = conserved;
+    }
+
+    /// The merged top-`q` annotated with the fraction of conserved
+    /// items represented by currently-healthy + warm-restored shards.
+    ///
+    /// Callers use this to distinguish an exact top-`q` (`coverage ==
+    /// 1.0`, `degraded_shards` empty) from a partial one during or
+    /// after an outage: a cold-rebuilt shard leaves its conserved items
+    /// unrepresented (`coverage < 1.0`) until a warm restore — or new
+    /// arrivals — bring the fraction back toward 1.0.
+    pub fn query_with_coverage(&mut self) -> CoverageQuery<I, V>
+    where
+        I: ShardKey + Clone,
+        V: Ord + Clone,
+        B: QMax<I, V>,
+    {
+        let items = self.query();
+        let total: u64 = self.conserved.iter().sum();
+        let represented: u64 = self
+            .conserved
+            .iter()
+            .zip(&self.health)
+            .filter(|&(_, h)| !matches!(h, ShardHealth::Degraded))
+            .map(|(&c, _)| c)
+            .sum();
+        let coverage = if total == 0 {
+            1.0
+        } else {
+            represented as f64 / total as f64
+        };
+        let degraded_shards = self
+            .health
+            .iter()
+            .enumerate()
+            .filter(|&(_, h)| !matches!(h, ShardHealth::Healthy))
+            .map(|(s, _)| s)
+            .collect();
+        CoverageQuery {
+            items,
+            coverage,
+            degraded_shards,
+        }
     }
 
     /// The shard an id routes to: a seeded 64-bit mix of the id's key
@@ -520,6 +662,8 @@ impl<I: ShardKey, V: Ord + Clone, B: QMax<I, V>> QMax<I, V> for ShardedQMax<I, V
             shard.reset();
         }
         self.prefiltered = 0;
+        self.health.fill(ShardHealth::Healthy);
+        self.conserved.fill(0);
     }
 
     fn q(&self) -> usize {

@@ -13,7 +13,7 @@ use crate::datapath::{Action, Switch};
 use crate::linerate::{LineRate, ThroughputReport, WIRE_OVERHEAD_BYTES};
 use crate::MeasurementHook;
 use qmax_core::DeamortizedStats;
-use qmax_engine::{QMax, ShardedQMax};
+use qmax_engine::{QMax, ShardHealth, ShardedQMax};
 use qmax_traces::{hash, Packet};
 use std::time::Instant;
 
@@ -235,6 +235,28 @@ impl ShardedQMaxPool {
         discarded.len()
     }
 
+    /// Warm-quarantines one PMD's measurement shard: the reservoir
+    /// structure is replaced, but the displaced shard's local top-`q`
+    /// candidates are salvaged into the fresh one (the number carried
+    /// over is returned). Unlike [`quarantine_pmd`](Self::quarantine_pmd),
+    /// the merged top-`q` over the *full* packet history stays exact
+    /// afterwards — the operational move when a PMD instance's
+    /// structure is suspect but its candidates are still trusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pmd` is out of range.
+    pub fn quarantine_pmd_warm(&mut self, pmd: usize) -> usize {
+        self.engine.rebuild_shard_warm(pmd)
+    }
+
+    /// Per-PMD measurement-shard health: `Degraded` after a cold
+    /// [`quarantine_pmd`](Self::quarantine_pmd) that discarded
+    /// candidates, `Restored` after a warm one, `Healthy` otherwise.
+    pub fn shard_health(&self) -> &[ShardHealth] {
+        self.engine.shard_health()
+    }
+
     /// Per-PMD de-amortized execution counters, for observability: the
     /// worst-case-bound invariants stay checkable shard by shard.
     pub fn shard_stats(&self) -> Vec<DeamortizedStats> {
@@ -444,6 +466,37 @@ mod tests {
         let mut got: Vec<u64> = pool.merged_top_q().into_iter().map(|(_, v)| v).collect();
         got.sort_unstable();
         assert_eq!(got, expect, "merged top-q wrong after quarantine");
+        assert_eq!(pool.loads().iter().sum::<u64>(), pkts.len() as u64);
+    }
+
+    #[test]
+    fn pool_warm_quarantine_keeps_full_history_top_q() {
+        let pkts: Vec<Packet> = caida_like(30_000, 17).collect();
+        let q = 48;
+        let mut pool = ShardedQMaxPool::new(4, q, 0.25);
+        let (first, second) = pkts.split_at(pkts.len() / 2);
+        for burst in first.chunks(32) {
+            pool.process_batch(burst);
+        }
+        let carried = pool.quarantine_pmd_warm(1);
+        assert!(carried > 0, "a loaded shard should salvage candidates");
+        assert!(carried <= q, "salvage is the local top-q, at most q");
+        assert_eq!(pool.shard_health()[1], qmax_engine::ShardHealth::Restored);
+        for burst in second.chunks(32) {
+            pool.process_batch(burst);
+        }
+        // Unlike the cold quarantine, nothing is lost: the merged
+        // top-q equals a reference over the full packet history.
+        let mut expect: Vec<u64> = pkts.iter().map(|p| p.len as u64).collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(q);
+        expect.sort_unstable();
+        let mut got: Vec<u64> = pool.merged_top_q().into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(
+            got, expect,
+            "merged top-q lost items across warm quarantine"
+        );
         assert_eq!(pool.loads().iter().sum::<u64>(), pkts.len() as u64);
     }
 

@@ -3,12 +3,14 @@
 //! measuring — the per-PMD independence the paper's deployment relies
 //! on, made mechanical.
 
-use qmax_core::{DeamortizedQMax, QMax};
+use qmax_core::{AmortizedQMax, DeamortizedQMax, QMax};
 use qmax_engine::fault::silence_fault_panics;
 use qmax_engine::{
-    DriverConfig, DriverReport, FaultSchedule, FaultyBackend, OverloadPolicy, ShardedQMax,
+    DriverConfig, DriverReport, FaultSchedule, FaultyBackend, OverloadPolicy, ShardHealth,
+    ShardState, ShardedQMax, WatchdogConfig,
 };
 use qmax_traces::gen::random_u64_stream;
+use std::time::Duration;
 
 fn sorted_vals(pairs: Vec<(u64, u64)>) -> Vec<u64> {
     let mut v: Vec<u64> = pairs.into_iter().map(|(_, v)| v).collect();
@@ -26,6 +28,16 @@ fn assert_balanced(report: &DriverReport) {
             "shard {s} accounting does not balance"
         );
         assert!(report.per_shard_admitted[s] <= report.per_shard_drained[s]);
+        // Warm restores re-adopt at most one checkpoint's candidate
+        // entries (≤ the backend capacity), while every recovery
+        // quarantines at least the in-flight batch — so recovery never
+        // "creates" more items than the fault cost.
+        assert!(
+            report.per_shard_recovered[s] <= report.per_shard_quarantined[s],
+            "shard {s}: recovered {} > quarantined {}",
+            report.per_shard_recovered[s],
+            report.per_shard_quarantined[s]
+        );
     }
 }
 
@@ -36,7 +48,7 @@ fn assert_balanced(report: &DriverReport) {
 /// healthy shards.
 #[test]
 fn one_shard_panic_is_isolated_and_reported() {
-    silence_fault_panics();
+    let _silence = silence_fault_panics();
     let q = 256;
     let gamma = 0.25;
     let shards = 4;
@@ -109,7 +121,7 @@ fn one_shard_panic_is_isolated_and_reported() {
 /// `S` empty-but-live reservoirs.
 #[test]
 fn all_shards_panicking_still_terminates() {
-    silence_fault_panics();
+    let _silence = silence_fault_panics();
     let q = 16;
     let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
         ShardedQMax::with_backends(q, 3, move |_| {
@@ -135,7 +147,7 @@ fn all_shards_panicking_still_terminates() {
 /// budgeted loss and no failures; the healthy shard stays exact.
 #[test]
 fn stalled_shard_sheds_within_budget() {
-    silence_fault_panics();
+    let _silence = silence_fault_panics();
     let q = 32;
     let budget = 5_000u64;
     let slow = 0usize;
@@ -160,6 +172,7 @@ fn stalled_shard_sheds_within_budget() {
             overload: OverloadPolicy::Shed {
                 max_dropped: budget,
             },
+            ..DriverConfig::default()
         },
     );
     assert!(report.failures.is_empty());
@@ -175,4 +188,180 @@ fn stalled_shard_sheds_within_budget() {
     // 1/queue-ful chance of being shed, so assert on structure instead:
     // a full reservoir of q values came back.
     assert_eq!(sorted_vals(engine.query()).len(), q);
+}
+
+/// The upgraded one-shard-panic acceptance scenario: with checkpointing
+/// enabled, the panicking shard warm-restores from its last checkpoint
+/// and the post-recovery merged top-q differs from a sequential
+/// reference **only** in the items offered to the failed shard after
+/// that checkpoint — bounded loss, versus PR 4's whole-shard loss.
+///
+/// Batch boundaries are deterministic (single producer, `Block`
+/// policy), the checkpoint cadence equals the batch size (a snapshot at
+/// every batch boundary), and `panic_at(1800)` fires inside the failing
+/// shard's 4th batch — so the lost set is exactly sub-stream positions
+/// `[1536, 2048)` of the failing shard, and nothing else.
+#[test]
+fn one_shard_panic_warm_recovers_with_bounded_loss() {
+    let _silence = silence_fault_panics();
+    let q = 64;
+    let gamma = 0.25;
+    let shards = 4;
+    let failing = 2usize;
+    let batch = 512usize;
+    let items: Vec<(u64, u64)> = random_u64_stream(100_000, 42)
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<AmortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, shards, move |s| {
+            let schedule = if s == failing {
+                FaultSchedule::panic_at(1800)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyBackend::new(AmortizedQMax::new(q, gamma), schedule)
+        });
+
+    let report = engine.run_supervised(
+        items.iter().copied(),
+        DriverConfig {
+            batch_size: batch,
+            checkpoint_every: Some(batch as u64),
+            ..DriverConfig::default()
+        },
+    );
+
+    // The shard recovered in place: no quarantined slot, one restart.
+    assert!(report.failures.is_empty(), "warm restart is not a failure");
+    assert_eq!(report.lifecycle.restarts(failing), 1);
+    assert_eq!(report.lifecycle.final_state(failing), ShardState::Healthy);
+    for s in (0..shards).filter(|&s| s != failing) {
+        assert_eq!(report.lifecycle.restarts(s), 0);
+    }
+    // Exactly the panicking batch was lost; the checkpointed prefix was
+    // re-adopted (once) by the warm restore.
+    assert_eq!(report.per_shard_quarantined[failing], batch as u64);
+    assert!(report.per_shard_recovered[failing] > 0);
+    assert_balanced(&report);
+
+    // Bounded loss: the merged top-q equals a sequential reference over
+    // every item EXCEPT the failing shard's post-checkpoint batch
+    // (sub-stream positions [1536, 2048) — `panic_at(1800)` fired in
+    // the batch after the checkpoint at position 1536).
+    let mut reference: ShardedQMax<u64, u64, AmortizedQMax<u64, u64>> =
+        ShardedQMax::with_backends(q, shards, move |_| AmortizedQMax::new(q, gamma));
+    let mut failing_pos = 0u64;
+    for &(id, v) in &items {
+        if reference.shard_of(&id) == failing {
+            let lost = (1536..2048).contains(&failing_pos);
+            failing_pos += 1;
+            if lost {
+                continue;
+            }
+        }
+        reference.insert(id, v);
+    }
+    assert_eq!(
+        sorted_vals(engine.query()),
+        sorted_vals(reference.query()),
+        "warm recovery lost more than the post-checkpoint batch"
+    );
+
+    // Coverage is whole again: the restored shard represents all of its
+    // conserved items, and is flagged as restored (not exact-healthy).
+    let annotated = engine.query_with_coverage();
+    assert_eq!(annotated.coverage, 1.0);
+    assert_eq!(annotated.degraded_shards, vec![failing]);
+    assert_eq!(engine.shard_health()[failing], ShardHealth::Restored);
+}
+
+/// The seeded stall acceptance scenario: a one-shot 400 ms stall on one
+/// shard. The watchdog flags the shard suspect, restarts it under
+/// backoff within the deadline (while the stalled worker is still
+/// asleep), live coverage dips below 1.0 during the outage, and the
+/// warm-restored replacement brings coverage back to exactly 1.0.
+#[test]
+fn stall_watchdog_restarts_and_recovers_coverage() {
+    let _silence = silence_fault_panics();
+    let q = 64;
+    let gamma = 0.25;
+    let shards = 3;
+    let stalled = 1usize;
+    // Only the *first* backend built for the stalled shard carries the
+    // stall script: replacement spares (stamped from the same factory)
+    // come up clean, so the restarted shard does not re-stall.
+    let mut builds = [0u32; 3];
+    let mut engine: ShardedQMax<u64, u64, FaultyBackend<AmortizedQMax<u64, u64>>> =
+        ShardedQMax::with_backends(q, shards, move |s| {
+            builds[s] += 1;
+            let schedule = if s == stalled && builds[s] == 1 {
+                FaultSchedule::stall_at(600, 400)
+            } else {
+                FaultSchedule::none()
+            };
+            FaultyBackend::new(AmortizedQMax::new(q, gamma), schedule)
+        });
+    let items: Vec<(u64, u64)> = random_u64_stream(60_000, 7)
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+
+    let report = engine.run_supervised(
+        items.iter().copied(),
+        DriverConfig {
+            batch_size: 128,
+            queue_depth: 2,
+            checkpoint_every: Some(128),
+            watchdog: Some(WatchdogConfig {
+                deadline: Duration::from_millis(80),
+                poll_interval: Duration::from_millis(10),
+                max_restarts: 3,
+                backoff_base: Duration::from_millis(5),
+                backoff_jitter: 0.5,
+                seed: 7,
+            }),
+            ..DriverConfig::default()
+        },
+    );
+
+    // Detected and restarted exactly once, and the shard ended healthy.
+    assert!(report.failures.is_empty());
+    assert_eq!(report.lifecycle.restarts(stalled), 1);
+    assert_eq!(report.lifecycle.final_state(stalled), ShardState::Healthy);
+    let states: Vec<ShardState> = report
+        .lifecycle
+        .events()
+        .iter()
+        .filter(|e| e.shard == stalled)
+        .map(|e| e.state)
+        .collect();
+    assert!(
+        states.contains(&ShardState::Suspect),
+        "watchdog never flagged the stalled shard suspect: {states:?}"
+    );
+    assert!(states.contains(&ShardState::Restarting(1)));
+
+    // The restart happened while the stalled worker was still asleep:
+    // its in-flight batch (and any queued leftovers) were abandoned
+    // into the quarantine bucket, and the replacement re-adopted the
+    // last checkpoint.
+    assert!(report.per_shard_quarantined[stalled] >= 128);
+    assert!(report.per_shard_recovered[stalled] > 0);
+    assert_balanced(&report);
+
+    // Live coverage dipped below 1.0 during the outage…
+    assert!(
+        report.lifecycle.min_coverage() < 1.0,
+        "no coverage dip recorded: {:?}",
+        report.lifecycle
+    );
+    // …and the warm restore brought it back to exactly 1.0: every
+    // conserved item is represented by a healthy or restored shard.
+    let annotated = engine.query_with_coverage();
+    assert_eq!(annotated.coverage, 1.0);
+    assert_eq!(annotated.degraded_shards, vec![stalled]);
+    assert_eq!(engine.shard_health()[stalled], ShardHealth::Restored);
+    assert_eq!(annotated.items.len(), q);
 }

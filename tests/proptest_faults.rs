@@ -71,6 +71,12 @@ fn check_balance(report: &DriverReport) {
             report.per_shard_admitted[s] <= report.per_shard_drained[s],
             "shard {s} admitted more than it drained"
         );
+        assert!(
+            report.per_shard_recovered[s] <= report.per_shard_quarantined[s],
+            "shard {s}: recovered {} > quarantined {}",
+            report.per_shard_recovered[s],
+            report.per_shard_quarantined[s]
+        );
         drained += report.per_shard_drained[s];
         dropped += report.per_shard_dropped[s];
         quarantined += report.per_shard_quarantined[s];
@@ -95,7 +101,7 @@ proptest! {
         shards in 1usize..6,
         batch_size in 1usize..128,
     ) {
-        silence_fault_panics();
+        let _silence = silence_fault_panics();
         let gamma = 0.5;
         // Small horizon: triggers land inside the unfiltered
         // reservoir-fill phase, so poisonous schedules usually fire.
@@ -106,6 +112,7 @@ proptest! {
             batch_size,
             queue_depth: 2,
             overload: OverloadPolicy::Block,
+            ..DriverConfig::default()
         });
 
         prop_assert_eq!(report.items, n as u64);
@@ -154,13 +161,14 @@ proptest! {
         shards in 1usize..5,
         budget in 0u64..500,
     ) {
-        silence_fault_panics();
+        let _silence = silence_fault_panics();
         let items = zipf_stream(n, stream_seed);
         let mut engine = faulty_engine(q, 0.5, shards, fault_seed, 48);
         let report = engine.run_threaded(items.iter().copied(), DriverConfig {
             batch_size: 16,
             queue_depth: 1,
             overload: OverloadPolicy::Shed { max_dropped: budget },
+            ..DriverConfig::default()
         });
         prop_assert_eq!(report.items, n as u64);
         for (s, &d) in report.per_shard_dropped.iter().enumerate() {
@@ -181,13 +189,14 @@ proptest! {
         n in 200usize..1500,
         shards in 1usize..5,
     ) {
-        silence_fault_panics();
+        let _silence = silence_fault_panics();
         let q = 16;
         let items = zipf_stream(n, stream_seed);
         let config = DriverConfig {
             batch_size: 32,
             queue_depth: 2,
             overload: OverloadPolicy::Block,
+            ..DriverConfig::default()
         };
         let mut a = faulty_engine(q, 0.5, shards, fault_seed, 48);
         let ra = a.run_threaded(items.iter().copied(), config);
@@ -198,6 +207,78 @@ proptest! {
         prop_assert_eq!(fa, fb);
         prop_assert_eq!(ra.per_shard_quarantined, rb.per_shard_quarantined);
         prop_assert_eq!(ra.per_shard_drained, rb.per_shard_drained);
+        prop_assert_eq!(sorted_vals(a.query()), sorted_vals(b.query()));
+    }
+
+    /// Supervised runs with checkpointing: seeded one-shot faults never
+    /// exhaust the restart budget, so no shard is ever permanently
+    /// quarantined; the conservation invariant balances with the
+    /// reclassified (post-checkpoint) losses included; recovered items
+    /// are re-counted exactly once (`recovered ≤ quarantined`, checked
+    /// in `check_balance`); and the whole run — restarts, accounting,
+    /// merged result — reproduces from its seeds.
+    #[test]
+    fn supervised_warm_recovery_conserves_and_reproduces(
+        fault_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        n in 200usize..2000,
+        q in 1usize..32,
+        shards in 1usize..5,
+        // `recovered ≤ quarantined` is a theorem of configurations
+        // where every failure costs at least one checkpoint's worth of
+        // candidates: batch_size ≥ ⌈q(1+γ)⌉ = 48 here, so a recovery
+        // never re-adopts more entries than the full batch it lost.
+        // (With horizon 48 every poisonous trigger additionally fires
+        // inside the shard's first batch, before its first checkpoint.)
+        batch_size in 64usize..128,
+        ckpt in 1u64..96,
+    ) {
+        let _silence = silence_fault_panics();
+        let gamma = 0.5;
+        let horizon = 48;
+        let items = zipf_stream(n, stream_seed);
+        let config = DriverConfig {
+            batch_size,
+            queue_depth: 2,
+            overload: OverloadPolicy::Block,
+            checkpoint_every: Some(ckpt),
+            ..DriverConfig::default()
+        };
+        let supervised_engine = |seed: u64| -> ShardedQMax<
+            u64, u64, FaultyBackend<qmax_core::AmortizedQMax<u64, u64>>,
+        > {
+            ShardedQMax::with_backends(q, shards, move |s| {
+                FaultyBackend::new(
+                    qmax_core::AmortizedQMax::new(q, gamma),
+                    FaultSchedule::seeded(seed.wrapping_add(s as u64), horizon),
+                )
+            })
+        };
+        let mut a = supervised_engine(fault_seed);
+        let ra = a.run_supervised(items.iter().copied(), config);
+
+        prop_assert_eq!(ra.items, n as u64);
+        check_balance(&ra);
+        // One-shot faults and a default restart budget of 3: every
+        // panic warm-restores, so nothing is permanently quarantined.
+        prop_assert!(ra.failures.is_empty(), "failures: {:?}", ra.failures);
+        for s in 0..shards {
+            prop_assert!(ra.lifecycle.restarts(s) <= 1, "one-shot fault, two restarts");
+            if ra.lifecycle.restarts(s) == 0 {
+                prop_assert_eq!(ra.per_shard_quarantined[s], 0);
+                prop_assert_eq!(ra.per_shard_recovered[s], 0);
+            }
+        }
+        // Warm restores leave every conserved item represented.
+        let annotated = a.query_with_coverage();
+        prop_assert_eq!(annotated.coverage, 1.0);
+
+        // Reproducibility, including the recovered-entry accounting.
+        let mut b = supervised_engine(fault_seed);
+        let rb = b.run_supervised(items.iter().copied(), config);
+        prop_assert_eq!(ra.per_shard_quarantined, rb.per_shard_quarantined);
+        prop_assert_eq!(ra.per_shard_drained, rb.per_shard_drained);
+        prop_assert_eq!(ra.per_shard_recovered, rb.per_shard_recovered);
         prop_assert_eq!(sorted_vals(a.query()), sorted_vals(b.query()));
     }
 }
