@@ -6,7 +6,7 @@
 //! experiments:
 //!   fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11
 //!   fig12 fig13 fig14 fig15 fig16 fig17 sec3
-//!   pmd-scaling sharded-scaling soa kernels windows-backend lrfu
+//!   pmd-scaling sharded-scaling soa kernels windows-backend lrfu ingest
 //!   ablate-deamortize ablate-select ablate-gamma ablate-window
 //!   all        (everything above, in order)
 //!
@@ -18,7 +18,9 @@
 //! Each experiment prints its series and mirrors them under
 //! `results/<id>.csv`.
 
-use qmax_bench::experiments::{ablate, apps, kernels, lrfu, micro, ovs, sharded, soa, windows};
+use qmax_bench::experiments::{
+    ablate, apps, ingest, kernels, lrfu, micro, ovs, sharded, soa, windows,
+};
 use qmax_bench::scale::Scale;
 
 fn main() {
@@ -40,7 +42,9 @@ fn main() {
         eprintln!("usage: figures <experiment|all> [--scale F] [--full]");
         eprintln!("experiments: fig4 table1 fig5 fig6 fig7 fig8 fig9 table2 fig10 fig11");
         eprintln!("             fig12 fig13 fig14 fig15 fig16 fig17 sec3");
-        eprintln!("             pmd-scaling sharded-scaling soa kernels windows-backend lrfu");
+        eprintln!(
+            "             pmd-scaling sharded-scaling soa kernels windows-backend lrfu ingest"
+        );
         eprintln!("             ablate-deamortize ablate-select ablate-gamma ablate-window");
         std::process::exit(2);
     }
@@ -68,6 +72,7 @@ fn main() {
         "kernels",
         "windows-backend",
         "lrfu",
+        "ingest",
         "ablate-deamortize",
         "ablate-select",
         "ablate-gamma",
@@ -105,6 +110,7 @@ fn main() {
             "kernels" => kernels::kernel_compare(&scale),
             "windows-backend" => windows::windows_backend(&scale),
             "lrfu" => lrfu::lrfu_flow_table(&scale),
+            "ingest" => ingest::ingest_contention(&scale),
             "ablate-deamortize" => ablate::ablate_deamortize(&scale),
             "ablate-select" => ablate::ablate_select(&scale),
             "ablate-gamma" => ablate::ablate_gamma(&scale),

@@ -96,6 +96,18 @@ const BATCH: usize = 1024;
 /// keyed paths were the ~60× bottleneck this number documents.
 const HASHMAP_ERA_LRFU_G1_MIPS: f64 = 5.936;
 
+/// Pre-change recording of the maintenance selection that materialized
+/// `(score, slot)` pairs for `nth_smallest`, taken on the same machine
+/// immediately before the scores-only `count_gt_eq` rewrite landed
+/// (full-scale run; the paired JSON fields are the "after"). The
+/// residual is what one `lrfu-g1` request pays beyond its probe and
+/// merge — selection, eviction removes, log append, bookkeeping.
+const PAIR_SELECTION_RESIDUAL_NS: f64 = 39.2;
+/// `lrfu-g1` total ns/request in the same pre-change recording.
+const PAIR_SELECTION_LRFU_G1_TOTAL_NS: f64 = 73.8;
+/// `lrfu-g1` flow-table MIPS at batch 1024 in the same recording.
+const PAIR_SELECTION_LRFU_G1_MIPS: f64 = 13.550;
+
 struct IndexRow {
     workload: String,
     batch: usize,
@@ -481,6 +493,15 @@ fn write_lrfu_bench_json(rows: &[IndexRow], comps: &ComponentNs, stream_len: usi
             "  \"component_ns\": {{\"flow_probe\": {probe:.1}, \"exact_merge\": ",
             "{exact:.1}, \"fast_merge\": {fast:.1}, \"lrfu_g1_total\": {total:.1}, ",
             "\"selection_and_bookkeeping_residual\": {resid:.1}}},\n",
+            "  \"pair_selection_baseline\": {{\"note\": \"same-machine recording taken ",
+            "immediately before the maintenance selection was rewritten to rank the ",
+            "dense arena score column with a count_gt_eq kernel census (pivot via ",
+            "scores-only quickselect + one ascending-slot eviction sweep) instead of ",
+            "materializing (score, slot) pairs; compare against component_ns and the ",
+            "lrfu-g1 batch-{batch} series row of this file for the after\", ",
+            "\"selection_and_bookkeeping_residual_ns\": {pair_resid:.1}, ",
+            "\"lrfu_g1_total_ns\": {pair_total:.1}, ",
+            "\"lrfu_g1_flow_mips\": {pair_mips:.3}}},\n",
             "  \"series\": [\n{body}\n  ]\n",
             "}}\n"
         ),
@@ -489,6 +510,9 @@ fn write_lrfu_bench_json(rows: &[IndexRow], comps: &ComponentNs, stream_len: usi
         n = stream_len,
         batch = BATCH,
         base = HASHMAP_ERA_LRFU_G1_MIPS,
+        pair_resid = PAIR_SELECTION_RESIDUAL_NS,
+        pair_total = PAIR_SELECTION_LRFU_G1_TOTAL_NS,
+        pair_mips = PAIR_SELECTION_LRFU_G1_MIPS,
         probe = comps.flow_probe,
         exact = comps.exact_merge,
         fast = comps.fast_merge,

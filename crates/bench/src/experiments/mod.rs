@@ -6,6 +6,7 @@
 
 pub mod ablate;
 pub mod apps;
+pub mod ingest;
 pub mod kernels;
 pub mod lrfu;
 pub mod micro;

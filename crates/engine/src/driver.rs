@@ -1,11 +1,20 @@
 //! Multi-threaded shard driver: one worker thread per shard, fed with
-//! pre-routed batches over bounded channels.
+//! pre-routed batches over lock-free SPSC [`ring`](crate::ring)
+//! buffers.
 //!
 //! This is the software analogue of the paper's per-PMD deployment: the
 //! producer plays the NIC's RSS stage (hash each id, append to the
 //! target shard's batch), workers play PMD threads (drain batches into
 //! their private reservoir), and nothing is shared between workers, so
-//! there is no locking on the per-item hot path.
+//! there is no locking on the per-item hot path — including the
+//! cross-thread handoff itself, which publishes whole owned batches
+//! with a pair of Acquire/Release edges instead of the
+//! mutex-and-condvar machinery of `std::sync::mpsc` (the mpsc-era
+//! driver survives as [`ShardedQMax::run_threaded_mpsc`], the
+//! reference the differential battery and the contention bench compare
+//! against). [`ShardedQMax::run_threaded_partitioned`] extends the
+//! layout to P ingestion threads: one ring per (producer × shard), so
+//! producers never share a queue either.
 //!
 //! # Fault tolerance
 //!
@@ -16,20 +25,28 @@
 //! * **Panic isolation** — every batch drain runs under
 //!   [`std::panic::catch_unwind`]. A panicking shard is *quarantined*:
 //!   its poisoned backend is dropped, the remainder of its sub-stream is
-//!   drained off the channel and counted (never processed), and the
+//!   drained off the ring and counted (never processed), and the
 //!   other `S − 1` workers keep running untouched. After the run the
 //!   quarantined slot is rebuilt empty from the engine's stored backend
 //!   factory, so the engine stays queryable — exactly the per-PMD
 //!   independence argument: one instance restarting never stalls the
 //!   others.
 //! * **Load shedding** — [`OverloadPolicy::Shed`] switches the producer
-//!   from blocking sends to `try_send` with a bounded per-shard drop
-//!   budget, trading bounded loss for producer latency when a shard
-//!   falls behind (a stalled PMD sheds packets; it does not stall RSS).
+//!   from bounded-spin blocking pushes to `try_push` with a bounded
+//!   per-shard drop budget, trading bounded loss for producer latency
+//!   when a shard falls behind (a stalled PMD sheds packets; it does
+//!   not stall RSS). Both policies are expressed in ring-occupancy
+//!   terms: *full ring* is the overload condition.
 //! * **Failure accounting** — [`DriverReport`] balances every routed
 //!   item into drained, shed, or quarantined, and lists each failure as
 //!   a [`ShardFailure`] with the captured panic message.
+//! * **Backpressure observability** —
+//!   [`DriverReport::per_shard_ring_high_water`] records the peak ring
+//!   occupancy each shard's producer saw; a shard pinned at
+//!   [`DriverReport::ring_capacity`] was the bottleneck (stalled, or
+//!   simply slower than the stream).
 
+use crate::ring;
 use crate::shard_key::ShardKey;
 use crate::sharded::{ShardHealth, ShardedQMax};
 use crate::supervisor::{ShardLifecycle, WatchdogConfig};
@@ -37,20 +54,27 @@ use qmax_core::BatchInsert;
 #[cfg(test)]
 use qmax_core::QMax;
 use std::any::Any;
+
+/// One batch-carrying SPSC lane, seen from each end (the driver only
+/// ever moves whole admitted batches across threads).
+type BatchProducer<I, V> = ring::Producer<Vec<(I, V)>>;
+type BatchConsumer<I, V> = ring::Consumer<Vec<(I, V)>>;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// What the producer does when a shard's bounded queue is full.
+/// What the producer does when a shard's ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverloadPolicy {
-    /// Block until the worker frees a slot (lossless backpressure; a
-    /// slow shard throttles the whole stream). The default.
+    /// Wait (bounded spin, then yield) until the worker frees a slot
+    /// (lossless backpressure; a slow shard throttles the whole
+    /// stream). The default.
     Block,
-    /// Drop the batch instead of blocking, up to `max_dropped` items
+    /// Drop the batch instead of waiting, up to `max_dropped` items
     /// per shard; once a shard's drop budget is spent the producer
-    /// falls back to blocking sends for it, so the loss is bounded.
+    /// falls back to blocking pushes for it, so the loss is bounded.
     Shed {
         /// Per-shard shed budget in items.
         max_dropped: u64,
@@ -60,13 +84,14 @@ pub enum OverloadPolicy {
 /// Tuning knobs for [`ShardedQMax::run_threaded`].
 #[derive(Debug, Clone, Copy)]
 pub struct DriverConfig {
-    /// Items per batch handed to a worker (amortizes channel overhead;
+    /// Items per batch handed to a worker (amortizes handoff overhead;
     /// the paper's shared-memory blocks play the same role).
     pub batch_size: usize,
-    /// Bounded in-flight batches per worker before the overload policy
-    /// applies (backpressure instead of unbounded queueing).
+    /// Ring capacity: bounded in-flight batches per ring before the
+    /// overload policy applies (backpressure instead of unbounded
+    /// queueing).
     pub queue_depth: usize,
-    /// Producer behavior when a worker's queue is full.
+    /// Producer behavior when a worker's ring is full.
     pub overload: OverloadPolicy,
     /// Checkpoint cadence for [`ShardedQMax::run_supervised`], in
     /// drained items per shard (snapshots are taken at batch
@@ -81,6 +106,14 @@ pub struct DriverConfig {
     /// for its restart budget and backoff). Ignored by
     /// [`ShardedQMax::run_threaded`].
     pub watchdog: Option<WatchdogConfig>,
+    /// Pin worker thread `s` to core `s mod available_parallelism`
+    /// (and, for [`ShardedQMax::run_threaded_partitioned`], producer
+    /// `p` to core `(S + p) mod available_parallelism`) via
+    /// [`ring::pin_current_thread`]. Off by default; a no-op on
+    /// platforms without `sched_setaffinity`. Useful only when cores ≥
+    /// threads — on an oversubscribed box pinning serializes the
+    /// pipeline.
+    pub pin_threads: bool,
 }
 
 impl Default for DriverConfig {
@@ -91,6 +124,7 @@ impl Default for DriverConfig {
             overload: OverloadPolicy::Block,
             checkpoint_every: None,
             watchdog: None,
+            pin_threads: false,
         }
     }
 }
@@ -112,7 +146,7 @@ pub struct ShardFailure {
 }
 
 /// What a threaded run did: per-shard load, loss accounting, failures,
-/// and aggregate timing.
+/// backpressure high-water marks, and aggregate timing.
 ///
 /// Every routed item lands in exactly one bucket per shard:
 /// `per_shard_items[s] == per_shard_drained[s] + per_shard_dropped[s]
@@ -132,10 +166,10 @@ pub struct DriverReport {
     /// filtered by the backend).
     pub per_shard_drained: Vec<u64>,
     /// Items shed by the producer under [`OverloadPolicy::Shed`]
-    /// because the shard's queue was full and budget remained.
+    /// because the shard's ring was full and budget remained.
     pub per_shard_dropped: Vec<u64>,
     /// Items routed to a shard but never processed because the shard
-    /// was quarantined (its worker panicked, or its channel closed
+    /// was quarantined (its worker panicked, or its ring closed
     /// early).
     pub per_shard_quarantined: Vec<u64>,
     /// Candidate entries re-adopted from checkpoints by warm restores
@@ -143,6 +177,21 @@ pub struct DriverReport {
     /// which recovers cold). Entries restore exactly once per recovery:
     /// [`qmax_core::Checkpoint::restore`] overwrites, never merges.
     pub per_shard_recovered: Vec<u64>,
+    /// Peak ring occupancy (in-flight batches) each shard's
+    /// producer(s) ever observed, counting rejected pushes against a
+    /// full ring. The backpressure signal: a shard pinned at
+    /// [`Self::ring_capacity`] stopped keeping up with its sub-stream
+    /// (overloaded, stalled, or quarantined). For
+    /// [`ShardedQMax::run_threaded_partitioned`] this is the max over
+    /// the shard's per-producer rings; for
+    /// [`ShardedQMax::run_supervised`] it folds across worker
+    /// generations. All zeros for the mpsc reference driver.
+    pub per_shard_ring_high_water: Vec<u64>,
+    /// Ring capacity in batches ([`DriverConfig::queue_depth`]) the
+    /// run used — the ceiling of
+    /// [`Self::per_shard_ring_high_water`]. 0 for the mpsc reference
+    /// driver, which has no rings.
+    pub ring_capacity: u64,
     /// One entry per quarantined shard, in shard order.
     pub failures: Vec<ShardFailure>,
     /// Each shard's [`qmax_core::QMax::backend_label`] after the run
@@ -178,6 +227,13 @@ impl DriverReport {
     /// restores across shards.
     pub fn recovered(&self) -> u64 {
         self.per_shard_recovered.iter().sum()
+    }
+
+    /// Whether shard `s`'s producer ever saw its ring pinned at
+    /// capacity — the occupancy-level statement of "this shard fell
+    /// behind". Always `false` for the mpsc reference driver.
+    pub fn saturated(&self, s: usize) -> bool {
+        self.ring_capacity > 0 && self.per_shard_ring_high_water[s] >= self.ring_capacity
     }
 
     /// Whether shard `s` finished the run un-quarantined.
@@ -244,7 +300,7 @@ pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
-/// What one worker thread hands back when its channel closes.
+/// What one worker thread hands back when its ring(s) close.
 struct WorkerOutcome<B> {
     /// The backend, unless it was poisoned by a panic and dropped.
     shard: Option<B>,
@@ -259,31 +315,41 @@ struct WorkerOutcome<B> {
     panic_message: Option<String>,
 }
 
-/// One worker's drain loop: processes batches under `catch_unwind`,
-/// and on a panic drops the poisoned backend but *keeps receiving* so
-/// the producer never blocks on a dead queue — the rest of the shard's
-/// sub-stream is counted as quarantined instead.
-fn worker_loop<I, V: Ord, B: BatchInsert<I, V>>(
-    shard: B,
-    rx: mpsc::Receiver<Vec<(I, V)>>,
-) -> WorkerOutcome<B> {
-    let mut out = WorkerOutcome {
-        shard: None,
-        admitted: 0,
-        drained: 0,
-        quarantined: 0,
-        panic_message: None,
-    };
-    let mut live = Some(shard);
-    for batch in rx {
+/// The per-batch drain state shared by every worker-loop shape: drains
+/// under `catch_unwind`, and on a panic drops the poisoned backend but
+/// keeps accepting batches (counted as quarantined) so the producer
+/// never waits on a ring nobody drains.
+struct DrainState<B> {
+    live: Option<B>,
+    admitted: u64,
+    drained: u64,
+    quarantined: u64,
+    panic_message: Option<String>,
+}
+
+impl<B> DrainState<B> {
+    fn new(shard: B) -> Self {
+        DrainState {
+            live: Some(shard),
+            admitted: 0,
+            drained: 0,
+            quarantined: 0,
+            panic_message: None,
+        }
+    }
+
+    fn take<I, V: Ord>(&mut self, batch: Vec<(I, V)>)
+    where
+        B: BatchInsert<I, V>,
+    {
         let len = batch.len() as u64;
-        match live.take() {
+        match self.live.take() {
             Some(mut shard) => {
                 match catch_unwind(AssertUnwindSafe(|| drain_batch(&mut shard, batch))) {
                     Ok(admitted) => {
-                        out.admitted += admitted;
-                        out.drained += len;
-                        live = Some(shard);
+                        self.admitted += admitted;
+                        self.drained += len;
+                        self.live = Some(shard);
                     }
                     Err(payload) => {
                         // The backend's internal invariants may be
@@ -291,17 +357,145 @@ fn worker_loop<I, V: Ord, B: BatchInsert<I, V>>(
                         // dropping, and charge the whole batch as
                         // quarantined (any partial admissions die with
                         // the backend).
-                        out.quarantined += len;
-                        out.panic_message = Some(panic_message(payload));
+                        self.quarantined += len;
+                        self.panic_message = Some(panic_message(payload));
                         drop(shard);
                     }
                 }
             }
-            None => out.quarantined += len,
+            None => self.quarantined += len,
         }
     }
-    out.shard = live;
-    out
+
+    fn finish(self) -> WorkerOutcome<B> {
+        WorkerOutcome {
+            shard: self.live,
+            admitted: self.admitted,
+            drained: self.drained,
+            quarantined: self.quarantined,
+            panic_message: self.panic_message,
+        }
+    }
+}
+
+/// One worker's drain loop over a single SPSC ring: spin-then-park on
+/// emptiness ([`ring::Consumer::recv`]), end when the producer closes.
+fn worker_loop<I, V: Ord, B: BatchInsert<I, V>>(
+    shard: B,
+    mut rx: ring::Consumer<Vec<(I, V)>>,
+    pin_core: Option<usize>,
+) -> WorkerOutcome<B> {
+    if let Some(core) = pin_core {
+        ring::pin_current_thread(core);
+    }
+    let mut state = DrainState::new(shard);
+    while let Some(batch) = rx.recv() {
+        state.take(batch);
+    }
+    state.finish()
+}
+
+/// One worker's drain loop over P producer rings (the partitioned
+/// layout): sweep the open rings, retire each once it is closed *and*
+/// drained, and back off (yield, then short sleep) on an idle sweep —
+/// parking is per-ring, so a multi-ring consumer polls instead.
+fn worker_loop_multi<I, V: Ord, B: BatchInsert<I, V>>(
+    shard: B,
+    mut rings: Vec<ring::Consumer<Vec<(I, V)>>>,
+    pin_core: Option<usize>,
+) -> WorkerOutcome<B> {
+    if let Some(core) = pin_core {
+        ring::pin_current_thread(core);
+    }
+    let mut state = DrainState::new(shard);
+    let mut idle = 0u32;
+    while !rings.is_empty() {
+        let mut progressed = false;
+        rings.retain_mut(|rx| {
+            while let Some(batch) = rx.try_pop() {
+                progressed = true;
+                state.take(batch);
+            }
+            if !rx.is_closed() {
+                return true;
+            }
+            // Close is published after the producer's last push, so one
+            // more drain after observing it empties the ring for good.
+            while let Some(batch) = rx.try_pop() {
+                progressed = true;
+                state.take(batch);
+            }
+            false
+        });
+        if progressed {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle < 16 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    state.finish()
+}
+
+/// Producer-side push of one batch under the overload policy.
+/// `dropped`/`orphaned` are item counts per shard; the shed budget is
+/// an atomic so partitioned producers share one budget per shard.
+fn dispatch_ring<I, V>(
+    tx: &mut ring::Producer<Vec<(I, V)>>,
+    batch: Vec<(I, V)>,
+    overload: OverloadPolicy,
+    dropped: &AtomicU64,
+    orphaned: &mut u64,
+) {
+    let len = batch.len() as u64;
+    match overload {
+        OverloadPolicy::Block => {
+            if tx.push_wait(batch).is_err() {
+                // The worker died without draining its ring; count and
+                // carry on — the other shards still want their
+                // sub-streams.
+                *orphaned += len;
+            }
+        }
+        OverloadPolicy::Shed { max_dropped } => match tx.try_push(batch) {
+            Ok(()) => {}
+            Err(batch) => {
+                if tx.consumer_gone() {
+                    *orphaned += len;
+                } else if claim_shed_budget(dropped, len, max_dropped) {
+                    // Counted into the shared per-shard drop budget.
+                } else if tx.push_wait(batch).is_err() {
+                    *orphaned += len;
+                }
+            }
+        },
+    }
+}
+
+/// Atomically claims `len` items of a shard's shed budget; `false`
+/// when the claim would overshoot `max_dropped` (the caller must then
+/// fall back to a blocking push, keeping the loss bound exact).
+fn claim_shed_budget(dropped: &AtomicU64, len: u64, max_dropped: u64) -> bool {
+    dropped
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            cur.checked_add(len).filter(|&next| next <= max_dropped)
+        })
+        .is_ok()
+}
+
+/// Worker core assignment under [`DriverConfig::pin_threads`].
+pub(crate) fn pin_plan(pin: bool, index: usize) -> Option<usize> {
+    if !pin {
+        return None;
+    }
+    let cores = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Some(index % cores)
 }
 
 impl<I, V, B> ShardedQMax<I, V, B>
@@ -321,9 +515,11 @@ where
     /// The producer thread routes ids to shards ([`ShardKey`] hash) and
     /// accumulates per-shard batches of `config.batch_size` items;
     /// workers apply the same Ψ-cached batch drain as
-    /// [`ShardedQMax::insert_batch`]. Channels are bounded at
-    /// `config.queue_depth` batches; a full queue either blocks the
-    /// producer or sheds the batch, per `config.overload`.
+    /// [`ShardedQMax::insert_batch`]. Each shard is fed over a
+    /// lock-free SPSC [`ring`](crate::ring) bounded at
+    /// `config.queue_depth` batches; a full ring either blocks the
+    /// producer (bounded spin, then yield) or sheds the batch, per
+    /// `config.overload`.
     ///
     /// This method itself never panics on a shard failure: worker
     /// panics are caught, quarantined, and reported.
@@ -337,9 +533,93 @@ where
         let shards = self.take_shards();
         let router = self.router();
         let mut per_shard_items = vec![0u64; n];
-        let mut per_shard_dropped = vec![0u64; n];
-        // Items orphaned by a closed channel (worker died outside the
+        let dropped: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        // Items orphaned by a dead consumer (worker died outside the
         // drain loop); folded into the quarantine bucket.
+        let mut orphaned = vec![0u64; n];
+        let start = Instant::now();
+        let (outcomes, high_water) = thread::scope(|scope| {
+            let mut producers = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for (s, shard) in shards.into_iter().enumerate() {
+                let (tx, rx) = ring::ring::<Vec<(I, V)>>(queue_depth);
+                producers.push(tx);
+                let pin = pin_plan(config.pin_threads, s);
+                handles.push(scope.spawn(move || worker_loop(shard, rx, pin)));
+            }
+            let mut buffers: Vec<Vec<(I, V)>> =
+                (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+            for (id, val) in stream {
+                let s = router.route(&id);
+                per_shard_items[s] += 1;
+                buffers[s].push((id, val));
+                if buffers[s].len() >= batch_size {
+                    let full = std::mem::replace(&mut buffers[s], Vec::with_capacity(batch_size));
+                    dispatch_ring(
+                        &mut producers[s],
+                        full,
+                        config.overload,
+                        &dropped[s],
+                        &mut orphaned[s],
+                    );
+                }
+            }
+            for (s, buffer) in buffers.into_iter().enumerate() {
+                if !buffer.is_empty() {
+                    dispatch_ring(
+                        &mut producers[s],
+                        buffer,
+                        config.overload,
+                        &dropped[s],
+                        &mut orphaned[s],
+                    );
+                }
+            }
+            // Read the backpressure peaks, then close the rings
+            // (dropping the producers) to end each worker's drain loop.
+            let high_water: Vec<u64> = producers.iter().map(|p| p.high_water()).collect();
+            drop(producers);
+            let outcomes = handles
+                .into_iter()
+                .map(|handle| handle.join())
+                .collect::<Vec<_>>();
+            (outcomes, high_water)
+        });
+        let elapsed = start.elapsed();
+        let per_shard_dropped: Vec<u64> =
+            dropped.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        self.reassemble(
+            ReportInputs {
+                per_shard_items,
+                per_shard_dropped,
+                orphaned,
+                per_shard_ring_high_water: high_water,
+                ring_capacity: queue_depth as u64,
+                elapsed,
+            },
+            outcomes,
+        )
+    }
+
+    /// The mpsc-era driver, retained verbatim as the reference
+    /// implementation the ring driver is differentially tested and
+    /// benchmarked against: identical routing, batching, overload, and
+    /// quarantine semantics over `std::sync::mpsc` bounded channels
+    /// (mutex-and-condvar handoff). It reports no ring stats
+    /// ([`DriverReport::ring_capacity`] = 0) and ignores
+    /// [`DriverConfig::pin_threads`]. New code wants
+    /// [`ShardedQMax::run_threaded`].
+    pub fn run_threaded_mpsc<S>(&mut self, stream: S, config: DriverConfig) -> DriverReport
+    where
+        S: Iterator<Item = (I, V)>,
+    {
+        let n = self.shard_count();
+        let batch_size = config.batch_size.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shards = self.take_shards();
+        let router = self.router();
+        let mut per_shard_items = vec![0u64; n];
+        let mut per_shard_dropped = vec![0u64; n];
         let mut orphaned = vec![0u64; n];
         let start = Instant::now();
         let outcomes = thread::scope(|scope| {
@@ -348,16 +628,19 @@ where
             for shard in shards {
                 let (tx, rx) = mpsc::sync_channel::<Vec<(I, V)>>(queue_depth);
                 senders.push(tx);
-                handles.push(scope.spawn(move || worker_loop(shard, rx)));
+                handles.push(scope.spawn(move || {
+                    let mut state = DrainState::new(shard);
+                    for batch in rx {
+                        state.take(batch);
+                    }
+                    state.finish()
+                }));
             }
             let dispatch =
                 |s: usize, batch: Vec<(I, V)>, dropped: &mut [u64], orphaned: &mut [u64]| {
                     match config.overload {
                         OverloadPolicy::Block => {
                             if let Err(mpsc::SendError(lost)) = senders[s].send(batch) {
-                                // The worker died without draining its
-                                // channel; count and carry on — the other
-                                // shards still want their sub-streams.
                                 orphaned[s] += lost.len() as u64;
                             }
                         }
@@ -400,7 +683,173 @@ where
                 .collect::<Vec<_>>()
         });
         let elapsed = start.elapsed();
+        self.reassemble(
+            ReportInputs {
+                per_shard_items,
+                per_shard_dropped,
+                orphaned,
+                per_shard_ring_high_water: vec![0; n],
+                ring_capacity: 0,
+                elapsed,
+            },
+            outcomes,
+        )
+    }
 
+    /// The P-producer layout: `streams.len()` ingestion threads, each
+    /// routing its own sub-stream over a private SPSC ring per shard
+    /// (P × S rings total — "one producer slot per ingestion thread ×
+    /// shard"), so neither producers nor workers ever share a queue.
+    /// Workers sweep their P rings (poll + backoff; per-ring parking
+    /// does not compose across producers). Under
+    /// [`OverloadPolicy::Shed`] the per-shard drop budget is shared
+    /// across producers through one atomic, so the loss bound is
+    /// per-shard, not per-(producer × shard).
+    /// [`DriverReport::per_shard_ring_high_water`] is the max over a
+    /// shard's P rings.
+    ///
+    /// The merged result is exact: q-MAX keeps the exact top-q, which
+    /// is insensitive to the interleaving of the P sub-streams.
+    pub fn run_threaded_partitioned<S>(
+        &mut self,
+        streams: Vec<S>,
+        config: DriverConfig,
+    ) -> DriverReport
+    where
+        S: Iterator<Item = (I, V)> + Send,
+    {
+        let n = self.shard_count();
+        let nprod = streams.len().max(1);
+        let batch_size = config.batch_size.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shards = self.take_shards();
+        let router = self.router();
+        let dropped: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let start = Instant::now();
+        let (outcomes, per_shard_items, orphaned, high_water) = thread::scope(|scope| {
+            // rings[p][s]: producer p's private lane into shard s.
+            let mut producer_lanes: Vec<Vec<BatchProducer<I, V>>> =
+                (0..nprod).map(|_| Vec::with_capacity(n)).collect();
+            let mut consumer_lanes: Vec<Vec<BatchConsumer<I, V>>> =
+                (0..n).map(|_| Vec::with_capacity(nprod)).collect();
+            for lanes in producer_lanes.iter_mut() {
+                for consumers in consumer_lanes.iter_mut() {
+                    let (tx, rx) = ring::ring::<Vec<(I, V)>>(queue_depth);
+                    lanes.push(tx);
+                    consumers.push(rx);
+                }
+            }
+            let mut handles = Vec::with_capacity(n);
+            for (s, (rings, shard)) in consumer_lanes.into_iter().zip(shards).enumerate() {
+                let pin = pin_plan(config.pin_threads, s);
+                handles.push(scope.spawn(move || worker_loop_multi(shard, rings, pin)));
+            }
+            let producer_handles: Vec<_> = streams
+                .into_iter()
+                .zip(producer_lanes)
+                .enumerate()
+                .map(|(p, (stream, mut lanes))| {
+                    let router = &router;
+                    let dropped = &dropped;
+                    let pin = pin_plan(config.pin_threads, n + p);
+                    scope.spawn(move || {
+                        if let Some(core) = pin {
+                            ring::pin_current_thread(core);
+                        }
+                        let mut items = vec![0u64; n];
+                        let mut orphaned = vec![0u64; n];
+                        let mut buffers: Vec<Vec<(I, V)>> =
+                            (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+                        for (id, val) in stream {
+                            let s = router.route(&id);
+                            items[s] += 1;
+                            buffers[s].push((id, val));
+                            if buffers[s].len() >= batch_size {
+                                let full = std::mem::replace(
+                                    &mut buffers[s],
+                                    Vec::with_capacity(batch_size),
+                                );
+                                dispatch_ring(
+                                    &mut lanes[s],
+                                    full,
+                                    config.overload,
+                                    &dropped[s],
+                                    &mut orphaned[s],
+                                );
+                            }
+                        }
+                        for (s, buffer) in buffers.into_iter().enumerate() {
+                            if !buffer.is_empty() {
+                                dispatch_ring(
+                                    &mut lanes[s],
+                                    buffer,
+                                    config.overload,
+                                    &dropped[s],
+                                    &mut orphaned[s],
+                                );
+                            }
+                        }
+                        let high_water: Vec<u64> =
+                            lanes.iter().map(|lane| lane.high_water()).collect();
+                        // Dropping the lanes closes this producer's
+                        // rings; a worker retires once all P close.
+                        drop(lanes);
+                        (items, orphaned, high_water)
+                    })
+                })
+                .collect();
+            let mut per_shard_items = vec![0u64; n];
+            let mut orphaned = vec![0u64; n];
+            let mut high_water = vec![0u64; n];
+            for handle in producer_handles {
+                // A producer panic would poison the whole run; none of
+                // the producer loop panics short of an OOM abort.
+                let (items, orph, hw) = handle.join().expect("ingestion thread panicked");
+                for s in 0..n {
+                    per_shard_items[s] += items[s];
+                    orphaned[s] += orph[s];
+                    high_water[s] = high_water[s].max(hw[s]);
+                }
+            }
+            let outcomes = handles
+                .into_iter()
+                .map(|handle| handle.join())
+                .collect::<Vec<_>>();
+            (outcomes, per_shard_items, orphaned, high_water)
+        });
+        let elapsed = start.elapsed();
+        let per_shard_dropped: Vec<u64> =
+            dropped.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        self.reassemble(
+            ReportInputs {
+                per_shard_items,
+                per_shard_dropped,
+                orphaned,
+                per_shard_ring_high_water: high_water,
+                ring_capacity: queue_depth as u64,
+                elapsed,
+            },
+            outcomes,
+        )
+    }
+
+    /// Shared post-run reassembly: fold worker outcomes into the
+    /// report, rebuild quarantined slots cold from the factory, and
+    /// restore the engine's shards and coverage annotations.
+    fn reassemble(
+        &mut self,
+        inputs: ReportInputs,
+        outcomes: Vec<thread::Result<WorkerOutcome<B>>>,
+    ) -> DriverReport {
+        let ReportInputs {
+            per_shard_items,
+            per_shard_dropped,
+            orphaned,
+            per_shard_ring_high_water,
+            ring_capacity,
+            elapsed,
+        } = inputs;
+        let n = per_shard_items.len();
         let mut returned = Vec::with_capacity(n);
         let mut per_shard_admitted = vec![0u64; n];
         let mut per_shard_drained = vec![0u64; n];
@@ -412,12 +861,15 @@ where
                 Ok(outcome) => outcome,
                 // The worker thread itself panicked outside the guarded
                 // drain (a driver bug, not a backend bug) — treat every
-                // unaccounted item as quarantined and rebuild anyway.
+                // item not otherwise accounted as quarantined and
+                // rebuild anyway.
                 Err(payload) => WorkerOutcome {
                     shard: None,
                     admitted: 0,
                     drained: 0,
-                    quarantined: per_shard_items[s].saturating_sub(per_shard_dropped[s]),
+                    quarantined: per_shard_items[s]
+                        .saturating_sub(per_shard_dropped[s])
+                        .saturating_sub(orphaned[s]),
                     panic_message: Some(panic_message(payload)),
                 },
             };
@@ -456,11 +908,23 @@ where
             per_shard_dropped,
             per_shard_quarantined,
             per_shard_recovered: vec![0; n],
+            per_shard_ring_high_water,
+            ring_capacity,
             failures,
             per_shard_backend,
             lifecycle: ShardLifecycle::default(),
         }
     }
+}
+
+/// Producer-side tallies a run hands to [`ShardedQMax::reassemble`].
+struct ReportInputs {
+    per_shard_items: Vec<u64>,
+    per_shard_dropped: Vec<u64>,
+    orphaned: Vec<u64>,
+    per_shard_ring_high_water: Vec<u64>,
+    ring_capacity: u64,
+    elapsed: Duration,
 }
 
 #[cfg(test)]
@@ -487,6 +951,7 @@ mod tests {
                 "shard {s} accounting does not balance: {report:?}"
             );
             assert!(report.per_shard_admitted[s] <= report.per_shard_drained[s]);
+            assert!(report.per_shard_ring_high_water[s] <= report.ring_capacity);
         }
     }
 
@@ -504,6 +969,7 @@ mod tests {
             assert_eq!(report.per_shard_items.len(), shards);
             assert!(report.failures.is_empty());
             assert_eq!(report.dropped() + report.quarantined(), 0);
+            assert_eq!(report.ring_capacity, 8);
             assert_balanced(&report);
             let mut sequential: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
             for &(id, v) in &items {
@@ -515,6 +981,87 @@ mod tests {
                 "threaded result diverged at {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn ring_and_mpsc_reference_drivers_agree() {
+        let items: Vec<(u64, u64)> = random_u64_stream(50_000, 44)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let q = 64;
+        for shards in [1usize, 3] {
+            let mut ring_engine: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
+            let ring_report =
+                ring_engine.run_threaded(items.iter().copied(), DriverConfig::default());
+            let mut mpsc_engine: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, shards);
+            let mpsc_report =
+                mpsc_engine.run_threaded_mpsc(items.iter().copied(), DriverConfig::default());
+            assert_eq!(ring_report.per_shard_items, mpsc_report.per_shard_items);
+            assert_eq!(ring_report.per_shard_drained, mpsc_report.per_shard_drained);
+            assert_eq!(
+                ring_report.per_shard_admitted,
+                mpsc_report.per_shard_admitted
+            );
+            assert_eq!(mpsc_report.ring_capacity, 0);
+            assert_eq!(mpsc_report.per_shard_ring_high_water, vec![0; shards]);
+            assert!(ring_report.per_shard_ring_high_water.iter().any(|&h| h > 0));
+            assert_balanced(&ring_report);
+            assert_balanced(&mpsc_report);
+            assert_eq!(
+                sorted_vals(&mut ring_engine),
+                sorted_vals(&mut mpsc_engine),
+                "ring and mpsc drivers diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_run_matches_reference() {
+        let items: Vec<(u64, u64)> = random_u64_stream(60_000, 17)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let q = 64;
+        for producers in [1usize, 2, 4] {
+            let chunk = items.len().div_ceil(producers);
+            let streams: Vec<_> = items.chunks(chunk).map(|c| c.iter().copied()).collect();
+            let mut partitioned: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, 3);
+            let report = partitioned.run_threaded_partitioned(streams, DriverConfig::default());
+            assert_eq!(report.items, items.len() as u64);
+            assert!(report.failures.is_empty());
+            assert_eq!(report.dropped() + report.quarantined(), 0);
+            assert_balanced(&report);
+            let mut reference: ShardedQMax<u64, u64> = ShardedQMax::new(q, 0.25, 3);
+            reference.insert_batch(&items);
+            // The exact top-q is insensitive to sub-stream interleaving.
+            assert_eq!(
+                sorted_vals(&mut partitioned),
+                sorted_vals(&mut reference),
+                "partitioned result diverged at {producers} producers"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_run_agrees_with_unpinned() {
+        let items: Vec<(u64, u64)> = random_u64_stream(20_000, 5)
+            .enumerate()
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        let mut pinned: ShardedQMax<u64, u64> = ShardedQMax::new(32, 0.25, 2);
+        let report = pinned.run_threaded(
+            items.iter().copied(),
+            DriverConfig {
+                pin_threads: true,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(report.failures.is_empty());
+        assert_balanced(&report);
+        let mut plain: ShardedQMax<u64, u64> = ShardedQMax::new(32, 0.25, 2);
+        plain.insert_batch(&items);
+        assert_eq!(sorted_vals(&mut pinned), sorted_vals(&mut plain));
     }
 
     #[test]
@@ -532,6 +1079,7 @@ mod tests {
         assert!(report.throughput_mips() > 0.0);
         assert!(report.max_load_factor() >= 1.0);
         assert_eq!(report.per_shard_backend, vec!["qmax-deamortized"; 4]);
+        assert_eq!(report.per_shard_ring_high_water.len(), 4);
     }
 
     #[test]
@@ -614,7 +1162,7 @@ mod tests {
         let mut engine: ShardedQMax<u64, u64, FaultyBackend<DeamortizedQMax<u64, u64>>> =
             ShardedQMax::with_backends(q, 2, move |s| {
                 let schedule = if s == 0 {
-                    // Slow shard 0 down so its queue actually fills.
+                    // Slow shard 0 down so its ring actually fills.
                     FaultSchedule::stall_every(256, 2)
                 } else {
                     FaultSchedule::none()
@@ -640,6 +1188,11 @@ mod tests {
         for &d in &report.per_shard_dropped {
             assert!(d <= budget, "shed {d} items, budget {budget}");
         }
+        if report.per_shard_dropped[0] > 0 {
+            // Shedding only fires against a full ring, so the stalled
+            // shard's high-water must have pinned at capacity.
+            assert!(report.saturated(0), "shed without saturation: {report:?}");
+        }
         assert_balanced(&report);
     }
 
@@ -654,6 +1207,8 @@ mod tests {
             per_shard_dropped: vec![0, 0, 0],
             per_shard_quarantined: vec![0, 130, 0],
             per_shard_recovered: vec![0, 0, 0],
+            per_shard_ring_high_water: vec![1, 8, 1],
+            ring_capacity: 8,
             failures: vec![ShardFailure {
                 shard: 1,
                 message: "boom".into(),
@@ -664,6 +1219,8 @@ mod tests {
         };
         // Healthy shards carry 100 and 50 items: mean 75, max 100.
         assert!((report.max_load_factor() - 100.0 / 75.0).abs() < 1e-12);
+        assert!(report.saturated(1));
+        assert!(!report.saturated(0));
 
         // A single healthy shard is perfectly balanced by definition.
         let one_left = DriverReport {
@@ -680,6 +1237,8 @@ mod tests {
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0, 0],
             per_shard_recovered: vec![0, 0],
+            per_shard_ring_high_water: vec![0, 0],
+            ring_capacity: 8,
             per_shard_backend: vec!["qmax-deamortized"; 2],
             lifecycle: ShardLifecycle::default(),
         };
@@ -700,6 +1259,8 @@ mod tests {
             elapsed: Duration::from_millis(1),
             per_shard_dropped: vec![0],
             per_shard_recovered: vec![0],
+            per_shard_ring_high_water: vec![0],
+            ring_capacity: 8,
             per_shard_backend: vec!["qmax-deamortized"],
             lifecycle: ShardLifecycle::default(),
         };

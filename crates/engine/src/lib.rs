@@ -31,9 +31,13 @@
 //!   a final `O(S·q)` selection ([`qmax_select::nth_smallest`]) extracts
 //!   exactly.
 //! * **Multi-threaded driver** — [`ShardedQMax::run_threaded`] spawns
-//!   one worker per shard (scoped `std` threads + bounded channels; no
-//!   external dependencies), routes a stream into per-shard batches, and
-//!   reports per-shard load and aggregate insert throughput.
+//!   one worker per shard (scoped `std` threads + lock-free SPSC
+//!   [`ring`] buffers; no external dependencies), routes a stream into
+//!   per-shard batches, and reports per-shard load, ring high-water
+//!   occupancy, and aggregate insert throughput; optional core pinning
+//!   via [`DriverConfig::pin_threads`], and
+//!   [`ShardedQMax::run_threaded_partitioned`] fans P ingestion
+//!   threads out over one ring per (thread × shard).
 //! * **Fault tolerance** — worker panics are caught and isolated: the
 //!   failing shard is quarantined and rebuilt empty from the engine's
 //!   stored backend factory while the other workers keep running
@@ -71,10 +75,14 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// [`ring`] module's SPSC slot handoff, whose Acquire/Release protocol
+// is documented there and exercised under Miri in CI.
+#![deny(unsafe_code)]
 
 mod driver;
 pub mod fault;
+pub mod ring;
 mod shard_key;
 mod sharded;
 mod supervisor;

@@ -16,16 +16,23 @@
 //!   fully overwrites whatever the panic left behind), so post-fault
 //!   loss is bounded by one checkpoint interval plus the in-flight
 //!   batch, instead of the whole shard.
-//! * **Stall watchdog** — workers stamp an atomic heartbeat per drained
-//!   batch; a supervisor thread sweeps every
+//! * **Stall watchdog** — the heartbeat is the shard ring's
+//!   consumption counter ([`crate::ring::Producer::consumed`], the
+//!   number of batches the worker has popped), plus an explicit bump
+//!   per recovery step; a supervisor thread sweeps every
 //!   [`WatchdogConfig::poll_interval`] and declares a shard stalled
-//!   when its heartbeat has been silent for
+//!   when the counter has been silent for
 //!   [`WatchdogConfig::deadline`] while batches are pending. A stalled
 //!   shard is restarted with bounded retries and exponential backoff
 //!   with deterministic jitter: a spare backend (pre-stamped from the
 //!   factory) is warm-restored from the last checkpoint and takes over
-//!   on a fresh channel, while the abandoned worker drains its leftover
+//!   on a fresh ring, while the abandoned worker drains its leftover
 //!   batches into the quarantine bucket when it eventually wakes.
+//!   While a worker is stalled the producer keeps try-pushing against
+//!   its full ring, so the shard's ring high-water
+//!   ([`DriverReport::per_shard_ring_high_water`]) pins at capacity —
+//!   the occupancy-level symptom of the stall — before failover swaps
+//!   the ring out (high-water marks fold across worker generations).
 //! * **Lifecycle log** — every transition
 //!   (`Healthy → Suspect → Restarting(n) → Quarantined`, and the
 //!   recovery back to `Healthy`) is recorded as a [`LifecycleEvent`]
@@ -56,12 +63,13 @@
 use crate::driver::{
     drain_batch, panic_message, DriverConfig, DriverReport, OverloadPolicy, ShardFailure,
 };
+use crate::ring;
 use crate::shard_key::ShardKey;
 use crate::sharded::{ShardHealth, ShardedQMax};
 use qmax_core::{BackendSnapshot, BatchInsert, Checkpoint};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -243,9 +251,11 @@ impl<I, V> CkptSlot<I, V> {
     }
 }
 
-/// A shard's current batch sender, swappable on failover and cleared
-/// on permanent quarantine or shutdown.
-type SenderSlot<I, V> = Mutex<Option<mpsc::SyncSender<Vec<(I, V)>>>>;
+/// A shard's current batch ring producer, swappable on failover and
+/// cleared on permanent quarantine or shutdown. Retiring a producer
+/// (see [`SupShared::retire_producer`]) folds its ring high-water into
+/// the shard's accumulator before the drop closes the ring.
+type SenderSlot<I, V> = Mutex<Option<ring::Producer<Vec<(I, V)>>>>;
 
 /// Everything the producer, workers, and supervisor share for one
 /// supervised run. Stack-allocated outside the thread scope and
@@ -257,9 +267,13 @@ struct SupShared<I, V, B> {
     /// Current worker generation per shard; a worker whose generation
     /// no longer matches counts everything it receives as quarantined.
     gens: Vec<AtomicU64>,
-    /// Heartbeat: bumped once per batch drained by the current
-    /// generation (and once per recovery step), never reset.
+    /// Recovery-step heartbeat bumps (warm restores), never reset. The
+    /// batch-level heartbeat is the current ring's consumption counter
+    /// ([`ring::Producer::consumed`]); the watchdog sums the two.
     hearts: Vec<AtomicU64>,
+    /// Peak ring occupancy per shard, folded across worker generations
+    /// as producers are retired (failover, quarantine, shutdown).
+    ring_hw: Vec<AtomicU64>,
     /// Batches handed to a worker but not yet fully processed.
     pending: Vec<AtomicI64>,
     /// Set while a worker is self-restoring after a panic, so the
@@ -292,6 +306,7 @@ impl<I, V, B> SupShared<I, V, B> {
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
             gens: (0..n).map(|_| AtomicU64::new(0)).collect(),
             hearts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ring_hw: (0..n).map(|_| AtomicU64::new(0)).collect(),
             pending: (0..n).map(|_| AtomicI64::new(0)).collect(),
             restoring: (0..n).map(|_| AtomicBool::new(false)).collect(),
             healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
@@ -353,26 +368,41 @@ impl<I, V, B> SupShared<I, V, B> {
         self.admitted[s].store(slot.admitted_at, Ordering::SeqCst);
         self.quarantined[s].fetch_add(lost, Ordering::SeqCst);
     }
+
+    /// Retires a shard's current ring producer: folds the ring's
+    /// high-water occupancy into the cross-generation accumulator,
+    /// then drops the handle (which closes the ring, ending — or
+    /// eventually ending, for a stalled worker — its drain loop).
+    fn retire_producer(&self, s: usize, guard: &mut Option<ring::Producer<Vec<(I, V)>>>) {
+        if let Some(producer) = guard.take() {
+            self.ring_hw[s].fetch_max(producer.high_water(), Ordering::SeqCst);
+        }
+    }
 }
 
 /// One supervised worker generation: drains batches, checkpoints on
 /// cadence, and warm-restores itself in place after a caught panic
 /// while restart budget remains.
+#[allow(clippy::too_many_arguments)]
 fn supervised_worker<I, V, B>(
     sh: &SupShared<I, V, B>,
     s: usize,
     my_gen: u64,
     backend: B,
-    rx: mpsc::Receiver<Vec<(I, V)>>,
+    mut rx: ring::Consumer<Vec<(I, V)>>,
     ckpt_every: Option<u64>,
     wd: WatchdogConfig,
+    pin_core: Option<usize>,
 ) where
     V: Ord,
     B: BatchInsert<I, V> + Checkpoint<I, V>,
 {
+    if let Some(core) = pin_core {
+        ring::pin_current_thread(core);
+    }
     let mut live = Some(backend);
     let mut since_ckpt = 0u64;
-    for batch in rx {
+    while let Some(batch) = rx.recv() {
         let len = batch.len() as u64;
         let mine = sh.gens[s].load(Ordering::SeqCst) == my_gen;
         match (mine, live.take()) {
@@ -397,7 +427,9 @@ fn supervised_worker<I, V, B>(
                         } else {
                             sh.drained[s].fetch_add(len, Ordering::SeqCst);
                             sh.admitted[s].fetch_add(admitted, Ordering::SeqCst);
-                            sh.hearts[s].fetch_add(1, Ordering::SeqCst);
+                            // No explicit heartbeat: popping the batch
+                            // already advanced the ring's consumption
+                            // counter, which is what the watchdog reads.
                             since_ckpt += len;
                             if let Some(k) = ckpt_every {
                                 if since_ckpt >= k {
@@ -444,9 +476,10 @@ fn supervised_worker<I, V, B>(
                         } else {
                             // Budget exhausted (or checkpointing off):
                             // permanent quarantine, PR 4 style. Fence
-                            // the generation and stop the producer.
+                            // the generation and retire the ring (the
+                            // producer sees it close and orphans).
                             sh.gens[s].fetch_add(1, Ordering::SeqCst);
-                            *sh.slots[s].lock().unwrap() = None;
+                            sh.retire_producer(s, &mut sh.slots[s].lock().unwrap());
                             if ckpt_every.is_some() {
                                 let slot = sh.ckpts[s].lock().unwrap();
                                 sh.reclassify_to_checkpoint(s, &slot);
@@ -508,6 +541,7 @@ where
         let ckpt_every = config.checkpoint_every;
         let wd = config.watchdog.unwrap_or_default();
         let watchdog_on = config.watchdog.is_some();
+        let pin_threads = config.pin_threads;
         let shards = self.take_shards();
         let router = self.router();
         // Spares for stall failover are stamped out of the factory up
@@ -531,10 +565,11 @@ where
             let spares = &spares;
             let done = &done;
             for (s, backend) in shards.into_iter().enumerate() {
-                let (tx, rx) = mpsc::sync_channel::<Vec<(I, V)>>(queue_depth);
+                let (tx, rx) = ring::ring::<Vec<(I, V)>>(queue_depth);
                 *sh.slots[s].lock().unwrap() = Some(tx);
                 sh.live_workers.fetch_add(1, Ordering::SeqCst);
-                scope.spawn(move || supervised_worker(sh, s, 0, backend, rx, ckpt_every, wd));
+                let pin = crate::driver::pin_plan(config.pin_threads, s);
+                scope.spawn(move || supervised_worker(sh, s, 0, backend, rx, ckpt_every, wd, pin));
             }
             if watchdog_on {
                 scope.spawn(move || {
@@ -548,10 +583,17 @@ where
                             if sh.closing.load(Ordering::SeqCst) {
                                 break;
                             }
-                            if sh.slots[s].lock().unwrap().is_none() {
-                                continue; // permanently quarantined
-                            }
-                            let h = sh.hearts[s].load(Ordering::SeqCst);
+                            // The batch-level heartbeat is the live
+                            // ring's consumption counter; recovery
+                            // steps add explicit bumps on top.
+                            let consumed = {
+                                let guard = sh.slots[s].lock().unwrap();
+                                match guard.as_ref() {
+                                    None => continue, // permanently quarantined
+                                    Some(producer) => producer.consumed(),
+                                }
+                            };
+                            let h = consumed + sh.hearts[s].load(Ordering::SeqCst);
                             if h != last_heart[s] || sh.restoring[s].load(Ordering::SeqCst) {
                                 last_heart[s] = h;
                                 last_change[s] = now;
@@ -584,7 +626,7 @@ where
                             let attempt = sh.restarts[s].fetch_add(1, Ordering::SeqCst) + 1;
                             if attempt > wd.max_restarts {
                                 sh.gens[s].fetch_add(1, Ordering::SeqCst);
-                                *sh.slots[s].lock().unwrap() = None;
+                                sh.retire_producer(s, &mut sh.slots[s].lock().unwrap());
                                 {
                                     let slot = sh.ckpts[s].lock().unwrap();
                                     sh.reclassify_to_checkpoint(s, &slot);
@@ -622,7 +664,7 @@ where
                                     sh.recovered[s].fetch_add(snap.len() as u64, Ordering::SeqCst);
                                 }
                             }
-                            let (tx, rx) = mpsc::sync_channel::<Vec<(I, V)>>(queue_depth);
+                            let (tx, rx) = ring::ring::<Vec<(I, V)>>(queue_depth);
                             {
                                 let mut slot = sh.slots[s].lock().unwrap();
                                 if sh.closing.load(Ordering::SeqCst) {
@@ -632,11 +674,17 @@ where
                                     // bring a replacement online.
                                     continue;
                                 }
+                                // Fold the stalled generation's ring
+                                // high-water (pinned at capacity while
+                                // the producer beat against it), then
+                                // swap in the fresh ring.
+                                sh.retire_producer(s, &mut slot);
                                 *slot = Some(tx);
                             }
                             sh.live_workers.fetch_add(1, Ordering::SeqCst);
+                            let pin = crate::driver::pin_plan(pin_threads, s);
                             scope.spawn(move || {
-                                supervised_worker(sh, s, new_gen, spare, rx, ckpt_every, wd)
+                                supervised_worker(sh, s, new_gen, spare, rx, ckpt_every, wd, pin)
                             });
                             sh.healthy[s].store(true, Ordering::SeqCst);
                             suspect[s] = false;
@@ -651,31 +699,36 @@ where
                     }
                 });
             }
-            // Producer: route, batch, dispatch. Sends never hold the
-            // slot lock while blocked, so the supervisor can always
-            // swap a stalled shard's sender underneath us.
+            // Producer: route, batch, dispatch. Pushes never hold the
+            // slot lock while waiting out a full ring, so the
+            // supervisor can always swap a stalled shard's ring
+            // underneath us. A full-ring `try_push` records the
+            // at-capacity occupancy in the ring's high-water mark —
+            // which is how a stall becomes visible as backpressure.
             let dispatch =
                 |s: usize, batch: Vec<(I, V)>, dropped: &mut [u64], orphaned: &mut [u64]| {
                     let mut held = Some(batch);
                     loop {
                         {
-                            let guard = sh.slots[s].lock().unwrap();
-                            match guard.as_ref() {
+                            let mut guard = sh.slots[s].lock().unwrap();
+                            match guard.as_mut() {
                                 None => {
                                     orphaned[s] += held.take().unwrap().len() as u64;
                                     return;
                                 }
-                                Some(tx) => match tx.try_send(held.take().unwrap()) {
-                                    Ok(()) => {
-                                        sh.pending[s].fetch_add(1, Ordering::SeqCst);
+                                Some(tx) => {
+                                    if tx.consumer_gone() {
+                                        orphaned[s] += held.take().unwrap().len() as u64;
                                         return;
                                     }
-                                    Err(mpsc::TrySendError::Full(b)) => held = Some(b),
-                                    Err(mpsc::TrySendError::Disconnected(b)) => {
-                                        orphaned[s] += b.len() as u64;
-                                        return;
+                                    match tx.try_push(held.take().unwrap()) {
+                                        Ok(()) => {
+                                            sh.pending[s].fetch_add(1, Ordering::SeqCst);
+                                            return;
+                                        }
+                                        Err(b) => held = Some(b), // ring full
                                     }
-                                },
+                                }
                             }
                         }
                         if let OverloadPolicy::Shed { max_dropped } = config.overload {
@@ -705,12 +758,13 @@ where
                 }
             }
             // Shutdown: fence the supervisor out of new failovers, then
-            // close every channel. Re-clearing in the wait loop catches
-            // a sender a failover installed in the race window.
+            // retire every ring (folding its high-water and closing
+            // it). Re-retiring in the wait loop catches a producer a
+            // failover installed in the race window.
             sh.closing.store(true, Ordering::SeqCst);
             while {
                 for s in 0..n {
-                    *sh.slots[s].lock().unwrap() = None;
+                    sh.retire_producer(s, &mut sh.slots[s].lock().unwrap());
                 }
                 sh.live_workers.load(Ordering::SeqCst) > 0
             } {
@@ -802,6 +856,11 @@ where
         self.restore_shards(returned);
         self.set_coverage(health, per_shard_drained.clone());
         let per_shard_backend = self.shard_backend_labels();
+        let per_shard_ring_high_water: Vec<u64> = sh
+            .ring_hw
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .collect();
         DriverReport {
             items: per_shard_items.iter().sum(),
             elapsed,
@@ -811,6 +870,8 @@ where
             per_shard_dropped,
             per_shard_quarantined,
             per_shard_recovered,
+            per_shard_ring_high_water,
+            ring_capacity: queue_depth as u64,
             failures,
             per_shard_backend,
             lifecycle: ShardLifecycle::from_events(sh.events.into_inner().unwrap()),

@@ -7,7 +7,7 @@ use qmax_core::{
     AdaptiveBackend, AmortizedQMax, Entry, FlowIndex, IndexFamily, IntervalBackend, KeyIndex,
     OrderedF64, SoaAmortizedQMax,
 };
-use qmax_select::nth_smallest;
+use qmax_select::{nth_smallest, Kernel};
 use std::hash::Hash;
 
 /// LRFU via exponential-decay q-MAX with duplicate merging.
@@ -93,7 +93,13 @@ pub struct QMaxLrfu<
     /// Persistent scratch buffers so maintenance allocates nothing
     /// steady-state.
     log_scratch: Vec<Entry<K, OrderedF64>>,
-    ranked_scratch: Vec<(OrderedF64, u32)>,
+    /// Scores-only selection scratch: the maintenance pass ranks the
+    /// dense score column directly instead of materializing
+    /// `(score, slot)` pairs (see [`Self::maintain`]).
+    score_scratch: Vec<OrderedF64>,
+    /// Runtime-dispatched comparison kernel for the pivot census over
+    /// the score column ([`Kernel::count_gt_eq`]).
+    kernel: Kernel<OrderedF64>,
     time: u64,
     maintenance_passes: u64,
 }
@@ -228,7 +234,8 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
             hints: Vec::new(),
             carried: 0,
             log_scratch: Vec::new(),
-            ranked_scratch: Vec::new(),
+            score_scratch: Vec::new(),
+            kernel: Kernel::detect(),
             time: 0,
             maintenance_passes: 0,
         }
@@ -301,11 +308,21 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
     /// into the log. The fold order per key is carried-score-first,
     /// then log order, which is exactly the order the old
     /// survivor-reinsertion scheme produced, so the merged scores are
-    /// bit-identical. Selection ranks `(score, arena slot)` pairs;
-    /// slot numbers are assigned in miss order and recycled in
-    /// eviction order, both of which are identical for every index
-    /// family — so eviction decisions cannot depend on index iteration
-    /// order even through exact score ties.
+    /// bit-identical.
+    ///
+    /// Selection runs over the **dense score column alone**: a
+    /// quickselect over copied scores finds the eviction pivot (the
+    /// q-th largest score), a [`Kernel::count_gt_eq`] census over the
+    /// same column splits the population into above/at/below-pivot,
+    /// and one ascending-slot sweep evicts everything below the pivot
+    /// plus the first `tie_budget` slots *at* it. No `(score, slot)`
+    /// pairs are materialized — the selection shuffles 8-byte scores,
+    /// and slot identities are recovered by the sweep. Tie-breaking
+    /// (lowest slot number evicted first) and free-slot recycling
+    /// (ascending slot order) depend only on arena slot numbers, which
+    /// are assigned in miss order — identical for every index family —
+    /// so eviction decisions cannot depend on index iteration order
+    /// even through exact score ties.
     fn maintain(&mut self) {
         let mut log = std::mem::take(&mut self.log_scratch);
         log.clear();
@@ -320,31 +337,54 @@ impl<K: Clone + Hash + Eq, B: IntervalBackend<K, OrderedF64>, F: IndexFamily> QM
         self.hints.clear();
         log.clear();
         self.log_scratch = log;
-        // Rank live slots as (score, slot) pairs — 12 bytes instead of
-        // shuffling whole key entries through the selection.
-        let mut ranked = std::mem::take(&mut self.ranked_scratch);
-        ranked.clear();
-        ranked.extend(
+        // Selection input: the live entries of the dense score column,
+        // scores only — no (score, slot) pairs.
+        let mut scores = std::mem::take(&mut self.score_scratch);
+        scores.clear();
+        scores.extend(
             self.arena_vals
                 .iter()
                 .zip(self.arena_live.iter())
-                .enumerate()
-                .filter(|(_, (_, &live))| live)
-                .map(|(i, (&w, _))| (OrderedF64(w), i as u32)),
+                .filter(|(_, &live)| live)
+                .map(|(&w, _)| OrderedF64(w)),
         );
-        if ranked.len() > self.q {
-            let cut = ranked.len() - self.q;
-            nth_smallest(&mut ranked, cut);
-            for &(_, idx) in &ranked[..cut] {
-                self.cached.remove(&self.arena_keys[idx as usize]);
-                self.arena_live[idx as usize] = false;
-                self.arena_free.push(idx);
+        let live = scores.len();
+        if live > self.q {
+            let cut = live - self.q;
+            // Pivot = the smallest surviving score (q-th largest).
+            let pivot = *nth_smallest(&mut scores, cut);
+            // Census over the (permuted — counts are order-invariant)
+            // column: strictly-below must all go; the remaining
+            // eviction quota falls on pivot-equal slots, lowest slot
+            // numbers first — the same choice the old (score, slot)
+            // lexicographic selection made.
+            let (gt, eq) = self.kernel.count_gt_eq(&scores, pivot);
+            let below = live - gt - eq;
+            let mut tie_budget = cut - below;
+            for idx in 0..self.arena_vals.len() {
+                if !self.arena_live[idx] {
+                    continue;
+                }
+                let w = OrderedF64(self.arena_vals[idx]);
+                let evict = if w < pivot {
+                    true
+                } else if w == pivot && tie_budget > 0 {
+                    tie_budget -= 1;
+                    true
+                } else {
+                    false
+                };
+                if evict {
+                    self.cached.remove(&self.arena_keys[idx]);
+                    self.arena_live[idx] = false;
+                    self.arena_free.push(idx as u32);
+                }
             }
             self.carried = self.q;
         } else {
-            self.carried = ranked.len();
+            self.carried = live;
         }
-        self.ranked_scratch = ranked;
+        self.score_scratch = scores;
         self.buf.reset();
         self.maintenance_passes += 1;
     }

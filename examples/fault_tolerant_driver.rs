@@ -193,6 +193,7 @@ fn main() {
             seed,
             ..WatchdogConfig::default()
         }),
+        pin_threads: false,
     };
     let report = supervised.run_supervised(items.iter().copied(), config);
     assert_balanced(&report);
